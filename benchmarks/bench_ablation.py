@@ -1,0 +1,68 @@
+"""E14 — Compiler-pass ablation.
+
+Each optimizer pass is disabled in isolation against the full pipeline
+on the GLM-gradient program, attributing the end-to-end win to its
+parts (the ablation DESIGN.md calls out).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_expr
+from repro.lang import matrix, sumall
+from repro.runtime import execute
+
+N, D = 4000, 200
+
+
+def _program():
+    # Naively-written gradient + loss with a repeated subexpression.
+    X = matrix("X", (N, D))
+    w = matrix("w", (D, 1))
+    y = matrix("y", (N, 1))
+    gradient = (X.T @ X @ w - X.T @ y) / N
+    loss = sumall((X @ w - y) ** 2) / N + sumall((X @ w - y) ** 2) * 0.0
+    return gradient + 0.0 * sumall(loss)
+
+
+@pytest.fixture(scope="module")
+def bindings():
+    rng = np.random.default_rng(2017)
+    return {
+        "X": rng.standard_normal((N, D)),
+        "w": rng.standard_normal(D),
+        "y": rng.standard_normal(N),
+    }
+
+
+FLAG_SETS = {
+    "all_on": {},
+    "no_rewrites": {"rewrites": False},
+    "no_mmchain": {"mmchain": False},
+    "no_fusion": {"fusion": False},
+    "no_cse": {"cse": False},
+    "all_off": {
+        "rewrites": False,
+        "mmchain": False,
+        "fusion": False,
+        "cse": False,
+    },
+}
+
+
+@pytest.mark.parametrize("name", list(FLAG_SETS))
+def test_ablation(benchmark, bindings, name):
+    plan = compile_expr(_program(), **FLAG_SETS[name])
+    out = benchmark(lambda: execute(plan, bindings))
+    reference = execute(compile_expr(_program(), **FLAG_SETS["all_off"]), bindings)
+    assert np.allclose(out, reference, rtol=1e-8)
+
+
+def test_each_pass_reduces_or_preserves_cost(bindings):
+    full = compile_expr(_program())
+    for name, flags in FLAG_SETS.items():
+        if name == "all_on":
+            continue
+        ablated = compile_expr(_program(), **flags)
+        # The full pipeline is never worse than any ablation (cost model).
+        assert full.cost_after.flops <= ablated.cost_after.flops * 1.001

@@ -1,0 +1,71 @@
+"""E10 — Sampling-based compression planning (CLA planner).
+
+Surveyed claim: per-column scheme decisions made from a small sample
+agree with exhaustive analysis while planning in a fraction of the time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import plan_column, plan_matrix
+from repro.data import (
+    make_low_cardinality_matrix,
+    make_run_matrix,
+    make_sparse_matrix,
+)
+
+N = 100_000
+
+
+@pytest.fixture(scope="module")
+def mixed_matrix():
+    rng = np.random.default_rng(2017)
+    return np.hstack(
+        [
+            make_low_cardinality_matrix(N, 3, cardinality=8, seed=1),
+            make_run_matrix(N, 3, mean_run_length=300, seed=2),
+            make_sparse_matrix(N, 3, density=0.01, seed=3),
+            rng.standard_normal((N, 3)),
+        ]
+    )
+
+
+def test_sampled_planning(benchmark, mixed_matrix):
+    plan = benchmark(lambda: plan_matrix(mixed_matrix, sample_fraction=0.01))
+    assert len(plan.columns) == 12
+
+
+def test_exact_planning(benchmark, mixed_matrix):
+    plan = benchmark.pedantic(
+        plan_matrix, args=(mixed_matrix,), kwargs={"exact": True},
+        rounds=1, iterations=1,
+    )
+    assert len(plan.columns) == 12
+
+
+def test_sampled_decisions_agree_with_exact(mixed_matrix):
+    sampled = plan_matrix(mixed_matrix, sample_fraction=0.01)
+    exact = plan_matrix(mixed_matrix, exact=True)
+    agreements = sum(
+        s.scheme == e.scheme for s, e in zip(sampled.columns, exact.columns)
+    )
+    assert agreements >= 10  # >= 10/12 columns classified identically
+
+
+def test_estimated_ratio_tracks_actual(mixed_matrix):
+    from repro.compression import CompressedMatrix
+
+    plan = plan_matrix(mixed_matrix, sample_fraction=0.01)
+    estimated = sum(p.dense_bytes for p in plan.columns) / sum(
+        p.estimated_bytes for p in plan.columns
+    )
+    actual = CompressedMatrix.compress(
+        mixed_matrix, sample_fraction=0.01
+    ).compression_ratio
+    assert estimated == pytest.approx(actual, rel=0.5)
+
+
+def test_single_column_plan_is_fast(benchmark):
+    column = make_run_matrix(N, 1, mean_run_length=100, seed=4)[:, 0]
+    plan = benchmark(lambda: plan_column(column, sample_fraction=0.01))
+    assert plan.scheme == "rle"

@@ -1,0 +1,67 @@
+"""E8 — Feature-subset exploration with statistics reuse (Columbus).
+
+Surveyed claim: caching the shared sufficient statistics (X'X, X'y) makes
+per-subset least-squares solves data-size independent, beating per-subset
+recomputation by orders of magnitude during exploration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_regression
+from repro.feateng import FeatureSubsetExplorer, solve_subset_naive
+
+N, D = 50_000, 30
+SUBSETS = [list(range(k)) for k in (2, 5, 10, 20)] + [
+    [0, 5, 7, 12, 25],
+    [3, 4, 9],
+]
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, y, _ = make_regression(N, D, noise=0.5, seed=2017)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def explorer(data):
+    X, y = data
+    return FeatureSubsetExplorer(X, y)
+
+
+def test_naive_subset_solves(benchmark, data):
+    X, y = data
+
+    def solve_all():
+        return [solve_subset_naive(X, y, s) for s in SUBSETS]
+
+    benchmark(solve_all)
+
+
+def test_columbus_subset_solves(benchmark, data, explorer):
+    X, y = data
+
+    def solve_all():
+        return [explorer.solve_subset(s) for s in SUBSETS]
+
+    fits = benchmark(solve_all)
+    naive = [solve_subset_naive(X, y, s) for s in SUBSETS]
+    for fast, slow in zip(fits, naive):
+        assert np.allclose(fast.coef, slow.coef, atol=1e-6)
+
+
+def test_statistics_precompute_once(benchmark, data):
+    X, y = data
+    benchmark.pedantic(
+        FeatureSubsetExplorer, args=(X, y), rounds=2, iterations=1
+    )
+
+
+def test_forward_selection_with_reuse(benchmark, data, explorer):
+    trail = benchmark.pedantic(
+        explorer.forward_selection, kwargs={"max_features": 8},
+        rounds=1, iterations=1,
+    )
+    assert len(trail) == 8
+    assert trail[-1].r_squared > trail[0].r_squared

@@ -1,0 +1,89 @@
+"""E3 — Compressed linear algebra (CLA).
+
+Surveyed claim: column encodings achieve multi-x compression on
+low-cardinality / run-structured / sparse data while keeping compressed
+matrix-vector kernels competitive with dense.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressedMatrix
+from repro.data import (
+    make_low_cardinality_matrix,
+    make_run_matrix,
+    make_sparse_matrix,
+)
+
+N, D = 50_000, 10
+
+
+@pytest.fixture(scope="module")
+def lowcard():
+    X = make_low_cardinality_matrix(N, D, cardinality=12, seed=2017)
+    return X, CompressedMatrix.compress(X)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    X = make_run_matrix(N, D, mean_run_length=200, seed=2017)
+    return X, CompressedMatrix.compress(X)
+
+
+def test_compression_ratio_lowcard(lowcard):
+    _, C = lowcard
+    assert C.compression_ratio > 3
+
+
+def test_compression_ratio_runs(runs):
+    _, C = runs
+    assert C.compression_ratio > 20
+
+
+def test_dense_matvec(benchmark, lowcard):
+    X, _ = lowcard
+    v = np.random.default_rng(1).standard_normal(D)
+    benchmark(lambda: X @ v)
+
+
+def test_compressed_matvec_ddc(benchmark, lowcard):
+    X, C = lowcard
+    v = np.random.default_rng(1).standard_normal(D)
+    out = benchmark(lambda: C.matvec(v))
+    assert np.allclose(out, X @ v)
+
+
+def test_compressed_matvec_rle(benchmark, runs):
+    X, C = runs
+    v = np.random.default_rng(1).standard_normal(D)
+    out = benchmark(lambda: C.matvec(v))
+    assert np.allclose(out, X @ v)
+
+
+def test_dense_rmatvec(benchmark, lowcard):
+    X, _ = lowcard
+    u = np.random.default_rng(2).standard_normal(N)
+    benchmark(lambda: X.T @ u)
+
+
+def test_compressed_rmatvec_ddc(benchmark, lowcard):
+    X, C = lowcard
+    u = np.random.default_rng(2).standard_normal(N)
+    out = benchmark(lambda: C.rmatvec(u))
+    assert np.allclose(out, X.T @ u)
+
+
+def test_compress_time_lowcard(benchmark):
+    X = make_low_cardinality_matrix(N, D, cardinality=12, seed=7)
+    benchmark.pedantic(
+        CompressedMatrix.compress, args=(X,), rounds=2, iterations=1
+    )
+
+
+def test_sparse_compresses_via_ole(benchmark):
+    X = make_sparse_matrix(N, D, density=0.02, seed=2017)
+    C = benchmark.pedantic(
+        CompressedMatrix.compress, args=(X,), rounds=1, iterations=1
+    )
+    assert C.compression_ratio > 5
+    assert "ole" in C.schemes()

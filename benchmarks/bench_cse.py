@@ -1,0 +1,79 @@
+"""E12 — Common-subexpression elimination and constant folding.
+
+Surveyed claim: programs with repeated subexpressions (typical of
+hand-derived gradients) execute each distinct operator once under CSE,
+cutting executed-operator counts and runtime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_expr, count_tree_ops, count_unique_ops
+from repro.lang import matrix, sumall
+from repro.runtime import execute
+
+N, D = 8_000, 120
+
+
+def _redundant_program():
+    """Loss + gradient-norm program that repeats X %*% w three times."""
+    X = matrix("X", (N, D))
+    w = matrix("w", (D, 1))
+    y = matrix("y", (N, 1))
+    residual_a = X @ w - y
+    residual_b = X @ w - y
+    return sumall(residual_a ** 2) + sumall(residual_b ** 2) + sumall(
+        (X @ w) * (X @ w)
+    )
+
+
+@pytest.fixture(scope="module")
+def bindings():
+    rng = np.random.default_rng(2017)
+    return {
+        "X": rng.standard_normal((N, D)),
+        "w": rng.standard_normal(D),
+        "y": rng.standard_normal(N),
+    }
+
+
+def test_without_cse(benchmark, bindings):
+    plan = compile_expr(
+        _redundant_program(), rewrites=False, mmchain=False, fusion=False, cse=False
+    )
+    benchmark(lambda: execute(plan, bindings))
+
+
+def test_with_cse(benchmark, bindings):
+    plan = compile_expr(
+        _redundant_program(), rewrites=False, mmchain=False, fusion=False, cse=True
+    )
+    out = benchmark(lambda: execute(plan, bindings))
+    ref = execute(
+        compile_expr(
+            _redundant_program(),
+            rewrites=False,
+            mmchain=False,
+            fusion=False,
+            cse=False,
+        ),
+        bindings,
+    )
+    assert out == pytest.approx(ref, rel=1e-10)
+
+
+def test_executed_operator_reduction(bindings):
+    program = _redundant_program()
+    tree_ops = count_tree_ops(program.node)
+    plan = compile_expr(
+        program, rewrites=False, mmchain=False, fusion=False, cse=True
+    )
+    dag_ops = count_unique_ops(plan.root)
+    assert dag_ops < tree_ops
+    _, stats = execute(plan, bindings, collect_stats=True)
+    assert stats.op_counts["matmul"] == 1  # X %*% w executed exactly once
+
+
+def test_full_pipeline_with_cse(benchmark, bindings):
+    plan = compile_expr(_redundant_program())
+    benchmark(lambda: execute(plan, bindings))

@@ -1,0 +1,108 @@
+"""E15 — Distributed training strategies (BSP vs averaging vs param server).
+
+Surveyed claims: (a) BSP gradient descent is statistically identical to
+single-node GD, paying one communication round per iteration; (b)
+one-shot model averaging needs a single round but loses accuracy as
+shards shrink; (c) parameter-server asynchrony tolerates moderate
+staleness and destabilizes under extreme staleness with large steps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification, make_regression
+from repro.distributed import (
+    SimulatedCluster,
+    train_bsp_gd,
+    train_model_averaging,
+    train_parameter_server,
+)
+from repro.ml.losses import LogisticLoss, SquaredLoss
+
+N, D = 4000, 16
+
+
+@pytest.fixture(scope="module")
+def reg_data():
+    X, y, _ = make_regression(N, D, noise=0.2, seed=2017)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def clf_data():
+    X, y = make_classification(N, D, separation=2.0, seed=2017)
+    return X, np.where(y == 1, 1.0, -1.0)
+
+
+def test_bsp_training(benchmark, reg_data):
+    X, y = reg_data
+
+    def run():
+        cluster = SimulatedCluster(X, y, num_workers=8, seed=1)
+        return train_bsp_gd(cluster, SquaredLoss(), rounds=30, learning_rate=0.3)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.final_loss < result.loss_history[0] / 10
+
+
+def test_model_averaging(benchmark, reg_data):
+    X, y = reg_data
+
+    def run():
+        cluster = SimulatedCluster(X, y, num_workers=8, seed=1)
+        return train_model_averaging(cluster, SquaredLoss(), local_iterations=100)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    # One gather + one loss evaluation: two rounds total.
+    assert result.comm.rounds == 2
+
+
+def test_parameter_server(benchmark, clf_data):
+    X, y = clf_data
+
+    def run():
+        cluster = SimulatedCluster(X, y, num_workers=8, seed=1)
+        return train_parameter_server(
+            cluster, LogisticLoss(), total_updates=300, max_staleness=4, seed=1
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.final_loss < result.loss_history[0]
+
+
+def test_communication_volumes_ranked(reg_data):
+    """Averaging << BSP in bytes for the same worker count."""
+    X, y = reg_data
+    bsp_cluster = SimulatedCluster(X, y, num_workers=8, seed=2)
+    train_bsp_gd(bsp_cluster, SquaredLoss(), rounds=30)
+    avg_cluster = SimulatedCluster(X, y, num_workers=8, seed=2)
+    train_model_averaging(avg_cluster, SquaredLoss())
+    assert avg_cluster.comm.total_bytes < bsp_cluster.comm.total_bytes / 10
+
+
+def test_averaging_accuracy_gap_grows_with_workers():
+    X, y, _ = make_regression(400, 40, noise=0.5, seed=2017)
+    losses = {}
+    for k in (2, 32):
+        cluster = SimulatedCluster(X, y, num_workers=k, seed=3)
+        losses[k] = train_model_averaging(
+            cluster, SquaredLoss(), local_iterations=300
+        ).final_loss
+    assert losses[32] > losses[2]
+
+
+def test_staleness_degradation_at_high_lr(clf_data):
+    X, y = clf_data
+    finals = {}
+    for staleness in (0, 128):
+        cluster = SimulatedCluster(X, y, num_workers=8, seed=4)
+        finals[staleness] = train_parameter_server(
+            cluster,
+            LogisticLoss(),
+            total_updates=500,
+            learning_rate=2.0,
+            decay=0.0,
+            max_staleness=staleness,
+            seed=4,
+        ).final_loss
+    assert finals[128] > finals[0]

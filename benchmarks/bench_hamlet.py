@@ -1,0 +1,59 @@
+"""E2 — Join avoidance for learning (Hamlet).
+
+Surveyed claim: at high tuple ratios the attribute table's features can
+be dropped (or replaced by the FK) with negligible accuracy loss, and the
+avoided join makes training cheaper.
+"""
+
+import pytest
+
+from repro.data import make_star_schema
+from repro.factorized import evaluate_join_avoidance, tuple_ratio_rule
+from repro.ml import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def high_tr_star():
+    return make_star_schema(
+        n_s=8000, n_r=40, d_s=4, d_r=20,
+        task="classification", fk_importance=0.15, seed=2017,
+    )
+
+
+def test_train_with_join(benchmark, high_tr_star):
+    X = high_tr_star.materialize()
+
+    def train():
+        return LogisticRegression(solver="gd", l2=1e-3, max_iter=60).fit(
+            X, high_tr_star.y
+        )
+
+    benchmark(train)
+
+
+def test_train_join_avoided(benchmark, high_tr_star):
+    X = high_tr_star.S  # entity features only — the join never happens
+
+    def train():
+        return LogisticRegression(solver="gd", l2=1e-3, max_iter=60).fit(
+            X, high_tr_star.y
+        )
+
+    benchmark(train)
+
+
+def test_avoidance_accuracy_gap_small(benchmark, high_tr_star):
+    report = benchmark.pedantic(
+        evaluate_join_avoidance,
+        args=(high_tr_star,),
+        kwargs={"seed": 2017},
+        rounds=1,
+        iterations=1,
+    )
+    assert report.decision.avoid  # tuple ratio 200 >> 20
+    assert report.accuracy_drop < 0.08
+
+
+def test_decision_rule_is_cheap(benchmark):
+    decision = benchmark(tuple_ratio_rule, 8000, 40)
+    assert decision.avoid

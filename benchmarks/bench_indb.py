@@ -1,0 +1,93 @@
+"""E6 — In-database gradient methods (Bismarck).
+
+Surveyed claims: (a) one unified UDA covers GLMs by swapping the loss;
+(b) IGD converges in a handful of epochs; (c) shuffling once nearly
+matches per-epoch reshuffling and beats clustered order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification
+from repro.indb import InDBLinearRegression, train_igd
+from repro.ml.losses import HingeLoss, LogisticLoss, SquaredLoss
+from repro.storage import Table
+
+N, D = 10_000, 10
+FEATURES = [f"x{i}" for i in range(D)]
+
+
+@pytest.fixture(scope="module")
+def clf_table():
+    X, y = make_classification(N, D, separation=2.0, seed=2017)
+    # Clustered physical order: the worst case for no-shuffle IGD.
+    order = np.argsort(y)
+    return Table.from_columns(
+        {f"x{i}": X[order, i] for i in range(D)}
+        | {"y": np.where(y[order] == 1, 1.0, -1.0)}
+    )
+
+
+def test_igd_epoch_logistic(benchmark, clf_table):
+    result = benchmark.pedantic(
+        train_igd,
+        args=(clf_table, FEATURES, "y", LogisticLoss()),
+        kwargs={"epochs": 1, "shuffle": "once", "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.final_loss < result.loss_history[0]
+
+
+def test_igd_epoch_svm_same_harness(benchmark, clf_table):
+    """Bismarck unification: only the loss object changes."""
+    result = benchmark.pedantic(
+        train_igd,
+        args=(clf_table, FEATURES, "y", HingeLoss()),
+        kwargs={"epochs": 1, "shuffle": "once", "seed": 1, "l2": 0.001},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.final_loss < result.loss_history[0]
+
+
+def test_igd_converges_in_few_epochs(clf_table):
+    result = train_igd(
+        clf_table, FEATURES, "y", LogisticLoss(), epochs=5, shuffle="once", seed=1
+    )
+    assert result.loss_history[5] < 0.6 * result.loss_history[0]
+
+
+def test_shuffle_once_beats_none(clf_table):
+    none = train_igd(
+        clf_table, FEATURES, "y", LogisticLoss(), epochs=3, shuffle="none"
+    )
+    once = train_igd(
+        clf_table, FEATURES, "y", LogisticLoss(), epochs=3, shuffle="once", seed=1
+    )
+    assert once.final_loss < none.final_loss
+
+
+def test_shuffle_once_close_to_each(clf_table):
+    once = train_igd(
+        clf_table, FEATURES, "y", LogisticLoss(), epochs=5, shuffle="once", seed=1
+    )
+    each = train_igd(
+        clf_table, FEATURES, "y", LogisticLoss(), epochs=5, shuffle="each", seed=1
+    )
+    assert once.final_loss == pytest.approx(each.final_loss, rel=0.3)
+
+
+def test_one_scan_normal_equations(benchmark):
+    rng = np.random.default_rng(2017)
+    X = rng.standard_normal((N, D))
+    y = X @ rng.standard_normal(D)
+    table = Table.from_columns(
+        {f"x{i}": X[:, i] for i in range(D)} | {"y": y}
+    )
+
+    def train():
+        return InDBLinearRegression().fit(table, FEATURES, "y")
+
+    model = benchmark.pedantic(train, rounds=2, iterations=1)
+    assert model.score(table, "y") > 0.999

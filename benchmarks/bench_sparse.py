@@ -1,0 +1,82 @@
+"""E13 — Sparsity exploitation (CSR kernels vs dense).
+
+Surveyed claim: sparse formats cut memory by ~1/density and make kernel
+cost scale with nnz instead of n*d, so sparse-aware systems win big on
+low-density inputs and lose nothing architecturally on dense ones (the
+format decision is made per input).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_sparse_matrix
+from repro.sparse import CSRMatrix
+
+N, D = 100_000, 200
+DENSITY = 0.01
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    Xd = make_sparse_matrix(N, D, density=DENSITY, seed=2017)
+    return Xd, CSRMatrix.from_dense(Xd)
+
+
+def test_memory_reduction(matrices):
+    Xd, X = matrices
+    assert X.nbytes < Xd.nbytes / 20
+
+
+def test_dense_matvec(benchmark, matrices):
+    Xd, _ = matrices
+    v = np.random.default_rng(1).standard_normal(D)
+    benchmark(lambda: Xd @ v)
+
+
+def test_sparse_matvec(benchmark, matrices):
+    Xd, X = matrices
+    v = np.random.default_rng(1).standard_normal(D)
+    out = benchmark(lambda: X.matvec(v))
+    assert np.allclose(out, Xd @ v)
+
+
+def test_dense_rmatvec(benchmark, matrices):
+    Xd, _ = matrices
+    u = np.random.default_rng(2).standard_normal(N)
+    benchmark(lambda: Xd.T @ u)
+
+
+def test_sparse_rmatvec(benchmark, matrices):
+    Xd, X = matrices
+    u = np.random.default_rng(2).standard_normal(N)
+    out = benchmark(lambda: X.rmatvec(u))
+    assert np.allclose(out, Xd.T @ u)
+
+
+def test_sparse_gd_epoch(benchmark, matrices):
+    """One full-gradient step on the sparse design through the shared
+    optimizer stack."""
+    from repro.ml.losses import SquaredLoss
+
+    Xd, X = matrices
+    rng = np.random.default_rng(3)
+    y = Xd @ rng.standard_normal(D)
+    loss = SquaredLoss()
+    w = np.zeros(D)
+    benchmark(lambda: loss.gradient(X, y, w))
+
+
+def test_dense_gd_epoch(benchmark, matrices):
+    from repro.ml.losses import SquaredLoss
+
+    Xd, _ = matrices
+    rng = np.random.default_rng(3)
+    y = Xd @ rng.standard_normal(D)
+    loss = SquaredLoss()
+    w = np.zeros(D)
+    benchmark(lambda: loss.gradient(Xd, y, w))
+
+
+def test_encode_cost(benchmark):
+    Xd = make_sparse_matrix(N, D, density=DENSITY, seed=7)
+    benchmark.pedantic(CSRMatrix.from_dense, args=(Xd,), rounds=2, iterations=1)

@@ -1,0 +1,54 @@
+"""E11 — Warm-started regularization paths.
+
+Surveyed claim: reusing the previous lambda's solution as the next
+starting point cuts total iterations versus cold starts, with identical
+solutions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification
+from repro.selection import fit_logistic_path
+
+LAMBDAS = np.logspace(0.5, -3, 10)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_classification(3000, 12, separation=1.2, seed=2017)
+
+
+def test_cold_path(benchmark, data):
+    X, y = data
+    result = benchmark.pedantic(
+        fit_logistic_path,
+        args=(X, y, LAMBDAS),
+        kwargs={"warm_start": False, "tol": 1e-8},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.points) == len(LAMBDAS)
+
+
+def test_warm_path(benchmark, data):
+    X, y = data
+    warm = benchmark.pedantic(
+        fit_logistic_path,
+        args=(X, y, LAMBDAS),
+        kwargs={"warm_start": True, "tol": 1e-8},
+        rounds=1,
+        iterations=1,
+    )
+    cold = fit_logistic_path(X, y, LAMBDAS, warm_start=False, tol=1e-8)
+    assert warm.total_iterations < cold.total_iterations
+    # Same optima along the path.
+    for wp, cp in zip(warm.points, cold.points):
+        assert np.allclose(wp.coef, cp.coef, atol=5e-2)
+
+
+def test_iteration_savings_ratio(data):
+    X, y = data
+    warm = fit_logistic_path(X, y, LAMBDAS, warm_start=True, tol=1e-8)
+    cold = fit_logistic_path(X, y, LAMBDAS, warm_start=False, tol=1e-8)
+    assert warm.total_iterations <= 0.9 * cold.total_iterations

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*.py`` module regenerates one experiment from DESIGN.md's
+index (E1..E12). Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+For the full printed experiment tables (the rows EXPERIMENTS.md records),
+run ``python benchmarks/run_experiments.py``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def benchmark_seed() -> int:
+    return 2017  # the tutorial's year, for determinism

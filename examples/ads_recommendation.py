@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Ad click prediction over a normalized warehouse (factorized learning).
+
+The motivating workload of Orion/Morpheus/Hamlet: impressions live in a
+fact table referencing a *users* dimension and an *ads* dimension; the ML
+design matrix is the 3-way join. This example trains click models three
+ways and compares cost and accuracy:
+
+  1. materialize the join, train dense;
+  2. factorized training on the NormalizedMatrix (no join, same model);
+  3. Hamlet-style join avoidance (drop dimension features where the
+     tuple-ratio rule says it is safe).
+
+Run: python examples/ads_recommendation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.factorized import (
+    FactorizedLinearRegression,
+    NormalizedMatrix,
+    decide_joins,
+)
+from repro.ml import LinearRegression
+
+N_IMPRESSIONS = 60_000
+N_USERS, D_USERS = 10_000, 12  # tuple ratio 6: join worth keeping
+N_ADS, D_ADS = 150, 25  # tuple ratio 400: clearly avoidable
+
+
+def build_warehouse():
+    """Impressions (fact) + users + ads, with a CTR-like response.
+
+    User features carry most of the signal; ad creative features are
+    nearly uninformative (the typical reality that makes Hamlet's
+    join-avoidance safe for the high-tuple-ratio dimension).
+    """
+    rng = np.random.default_rng(7)
+    d_s = 3
+    S = rng.standard_normal((N_IMPRESSIONS, d_s))  # context features
+    users = rng.standard_normal((N_USERS, D_USERS))
+    ads = rng.standard_normal((N_ADS, D_ADS))
+    fk_user = rng.integers(0, N_USERS, N_IMPRESSIONS)
+    fk_ad = rng.integers(0, N_ADS, N_IMPRESSIONS)
+
+    w_ctx = rng.standard_normal(d_s)
+    w_user = rng.standard_normal(D_USERS)
+    w_ad = 0.03 * rng.standard_normal(D_ADS)  # ads barely matter
+    y = (
+        S @ w_ctx
+        + users[fk_user] @ w_user
+        + ads[fk_ad] @ w_ad
+        + 0.2 * rng.standard_normal(N_IMPRESSIONS)
+    )
+    return S, [fk_user, fk_ad], [users, ads], y, d_s
+
+
+def main() -> None:
+    S, fks, Rs, y, d_s = build_warehouse()
+    nm = NormalizedMatrix(S, fks, Rs)
+
+    print("warehouse:")
+    print(f"  impressions: {N_IMPRESSIONS:,} rows, {d_s} fact features")
+    print(f"  users:       {N_USERS:,} rows, {D_USERS} features "
+          f"(tuple ratio {N_IMPRESSIONS / N_USERS:.0f})")
+    print(f"  ads:         {N_ADS:,} rows, {D_ADS} features "
+          f"(tuple ratio {N_IMPRESSIONS / N_ADS:.0f})")
+    print(f"  logical design matrix: {nm.shape[0]:,} x {nm.shape[1]}")
+    print(f"  redundancy avoided by staying normalized: "
+          f"{nm.redundancy_ratio:.1f}x\n")
+
+    # -- path 1: materialize then train --------------------------------
+    start = time.perf_counter()
+    X = nm.materialize()
+    t_join = time.perf_counter() - start
+    start = time.perf_counter()
+    dense = LinearRegression(fit_intercept=False).fit(X, y)
+    t_dense = time.perf_counter() - start
+    print(f"[materialized] join {t_join:.3f}s + train {t_dense:.3f}s, "
+          f"R^2 = {dense.score(X, y):.4f}")
+
+    # -- path 2: factorized ---------------------------------------------
+    start = time.perf_counter()
+    factorized = FactorizedLinearRegression().fit(nm, y)
+    t_fact = time.perf_counter() - start
+    print(f"[factorized]   train {t_fact:.3f}s (no join), "
+          f"R^2 = {factorized.score(nm, y):.4f}")
+    agreement = np.allclose(factorized.coef_, dense.coef_, atol=1e-6)
+    print(f"               coefficients identical to materialized: {agreement}")
+    print(f"               end-to-end speedup: "
+          f"{(t_join + t_dense) / t_fact:.1f}x\n")
+
+    # -- path 3: Hamlet join avoidance ----------------------------------
+    decisions = decide_joins(N_IMPRESSIONS, [N_USERS, N_ADS])
+    for name, decision in zip(("users", "ads"), decisions):
+        print(f"[hamlet] {name:<6} -> "
+              f"{'AVOID join' if decision.avoid else 'keep join'} "
+              f"({decision.reason}, risk bound {decision.risk_bound:.3f})")
+
+    kept_fks = [fk for fk, d in zip(fks, decisions) if not d.avoid]
+    kept_rs = [R for R, d in zip(Rs, decisions) if not d.avoid]
+    reduced = NormalizedMatrix(S, kept_fks, kept_rs)
+    shortcut = FactorizedLinearRegression().fit(reduced, y)
+    print(f"\n[reduced]      features {nm.shape[1]} -> {reduced.shape[1]}, "
+          f"R^2 = {shortcut.score(reduced, y):.4f} "
+          f"(vs {factorized.score(nm, y):.4f} with all joins)")
+    print("The high-tuple-ratio ads dimension was droppable at negligible "
+          "accuracy cost; the users dimension carried signal worth its join.")
+
+
+if __name__ == "__main__":
+    main()

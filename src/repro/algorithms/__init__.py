@@ -1,0 +1,21 @@
+"""Algorithm scripts authored in the declarative DSL.
+
+Each algorithm writes its linear algebra as DSL expressions, compiles
+them once through the optimizer (rewrites, mmchain, fusion, CSE), and
+iterates by rebinding inputs — the SystemML algorithm-library pattern.
+"""
+
+from .clustering import KMeansResult, kmeans_dsl
+from .decomposition import PCAResult, pca_dsl
+from .glm import AlgorithmResult, linreg_cg, linreg_direct, logreg_gd
+
+__all__ = [
+    "AlgorithmResult",
+    "KMeansResult",
+    "PCAResult",
+    "kmeans_dsl",
+    "linreg_cg",
+    "linreg_direct",
+    "logreg_gd",
+    "pca_dsl",
+]

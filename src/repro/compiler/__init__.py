@@ -1,0 +1,56 @@
+"""Optimizing compiler for the linear-algebra DSL.
+
+Passes (each independently toggleable for ablation):
+
+* algebraic rewrites and constant folding (:mod:`.rewrites`)
+* matrix-multiplication-chain re-parenthesization (:mod:`.mmchain`)
+* operator fusion into single-pass kernels (:mod:`.fusion`)
+* common-subexpression elimination (:mod:`.cse`)
+
+with an analytical FLOP/memory cost model (:mod:`.cost`).
+"""
+
+from .cache import (
+    CacheStats,
+    PlanCache,
+    compile_expr_cached,
+    default_plan_cache,
+)
+from .cost import CostEstimate, estimate, node_flops, node_output_bytes
+from .cse import (
+    count_tree_ops,
+    count_unique_ops,
+    eliminate_common_subexpressions,
+)
+from .fusion import apply_fusion, fused_kinds
+from .mmchain import chain_cost, optimize_mmchains
+from .planner import CompiledPlan, compile_expr
+from .program import ProgramPlan, compile_program, execute_program
+from .rewrites import apply_rewrites
+from .sparsity import propagate_sparsity, sparse_aware_flops
+
+__all__ = [
+    "CacheStats",
+    "CompiledPlan",
+    "PlanCache",
+    "ProgramPlan",
+    "compile_expr_cached",
+    "default_plan_cache",
+    "CostEstimate",
+    "apply_fusion",
+    "apply_rewrites",
+    "chain_cost",
+    "compile_expr",
+    "compile_program",
+    "execute_program",
+    "count_tree_ops",
+    "count_unique_ops",
+    "eliminate_common_subexpressions",
+    "estimate",
+    "fused_kinds",
+    "node_flops",
+    "node_output_bytes",
+    "optimize_mmchains",
+    "propagate_sparsity",
+    "sparse_aware_flops",
+]

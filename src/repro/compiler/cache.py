@@ -1,0 +1,80 @@
+"""Plan caching.
+
+Iterative ML drivers compile the same expression shape thousands of
+times (one gradient per iteration, one distance matrix per Lloyd step).
+A :class:`PlanCache` memoizes compiled plans on the expression's
+structural key plus the optimizer flags, LRU-bounded — the plan-cache
+component of declarative ML compilers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..lang.ast import Node
+from ..lang.dsl import MExpr
+from .planner import CompiledPlan, compile_expr
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """LRU cache of compiled plans keyed by structure + flags."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._plans: OrderedDict[tuple, CompiledPlan] = OrderedDict()
+        self.stats = CacheStats()
+
+    def get_or_compile(
+        self,
+        expr: MExpr | Node,
+        rewrites: bool = True,
+        mmchain: bool = True,
+        fusion: bool = True,
+        cse: bool = True,
+    ) -> CompiledPlan:
+        node = expr.node if isinstance(expr, MExpr) else expr
+        key = (node.key(), rewrites, mmchain, fusion, cse)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            self._plans.move_to_end(key)
+            return cached
+        self.stats.misses += 1
+        plan = compile_expr(
+            node, rewrites=rewrites, mmchain=mmchain, fusion=fusion, cse=cse
+        )
+        self._plans[key] = plan
+        if len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.stats.evictions += 1
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+#: process-wide default cache used by :func:`compile_expr_cached`
+default_plan_cache = PlanCache()
+
+
+def compile_expr_cached(expr: MExpr | Node, **flags: bool) -> CompiledPlan:
+    """Compile through the process-wide plan cache."""
+    return default_plan_cache.get_or_compile(expr, **flags)

@@ -1,0 +1,95 @@
+"""Operator fusion.
+
+Pattern-matches subtrees whose straightforward evaluation would
+materialize a large intermediate, and replaces them with
+:class:`~repro.lang.ast.Fused` nodes bound to single-pass kernels in
+:mod:`repro.runtime.ops`:
+
+* ``sum(X * Y)``          -> ``dot_sum``    (no n x d product matrix)
+* ``sum(X ^ 2)``          -> ``sq_sum``
+* ``sum((X - Y) ^ 2)``    -> ``diff_sq_sum``
+* ``t(X) %*% X``          -> ``tsmm``       (transpose-self matmul / syrk)
+* ``t(X) %*% (X %*% v)``  -> ``mvchain``    (the GLM gradient core)
+
+These are the hand-written fused operators of SystemML (wsloss, tsmm,
+mapmmchain) specialized to the dense single-node case.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import Aggregate, Binary, Constant, Fused, MatMul, Node, Transpose
+
+
+def apply_fusion(root: Node) -> Node:
+    """Replace fusable patterns bottom-up; returns a new root."""
+    new_children = [apply_fusion(c) for c in root.children]
+    if any(nc is not oc for nc, oc in zip(new_children, root.children)):
+        root = root.with_children(new_children)
+    fused = _match(root)
+    return fused if fused is not None else root
+
+
+def _match(node: Node) -> Fused | None:
+    if isinstance(node, Aggregate) and node.op == "sum" and node.axis is None:
+        return _match_sum(node.child)
+    if isinstance(node, MatMul):
+        return _match_matmul(node)
+    return None
+
+
+def _match_sum(inner: Node) -> Fused | None:
+    # sum(X ^ 2)
+    if (
+        isinstance(inner, Binary)
+        and inner.op == "^"
+        and isinstance(inner.right, Constant)
+        and inner.right.is_scalar
+        and inner.right.scalar_value == 2.0
+    ):
+        base = inner.left
+        # sum((X - Y) ^ 2)
+        if (
+            isinstance(base, Binary)
+            and base.op == "-"
+            and base.left.shape == base.right.shape
+        ):
+            return Fused("diff_sq_sum", [base.left, base.right], (1, 1))
+        return Fused("sq_sum", [base], (1, 1))
+    # sum(X * Y) with equal shapes (broadcasting would change semantics)
+    if (
+        isinstance(inner, Binary)
+        and inner.op == "*"
+        and inner.left.shape == inner.right.shape
+        and not inner.left.is_scalar
+    ):
+        return Fused("dot_sum", [inner.left, inner.right], (1, 1))
+    return None
+
+
+def _match_matmul(node: MatMul) -> Fused | None:
+    left, right = node.left, node.right
+    # t(X) %*% (X %*% v): evaluate as two matrix-vector products without
+    # forming t(X) explicitly.
+    if (
+        isinstance(left, Transpose)
+        and isinstance(right, MatMul)
+        and left.child.key() == right.left.key()
+        and right.right.shape[1] == 1
+    ):
+        return Fused(
+            "mvchain",
+            [left.child, right.right],
+            (left.child.shape[1], 1),
+        )
+    # t(X) %*% X: symmetric rank-k update.
+    if isinstance(left, Transpose) and left.child.key() == right.key():
+        d = right.shape[1]
+        return Fused("tsmm", [right], (d, d))
+    return None
+
+
+def fused_kinds(root: Node) -> list[str]:
+    """Kinds of all fused nodes in the DAG (for tests and explain)."""
+    from ..lang.ast import walk
+
+    return [n.kind for n in walk(root) if isinstance(n, Fused)]

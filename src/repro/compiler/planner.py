@@ -1,0 +1,94 @@
+"""Compilation pipeline: rewrites -> mmchain -> fusion -> CSE.
+
+:func:`compile_expr` takes a DSL expression and produces a
+:class:`CompiledPlan` whose root DAG the runtime interprets. Each pass can
+be toggled off, which is how the benchmark suite ablates the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.ast import Node, collect_inputs, pretty
+from ..lang.dsl import MExpr
+from .cost import CostEstimate, estimate
+from .cse import count_unique_ops, eliminate_common_subexpressions
+from .fusion import apply_fusion
+from .mmchain import optimize_mmchains
+from .rewrites import apply_rewrites
+
+
+@dataclass
+class CompiledPlan:
+    """An executable DAG plus compilation metadata."""
+
+    root: Node
+    source: Node
+    inputs: dict[str, tuple[int, int]]
+    passes: list[str] = field(default_factory=list)
+    cost_before: CostEstimate | None = None
+    cost_after: CostEstimate | None = None
+
+    @property
+    def output_shape(self) -> tuple[int, int]:
+        return self.root.shape
+
+    @property
+    def num_ops(self) -> int:
+        return count_unique_ops(self.root)
+
+    def explain(self) -> str:
+        """Human-readable plan summary (source, passes, costs, plan)."""
+        lines = [
+            f"source : {pretty(self.source)}",
+            f"passes : {', '.join(self.passes) if self.passes else '(none)'}",
+        ]
+        if self.cost_before is not None:
+            lines.append(f"before : {self.cost_before}")
+        if self.cost_after is not None:
+            lines.append(f"after  : {self.cost_after}")
+        lines.append(f"plan   : {pretty(self.root)}")
+        return "\n".join(lines)
+
+
+def compile_expr(
+    expr: MExpr | Node,
+    rewrites: bool = True,
+    mmchain: bool = True,
+    fusion: bool = True,
+    cse: bool = True,
+) -> CompiledPlan:
+    """Compile a DSL expression into an optimized plan.
+
+    Pass order matters: algebraic rewrites expose chains, chain
+    optimization fixes association before fusion pattern-matches shapes,
+    and CSE runs last so every pass's output is deduplicated.
+    """
+    source = expr.node if isinstance(expr, MExpr) else expr
+    inputs = collect_inputs(source)
+    before = estimate(eliminate_common_subexpressions(source))
+
+    root = source
+    passes = []
+    if rewrites:
+        root = apply_rewrites(root)
+        passes.append("rewrites")
+    if mmchain:
+        root = optimize_mmchains(root)
+        passes.append("mmchain")
+    if fusion:
+        root = apply_fusion(root)
+        passes.append("fusion")
+    if cse:
+        root = eliminate_common_subexpressions(root)
+        passes.append("cse")
+
+    after = estimate(eliminate_common_subexpressions(root))
+    return CompiledPlan(
+        root=root,
+        source=source,
+        inputs=inputs,
+        passes=passes,
+        cost_before=before,
+        cost_after=after,
+    )

@@ -1,0 +1,129 @@
+"""The compressed matrix: column groups + linear-algebra kernels.
+
+A :class:`CompressedMatrix` behaves like a read-only dense matrix for the
+operations iterative ML needs — ``X @ v``, ``X.T @ u``, ``X.T @ X``,
+column sums — all executed directly on the compressed column groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CompressionError
+from .colgroup import ColumnGroup
+from .planner import CompressionPlan, build_groups, plan_matrix
+
+
+class CompressedMatrix:
+    """A matrix stored as compressed column groups."""
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        groups: list[ColumnGroup],
+        plan: CompressionPlan | None = None,
+    ):
+        self.shape = shape
+        self.groups = groups
+        self.plan = plan
+        covered = sorted(
+            int(c) for g in groups for c in g.col_indices
+        )
+        if covered != list(range(shape[1])):
+            raise CompressionError(
+                f"groups must cover each of {shape[1]} columns exactly once, "
+                f"got {covered}"
+            )
+
+    @classmethod
+    def compress(
+        cls,
+        X: np.ndarray,
+        sample_fraction: float = 0.05,
+        exact: bool = False,
+        cocode: bool = True,
+        seed: int = 0,
+    ) -> "CompressedMatrix":
+        """Plan and encode a dense matrix."""
+        X = np.asarray(X, dtype=np.float64)
+        plan = plan_matrix(X, sample_fraction, exact, cocode, seed)
+        return cls(X.shape, build_groups(X, plan), plan)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(g.compressed_bytes() for g in self.groups)
+
+    @property
+    def dense_bytes(self) -> int:
+        return self.shape[0] * self.shape[1] * 8
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense size over compressed size (higher is better)."""
+        return self.dense_bytes / max(self.compressed_bytes, 1)
+
+    def schemes(self) -> dict[str, int]:
+        """Count of groups per encoding scheme."""
+        out: dict[str, int] = {}
+        for g in self.groups:
+            out[g.scheme] = out.get(g.scheme, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """X @ v on the compressed representation."""
+        v = np.asarray(v, dtype=np.float64).reshape(-1)
+        if len(v) != self.shape[1]:
+            raise CompressionError(
+                f"vector length {len(v)} != num columns {self.shape[1]}"
+            )
+        out = np.zeros(self.shape[0])
+        for g in self.groups:
+            g.matvec_add(v, out)
+        return out
+
+    def rmatvec(self, u: np.ndarray) -> np.ndarray:
+        """X.T @ u on the compressed representation."""
+        u = np.asarray(u, dtype=np.float64).reshape(-1)
+        if len(u) != self.shape[0]:
+            raise CompressionError(
+                f"vector length {len(u)} != num rows {self.shape[0]}"
+            )
+        out = np.zeros(self.shape[1])
+        for g in self.groups:
+            out[g.col_indices] = g.rmatvec(u)
+        return out
+
+    def colsums(self) -> np.ndarray:
+        out = np.zeros(self.shape[1])
+        for g in self.groups:
+            out[g.col_indices] = g.colsums()
+        return out
+
+    def gram(self) -> np.ndarray:
+        """X.T @ X via d compressed matrix-vector products.
+
+        Column-at-a-time: for each column j, X.T @ X[:, j]. Exploits the
+        compressed matvec for each unit vector, avoiding decompression.
+        """
+        d = self.shape[1]
+        out = np.empty((d, d))
+        unit = np.zeros(d)
+        for j in range(d):
+            unit[j] = 1.0
+            out[:, j] = self.rmatvec(self.matvec(unit))
+            unit[j] = 0.0
+        # Symmetrize against floating-point asymmetry.
+        return (out + out.T) / 2.0
+
+    def decompress(self) -> np.ndarray:
+        """Full dense reconstruction (testing / fallback only)."""
+        out = np.empty(self.shape)
+        for g in self.groups:
+            out[:, g.col_indices] = g.decompress()
+        return out

@@ -1,0 +1,27 @@
+"""Synthetic dataset and workload generators (see DESIGN.md, Substitutions)."""
+
+from .generators import (
+    StarSchema,
+    make_blobs,
+    make_categorical,
+    make_classification,
+    make_low_cardinality_matrix,
+    make_multi_star_schema,
+    make_regression,
+    make_run_matrix,
+    make_sparse_matrix,
+    make_star_schema,
+)
+
+__all__ = [
+    "StarSchema",
+    "make_blobs",
+    "make_categorical",
+    "make_classification",
+    "make_low_cardinality_matrix",
+    "make_multi_star_schema",
+    "make_regression",
+    "make_run_matrix",
+    "make_sparse_matrix",
+    "make_star_schema",
+]

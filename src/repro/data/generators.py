@@ -1,0 +1,278 @@
+"""Synthetic workload generators.
+
+Every experiment in the benchmark suite is driven by data whose *statistics*
+are controlled here: tuple ratios and feature ratios for factorized
+learning, column cardinality and run structure for compression, class
+separation for learners. Real datasets used by the surveyed papers are
+proprietary; these generators synthesize workloads with the same
+behaviour-driving statistics (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def make_regression(
+    n_samples: int = 200,
+    n_features: int = 10,
+    noise: float = 0.1,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Linear regression task: returns (X, y, true_weights)."""
+    _check_sizes(n_samples, n_features)
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n_samples, n_features))
+    w = rng.standard_normal(n_features)
+    y = X @ w + noise * rng.standard_normal(n_samples)
+    return X, y, w
+
+
+def make_classification(
+    n_samples: int = 200,
+    n_features: int = 10,
+    separation: float = 2.0,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two-Gaussian binary classification task: returns (X, y) with y in {0, 1}."""
+    _check_sizes(n_samples, n_features)
+    rng = np.random.default_rng(seed)
+    n_pos = n_samples // 2
+    n_neg = n_samples - n_pos
+    direction = rng.standard_normal(n_features)
+    direction /= np.linalg.norm(direction)
+    shift = 0.5 * separation * direction
+    X_neg = rng.standard_normal((n_neg, n_features)) - shift
+    X_pos = rng.standard_normal((n_pos, n_features)) + shift
+    X = np.vstack([X_neg, X_pos])
+    y = np.concatenate([np.zeros(n_neg), np.ones(n_pos)]).astype(np.int64)
+    order = rng.permutation(n_samples)
+    return X[order], y[order]
+
+
+def make_blobs(
+    n_samples: int = 300,
+    n_features: int = 2,
+    centers: int = 3,
+    cluster_std: float = 0.5,
+    spread: float = 5.0,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs for clustering: returns (X, labels)."""
+    _check_sizes(n_samples, n_features)
+    if centers < 1:
+        raise ReproError("centers must be >= 1")
+    rng = np.random.default_rng(seed)
+    centroids = spread * rng.standard_normal((centers, n_features))
+    labels = rng.integers(0, centers, size=n_samples)
+    X = centroids[labels] + cluster_std * rng.standard_normal(
+        (n_samples, n_features)
+    )
+    return X, labels
+
+
+# ----------------------------------------------------------------------
+# Compression-oriented matrices
+# ----------------------------------------------------------------------
+def make_low_cardinality_matrix(
+    n_rows: int = 1000,
+    n_cols: int = 10,
+    cardinality: int = 10,
+    skew: float = 1.1,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Matrix whose columns draw from few distinct values with Zipf skew.
+
+    This is the regime where CLA's dictionary encodings (DDC) shine.
+    """
+    _check_sizes(n_rows, n_cols)
+    if cardinality < 1:
+        raise ReproError("cardinality must be >= 1")
+    rng = np.random.default_rng(seed)
+    out = np.empty((n_rows, n_cols))
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    probs = ranks ** (-skew)
+    probs /= probs.sum()
+    for j in range(n_cols):
+        values = np.sort(rng.standard_normal(cardinality) * 10.0)
+        out[:, j] = rng.choice(values, size=n_rows, p=probs)
+    return out
+
+
+def make_run_matrix(
+    n_rows: int = 1000,
+    n_cols: int = 10,
+    mean_run_length: int = 50,
+    cardinality: int = 5,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Matrix whose columns are long runs of repeated values (RLE regime)."""
+    _check_sizes(n_rows, n_cols)
+    if mean_run_length < 1:
+        raise ReproError("mean_run_length must be >= 1")
+    rng = np.random.default_rng(seed)
+    out = np.empty((n_rows, n_cols))
+    for j in range(n_cols):
+        values = rng.standard_normal(cardinality) * 10.0
+        row = 0
+        while row < n_rows:
+            run = 1 + rng.poisson(mean_run_length - 1)
+            value = values[rng.integers(cardinality)]
+            out[row : row + run, j] = value
+            row += run
+    return out
+
+
+def make_sparse_matrix(
+    n_rows: int = 1000,
+    n_cols: int = 10,
+    density: float = 0.05,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Dense array with the given fraction of nonzeros (OLE/sparse regime)."""
+    _check_sizes(n_rows, n_cols)
+    if not 0.0 <= density <= 1.0:
+        raise ReproError("density must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n_rows, n_cols)) < density
+    values = rng.standard_normal((n_rows, n_cols))
+    return np.where(mask, values, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Normalized (star-schema) datasets for factorized learning
+# ----------------------------------------------------------------------
+@dataclass
+class StarSchema:
+    """A two-table star schema: entity table S joined to attribute table R.
+
+    The materialized design matrix is ``[S, R[fk]]`` with shape
+    (n_s, d_s + d_r). ``tuple_ratio`` (n_s / n_r) and ``feature_ratio``
+    (d_r / d_s) are the statistics that govern when factorized execution
+    wins (Morpheus) and when the join can be skipped (Hamlet).
+    """
+
+    S: np.ndarray  # (n_s, d_s) entity-table features
+    fk: np.ndarray  # (n_s,) foreign keys into R
+    R: np.ndarray  # (n_r, d_r) attribute-table features
+    y: np.ndarray  # (n_s,) target
+
+    @property
+    def tuple_ratio(self) -> float:
+        return len(self.S) / len(self.R)
+
+    @property
+    def feature_ratio(self) -> float:
+        return self.R.shape[1] / max(self.S.shape[1], 1)
+
+    def materialize(self) -> np.ndarray:
+        """The denormalized design matrix [S, R[fk]]."""
+        return np.hstack([self.S, self.R[self.fk]])
+
+
+def make_star_schema(
+    n_s: int = 1000,
+    n_r: int = 100,
+    d_s: int = 5,
+    d_r: int = 20,
+    task: str = "regression",
+    noise: float = 0.1,
+    fk_importance: float = 1.0,
+    seed: int | None = 0,
+) -> StarSchema:
+    """Generate a two-table normalized dataset.
+
+    Args:
+        n_s / n_r: entity / attribute table row counts.
+        d_s / d_r: entity / attribute feature counts.
+        task: ``"regression"`` (continuous y) or ``"classification"``
+            (y in {0, 1} via a logistic model).
+        fk_importance: scales the true weights on R-side features; at 0
+            the foreign-key features carry no signal (the Hamlet regime
+            where avoiding the join is safe).
+    """
+    _check_sizes(n_s, d_s)
+    _check_sizes(n_r, d_r)
+    if task not in ("regression", "classification"):
+        raise ReproError(f"unknown task {task!r}")
+    rng = np.random.default_rng(seed)
+    S = rng.standard_normal((n_s, d_s))
+    R = rng.standard_normal((n_r, d_r))
+    fk = rng.integers(0, n_r, size=n_s)
+    w_s = rng.standard_normal(d_s)
+    w_r = fk_importance * rng.standard_normal(d_r)
+    signal = S @ w_s + R[fk] @ w_r
+    if task == "regression":
+        y = signal + noise * rng.standard_normal(n_s)
+    else:
+        p = 1.0 / (1.0 + np.exp(-signal))
+        y = (rng.random(n_s) < p).astype(np.int64)
+    return StarSchema(S=S, fk=fk, R=R, y=y)
+
+
+def make_multi_star_schema(
+    n_s: int,
+    dims: list[tuple[int, int]],
+    noise: float = 0.1,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, list[np.ndarray], list[np.ndarray], np.ndarray, int]:
+    """Star schema with several dimension tables.
+
+    Args:
+        dims: list of (n_r, d_r) per dimension table.
+
+    Returns:
+        (S, fks, Rs, y, d_s) where fks[i] indexes Rs[i].
+    """
+    rng = np.random.default_rng(seed)
+    d_s = 3
+    S = rng.standard_normal((n_s, d_s))
+    fks, Rs = [], []
+    signal = S @ rng.standard_normal(d_s)
+    for n_r, d_r in dims:
+        _check_sizes(n_r, d_r)
+        R = rng.standard_normal((n_r, d_r))
+        fk = rng.integers(0, n_r, size=n_s)
+        signal = signal + R[fk] @ rng.standard_normal(d_r)
+        fks.append(fk)
+        Rs.append(R)
+    y = signal + noise * rng.standard_normal(n_s)
+    return S, fks, Rs, y, d_s
+
+
+def make_categorical(
+    n_samples: int = 500,
+    n_features: int = 4,
+    cardinality: int = 5,
+    n_classes: int = 2,
+    signal: float = 2.0,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Categorical classification data (for Naive Bayes / one-hot paths).
+
+    Each class prefers different category values with strength ``signal``.
+    Returns (X of shape (n, k) object dtype, y int labels).
+    """
+    _check_sizes(n_samples, n_features)
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, n_classes, size=n_samples)
+    X = np.empty((n_samples, n_features), dtype=object)
+    for j in range(n_features):
+        # Per-class preference distribution over category values.
+        prefs = rng.random((n_classes, cardinality)) ** signal
+        prefs /= prefs.sum(axis=1, keepdims=True)
+        for c in range(n_classes):
+            rows = np.where(y == c)[0]
+            codes = rng.choice(cardinality, size=len(rows), p=prefs[c])
+            for r, code in zip(rows, codes):
+                X[r, j] = f"v{code}"
+    return X, y.astype(np.int64)
+
+
+def _check_sizes(n: int, d: int) -> None:
+    if n < 1 or d < 1:
+        raise ReproError(f"sizes must be positive, got n={n}, d={d}")

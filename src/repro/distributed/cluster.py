@@ -1,0 +1,127 @@
+"""A simulated data-parallel cluster with communication accounting.
+
+Workers hold disjoint row shards and answer gradient/loss requests; the
+cluster driver implements bulk-synchronous rounds (broadcast weights,
+gather partial gradients, average). There is no actual concurrency —
+the simulation's purpose is to measure the *communication volume* and
+*convergence per round* that distinguish distributed strategies, which
+are scheduling-independent quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..ml.losses import Loss
+from .partition import Partition, partition_rows
+
+BYTES_PER_FLOAT = 8
+
+
+@dataclass
+class CommStats:
+    """Cumulative communication ledger."""
+
+    rounds: int = 0
+    messages: int = 0
+    bytes_broadcast: int = 0  # driver -> workers
+    bytes_gathered: int = 0  # workers -> driver
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_broadcast + self.bytes_gathered
+
+
+class Worker:
+    """One worker: a shard of rows plus local compute."""
+
+    def __init__(self, worker_id: int, X: np.ndarray, y: np.ndarray):
+        self.worker_id = worker_id
+        self.X = X
+        self.y = y
+        self.gradient_evaluations = 0
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.y)
+
+    def gradient_sum(self, loss: Loss, w: np.ndarray) -> tuple[np.ndarray, int]:
+        """Sum (not mean) of example gradients, plus the example count."""
+        self.gradient_evaluations += 1
+        grad = loss.gradient(self.X, self.y, w) * self.num_rows
+        return grad, self.num_rows
+
+    def loss_sum(self, loss: Loss, w: np.ndarray) -> tuple[float, int]:
+        return loss.value(self.X, self.y, w) * self.num_rows, self.num_rows
+
+    def minibatch_gradient(
+        self, loss: Loss, w: np.ndarray, batch_size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Mean gradient on a random local mini-batch."""
+        self.gradient_evaluations += 1
+        take = min(batch_size, self.num_rows)
+        idx = rng.choice(self.num_rows, size=take, replace=False)
+        return loss.gradient(self.X[idx], self.y[idx], w)
+
+
+class SimulatedCluster:
+    """Workers plus a BSP driver."""
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        num_workers: int,
+        scheme: str = "random",
+        seed: int | None = 0,
+    ):
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) != len(y):
+            raise ReproError(f"X has {len(X)} rows but y has {len(y)}")
+        self.partitions: list[Partition] = partition_rows(
+            len(X), num_workers, scheme, seed
+        )
+        self.workers = [
+            Worker(p.worker_id, X[p.indices], y[p.indices])
+            for p in self.partitions
+        ]
+        self.dim = X.shape[1]
+        self.n_rows = len(X)
+        self.comm = CommStats()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def _account_round(self) -> None:
+        """One BSP round: broadcast w down, gather one vector per worker."""
+        self.comm.rounds += 1
+        self.comm.messages += 2 * self.num_workers
+        vector_bytes = self.dim * BYTES_PER_FLOAT
+        self.comm.bytes_broadcast += vector_bytes * self.num_workers
+        self.comm.bytes_gathered += vector_bytes * self.num_workers
+
+    def global_gradient(self, loss: Loss, w: np.ndarray) -> np.ndarray:
+        """Exact full-data mean gradient via one BSP round."""
+        self._account_round()
+        total = np.zeros(self.dim)
+        count = 0
+        for worker in self.workers:
+            grad, n = worker.gradient_sum(loss, w)
+            total += grad
+            count += n
+        return total / count
+
+    def global_loss(self, loss: Loss, w: np.ndarray) -> float:
+        self._account_round()
+        total = 0.0
+        count = 0
+        for worker in self.workers:
+            value, n = worker.loss_sum(loss, w)
+            total += value
+            count += n
+        return total / count

@@ -1,0 +1,113 @@
+"""Bulk-synchronous data-parallel GD and model averaging.
+
+The two classic distributed training strategies the tutorial contrasts:
+
+* **BSP gradient descent** — every round aggregates the exact global
+  gradient (one broadcast + one gather per round). Statistically
+  identical to single-node GD; all cost is communication rounds.
+* **One-shot model averaging** — each worker solves on its shard alone
+  and models are averaged once. One round of communication total, but
+  statistically weaker on non-IID shards — the trade-off experiment
+  E15 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError
+from ..ml.losses import Loss
+from ..ml.optim import gradient_descent
+from .cluster import BYTES_PER_FLOAT, CommStats, SimulatedCluster
+
+
+@dataclass
+class DistributedResult:
+    weights: np.ndarray
+    rounds: int
+    loss_history: list[float] = field(default_factory=list)
+    comm: CommStats = field(default_factory=CommStats)
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+
+def train_bsp_gd(
+    cluster: SimulatedCluster,
+    loss: Loss,
+    rounds: int = 50,
+    learning_rate: float = 0.5,
+    l2: float = 0.0,
+    tol: float = 0.0,
+) -> DistributedResult:
+    """Synchronous distributed gradient descent.
+
+    One communication round per iteration; the computed trajectory is
+    bit-identical to single-node fixed-step GD on the union of shards.
+    """
+    if rounds < 1:
+        raise ReproError("rounds must be >= 1")
+    w = np.zeros(cluster.dim)
+    history = [cluster.global_loss(loss, w)]
+    for _ in range(rounds):
+        grad = cluster.global_gradient(loss, w)
+        if l2 > 0:
+            grad = grad + l2 * w
+        w = w - learning_rate * grad
+        value = cluster.global_loss(loss, w)
+        if l2 > 0:
+            value += 0.5 * l2 * float(w @ w)
+        history.append(value)
+        if tol > 0 and abs(history[-2] - history[-1]) < tol * max(
+            abs(history[-2]), 1e-12
+        ):
+            break
+    return DistributedResult(
+        weights=w,
+        rounds=cluster.comm.rounds,
+        loss_history=history,
+        comm=cluster.comm,
+    )
+
+
+def train_model_averaging(
+    cluster: SimulatedCluster,
+    loss: Loss,
+    local_iterations: int = 200,
+    learning_rate: float = 0.5,
+    l2: float = 0.0,
+) -> DistributedResult:
+    """One-shot parameter mixing: solve locally, average once.
+
+    Communication: a single gather of one model per worker.
+    """
+    models = []
+    weights = []
+    for worker in cluster.workers:
+        result = gradient_descent(
+            loss,
+            worker.X,
+            worker.y,
+            l2=l2,
+            learning_rate=learning_rate,
+            max_iter=local_iterations,
+            warn_on_cap=False,
+        )
+        models.append(result.weights)
+        weights.append(worker.num_rows)
+    averaged = np.average(np.vstack(models), axis=0, weights=weights)
+
+    comm = cluster.comm
+    comm.rounds += 1
+    comm.messages += cluster.num_workers
+    comm.bytes_gathered += cluster.num_workers * cluster.dim * BYTES_PER_FLOAT
+    final = cluster.global_loss(loss, averaged)
+    return DistributedResult(
+        weights=averaged,
+        rounds=comm.rounds,
+        loss_history=[final],
+        comm=comm,
+    )

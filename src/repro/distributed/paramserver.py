@@ -1,0 +1,124 @@
+"""Parameter-server training with bounded staleness.
+
+The asynchronous alternative to BSP: workers pull (possibly stale)
+weights, compute mini-batch gradients locally, and push updates the
+server applies in arrival order. The simulation models staleness
+explicitly — each gradient is computed against the weights as of
+``current_version - s`` with s drawn uniformly from [0, max_staleness] —
+so experiment E15 can sweep staleness and watch convergence degrade, the
+parameter-server trade-off the tutorial discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError
+from ..ml.losses import Loss
+from .cluster import BYTES_PER_FLOAT, CommStats, SimulatedCluster
+
+
+@dataclass
+class ParameterServerResult:
+    weights: np.ndarray
+    updates_applied: int
+    loss_history: list[float] = field(default_factory=list)
+    staleness_observed: list[int] = field(default_factory=list)
+    comm: CommStats = field(default_factory=CommStats)
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+    @property
+    def mean_staleness(self) -> float:
+        if not self.staleness_observed:
+            return 0.0
+        return float(np.mean(self.staleness_observed))
+
+
+class ParameterServer:
+    """Versioned weight store with a bounded history for stale reads."""
+
+    def __init__(self, dim: int, history: int = 256):
+        self.dim = dim
+        self._versions: list[np.ndarray] = [np.zeros(dim)]
+        self._history = history
+
+    @property
+    def version(self) -> int:
+        return len(self._versions) - 1
+
+    @property
+    def current(self) -> np.ndarray:
+        return self._versions[-1]
+
+    def pull(self, staleness: int = 0) -> tuple[np.ndarray, int]:
+        """Weights as of ``version - staleness`` (clamped to history)."""
+        staleness = int(min(staleness, self.version, self._history - 1))
+        return self._versions[-(staleness + 1)], staleness
+
+    def push(self, delta: np.ndarray) -> None:
+        """Apply an additive update, creating a new version."""
+        new = self._versions[-1] + delta
+        self._versions.append(new)
+        if len(self._versions) > self._history:
+            self._versions.pop(0)
+
+
+def train_parameter_server(
+    cluster: SimulatedCluster,
+    loss: Loss,
+    total_updates: int = 500,
+    batch_size: int = 32,
+    learning_rate: float = 0.1,
+    decay: float = 0.001,
+    l2: float = 0.0,
+    max_staleness: int = 0,
+    loss_every: int = 50,
+    seed: int | None = 0,
+) -> ParameterServerResult:
+    """Asynchronous SGD through a parameter server.
+
+    ``max_staleness = 0`` reduces to fully-sequential (sequentially
+    consistent) SGD; larger values let workers act on increasingly stale
+    weights.
+    """
+    if total_updates < 1:
+        raise ReproError("total_updates must be >= 1")
+    if max_staleness < 0:
+        raise ReproError("max_staleness must be >= 0")
+    rng = np.random.default_rng(seed)
+    server = ParameterServer(cluster.dim, history=max(max_staleness + 2, 8))
+    result = ParameterServerResult(
+        weights=server.current.copy(), updates_applied=0, comm=cluster.comm
+    )
+    result.loss_history.append(cluster.global_loss(loss, server.current))
+
+    vector_bytes = cluster.dim * BYTES_PER_FLOAT
+    for step in range(1, total_updates + 1):
+        worker = cluster.workers[int(rng.integers(cluster.num_workers))]
+        requested = int(rng.integers(0, max_staleness + 1)) if max_staleness else 0
+        weights, actual = server.pull(requested)
+        grad = worker.minibatch_gradient(loss, weights, batch_size, rng)
+        if l2 > 0:
+            grad = grad + l2 * weights
+        lr = learning_rate / (1.0 + decay * step)
+        server.push(-lr * grad)
+
+        result.staleness_observed.append(actual)
+        result.updates_applied += 1
+        cluster.comm.messages += 2  # pull + push
+        cluster.comm.bytes_broadcast += vector_bytes
+        cluster.comm.bytes_gathered += vector_bytes
+        if step % loss_every == 0:
+            result.loss_history.append(
+                cluster.global_loss(loss, server.current)
+            )
+
+    result.weights = server.current.copy()
+    if (total_updates % loss_every) != 0:
+        result.loss_history.append(cluster.global_loss(loss, server.current))
+    return result

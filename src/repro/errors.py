@@ -1,0 +1,60 @@
+"""Exception hierarchy shared across all repro subsystems.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch the whole family with one handler while still being able
+to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or an operation violates the schema."""
+
+
+class StorageError(ReproError):
+    """A storage-level operation (scan, join, group-by, I/O) failed."""
+
+
+class CompilerError(ReproError):
+    """A linear-algebra program could not be compiled."""
+
+
+class ShapeError(CompilerError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class ExecutionError(ReproError):
+    """Plan execution failed at runtime."""
+
+
+class CompressionError(ReproError):
+    """Compressed-matrix construction or a compressed kernel failed."""
+
+
+class FactorizationError(ReproError):
+    """Normalized-matrix construction or a factorized rewrite failed."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver hit its iteration cap before converging."""
+
+
+class ModelError(ReproError):
+    """An ML estimator was misused (e.g. predict before fit)."""
+
+
+class NotFittedError(ModelError):
+    """Estimator method requiring a fitted model was called before fit."""
+
+
+class SelectionError(ReproError):
+    """Model-selection search was configured inconsistently."""
+
+
+class LifecycleError(ReproError):
+    """Model-registry or experiment-tracking operation failed."""

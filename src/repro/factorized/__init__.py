@@ -1,0 +1,37 @@
+"""Learning over normalized data: factorized ML.
+
+* :class:`NormalizedMatrix` — Morpheus-style factorized linear algebra
+  over a star schema (matvec / rmatvec / Gram without the join);
+* :class:`FactorizedLinearRegression` / :class:`FactorizedLogisticRegression`
+  — Orion-style join-free GLM training;
+* :mod:`.hamlet` — schema-statistics rules for when to skip the join
+  entirely.
+"""
+
+from .hamlet import (
+    DEFAULT_TUPLE_RATIO_THRESHOLD,
+    AvoidanceReport,
+    JoinDecision,
+    decide_joins,
+    evaluate_join_avoidance,
+    risk_bound,
+    tuple_ratio_rule,
+)
+from .kmeans import FactorizedKMeansResult, factorized_kmeans
+from .normalized import NormalizedMatrix
+from .orion import FactorizedLinearRegression, FactorizedLogisticRegression
+
+__all__ = [
+    "DEFAULT_TUPLE_RATIO_THRESHOLD",
+    "AvoidanceReport",
+    "FactorizedKMeansResult",
+    "FactorizedLinearRegression",
+    "FactorizedLogisticRegression",
+    "JoinDecision",
+    "NormalizedMatrix",
+    "decide_joins",
+    "factorized_kmeans",
+    "evaluate_join_avoidance",
+    "risk_bound",
+    "tuple_ratio_rule",
+]

@@ -1,0 +1,100 @@
+"""Factorized k-means over normalized data (a Morpheus application).
+
+Every piece of Lloyd's algorithm reduces to the NormalizedMatrix
+kernels, so clustering never materializes the join either:
+
+* distances need ``sq_rowsums(X)`` and ``X @ C.T``  (gathered per block);
+* the centroid update is ``X.T @ M / counts`` with M the one-hot
+  assignment matrix (grouped scatter-adds per block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FactorizationError
+from .normalized import NormalizedMatrix
+
+
+@dataclass
+class FactorizedKMeansResult:
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    inertia_history: list[float] = field(default_factory=list)
+
+
+def factorized_kmeans(
+    X: NormalizedMatrix,
+    n_clusters: int,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+    seed: int | None = 0,
+) -> FactorizedKMeansResult:
+    """Lloyd's algorithm executed entirely on the normalized matrix."""
+    if not isinstance(X, NormalizedMatrix):
+        raise FactorizationError(
+            f"expected a NormalizedMatrix, got {type(X).__name__}"
+        )
+    n, d = X.shape
+    if not 1 <= n_clusters <= n:
+        raise FactorizationError(
+            f"n_clusters must be in [1, {n}], got {n_clusters}"
+        )
+
+    rng = np.random.default_rng(seed)
+    # Seed centroids from materialized sample rows (k rows only).
+    seed_rows = rng.choice(n, size=n_clusters, replace=False)
+    centers = _gather_rows(X, seed_rows)
+
+    x_sq = X.sq_rowsums()  # constant across iterations
+    labels = np.zeros(n, dtype=np.int64)
+    history: list[float] = []
+    it = 0
+    for it in range(1, max_iter + 1):
+        labels, d2 = _assign(X, x_sq, centers)
+        history.append(float(d2.sum()))
+
+        onehot = np.zeros((n, n_clusters))
+        onehot[np.arange(n), labels] = 1.0
+        counts = onehot.sum(axis=0)
+        sums = X.rmatmat(onehot)  # (d, k) without the join
+        new_centers = centers.copy()
+        nonempty = counts > 0
+        new_centers[nonempty] = (sums[:, nonempty] / counts[nonempty]).T
+        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+        centers = new_centers
+        if shift <= tol:
+            break
+
+    labels, d2 = _assign(X, x_sq, centers)
+    return FactorizedKMeansResult(
+        centers=centers,
+        labels=labels,
+        inertia=float(d2.sum()),
+        iterations=it,
+        inertia_history=history,
+    )
+
+
+def _assign(
+    X: NormalizedMatrix, x_sq: np.ndarray, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    cross = X.matmat(centers.T)  # (n, k) via factorized matmat
+    c_sq = np.einsum("ij,ij->i", centers, centers)
+    d2 = np.maximum(x_sq[:, None] - 2.0 * cross + c_sq, 0.0)
+    labels = np.argmin(d2, axis=1)
+    return labels, d2[np.arange(len(labels)), labels]
+
+
+def _gather_rows(X: NormalizedMatrix, rows: np.ndarray) -> np.ndarray:
+    """Materialize just the requested logical rows (for seeding)."""
+    parts = []
+    if X.S is not None:
+        parts.append(X.S[rows])
+    for fk, R in zip(X.fks, X.Rs):
+        parts.append(R[fk[rows]])
+    return np.hstack(parts)

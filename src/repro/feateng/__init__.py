@@ -1,0 +1,33 @@
+"""Feature-engineering management: Columbus-style subset exploration and
+provenance-tracking transformation pipelines."""
+
+from .columbus import FeatureSubsetExplorer, SubsetFit, solve_subset_naive
+from .drift import ColumnDrift, DriftReport, detect_drift
+from .pipeline import Pipeline, Provenance, ProvenanceRecord
+from .profiling import (
+    ColumnProfile,
+    detect_outliers,
+    profile_column,
+    profile_table,
+    training_data_report,
+)
+from .transform import TableEncoder, TransformSpec
+
+__all__ = [
+    "ColumnDrift",
+    "ColumnProfile",
+    "DriftReport",
+    "FeatureSubsetExplorer",
+    "Pipeline",
+    "Provenance",
+    "ProvenanceRecord",
+    "SubsetFit",
+    "TableEncoder",
+    "TransformSpec",
+    "detect_drift",
+    "detect_outliers",
+    "profile_column",
+    "profile_table",
+    "solve_subset_naive",
+    "training_data_report",
+]

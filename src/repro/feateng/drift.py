@@ -1,0 +1,140 @@
+"""Training/serving drift detection.
+
+Models degrade silently when serving data drifts from training data.
+This module compares two tables column-by-column — histogram distance
+for numeric columns, category-frequency distance for strings, missing
+rates for both — and produces a report with per-column drift scores in
+[0, 1], flagged against a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..storage.schema import ColumnType
+from ..storage.table import Table
+
+DEFAULT_THRESHOLD = 0.2
+_BUCKETS = 20
+
+
+@dataclass
+class ColumnDrift:
+    """Drift assessment for one column."""
+
+    name: str
+    score: float  # total-variation-style distance in [0, 1]
+    drifted: bool
+    detail: str
+
+
+@dataclass
+class DriftReport:
+    """Per-column drift plus summary helpers."""
+
+    columns: list[ColumnDrift] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def drifted_columns(self) -> list[str]:
+        return [c.name for c in self.columns if c.drifted]
+
+    @property
+    def any_drift(self) -> bool:
+        return bool(self.drifted_columns)
+
+    def describe(self) -> str:
+        lines = []
+        for c in sorted(self.columns, key=lambda c: -c.score):
+            flag = "  DRIFT" if c.drifted else ""
+            lines.append(f"{c.name:<20} score={c.score:.3f}  {c.detail}{flag}")
+        return "\n".join(lines)
+
+
+def detect_drift(
+    train: Table,
+    serve: Table,
+    columns: list[str] | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> DriftReport:
+    """Compare serving data against training data, column by column.
+
+    Numeric columns: total-variation distance between histograms built
+    on the union range. String columns: half the L1 distance between
+    category frequency vectors (categories absent on one side count
+    fully). Missing-rate changes add to the score.
+    """
+    if columns is None:
+        columns = [n for n in train.schema.names if n in serve.schema]
+    report = DriftReport(threshold=threshold)
+    for name in columns:
+        if name not in train.schema or name not in serve.schema:
+            raise SchemaError(f"column {name!r} missing from one table")
+        ctype = train.schema.type_of(name)
+        if ctype in (ColumnType.INT, ColumnType.FLOAT, ColumnType.BOOL):
+            drift = _numeric_drift(
+                train.column(name).astype(np.float64),
+                serve.column(name).astype(np.float64),
+                name,
+            )
+        else:
+            drift = _categorical_drift(
+                train.column(name), serve.column(name), name
+            )
+        drift.drifted = drift.score > threshold
+        report.columns.append(drift)
+    return report
+
+
+def _numeric_drift(a: np.ndarray, b: np.ndarray, name: str) -> ColumnDrift:
+    a_ok = a[np.isfinite(a)]
+    b_ok = b[np.isfinite(b)]
+    missing_gap = abs(
+        (1 - len(a_ok) / max(len(a), 1)) - (1 - len(b_ok) / max(len(b), 1))
+    )
+    if len(a_ok) == 0 or len(b_ok) == 0:
+        return ColumnDrift(name, 1.0, True, "one side entirely missing")
+    lo = min(a_ok.min(), b_ok.min())
+    hi = max(a_ok.max(), b_ok.max())
+    if lo == hi:
+        distance = 0.0
+    else:
+        edges = np.linspace(lo, hi, _BUCKETS + 1)
+        pa, _ = np.histogram(a_ok, bins=edges)
+        pb, _ = np.histogram(b_ok, bins=edges)
+        pa = pa / pa.sum()
+        pb = pb / pb.sum()
+        distance = 0.5 * float(np.abs(pa - pb).sum())
+    score = min(1.0, distance + missing_gap)
+    detail = (
+        f"train mean {a_ok.mean():.3g} vs serve mean {b_ok.mean():.3g}"
+    )
+    return ColumnDrift(name, score, False, detail)
+
+
+def _categorical_drift(a: np.ndarray, b: np.ndarray, name: str) -> ColumnDrift:
+    def frequencies(values: np.ndarray) -> dict:
+        present = [v for v in values.tolist() if v is not None]
+        if not present:
+            return {}
+        out: dict = {}
+        for v in present:
+            out[v] = out.get(v, 0) + 1
+        total = len(present)
+        return {k: c / total for k, c in out.items()}
+
+    fa = frequencies(a)
+    fb = frequencies(b)
+    if not fa or not fb:
+        return ColumnDrift(name, 1.0, True, "one side entirely missing")
+    keys = set(fa) | set(fb)
+    distance = 0.5 * sum(abs(fa.get(k, 0.0) - fb.get(k, 0.0)) for k in keys)
+    new_categories = sorted(set(fb) - set(fa))
+    detail = (
+        f"{len(keys)} categories"
+        + (f", new at serving: {new_categories[:3]}" if new_categories else "")
+    )
+    return ColumnDrift(name, float(distance), False, detail)

@@ -1,0 +1,169 @@
+"""Transformation pipelines with provenance.
+
+A :class:`Pipeline` chains named fit/transform steps (optionally ending
+in an estimator) and records a :class:`ProvenanceRecord` per step at fit
+time — what ran, in what order, over data of what shape — the minimal
+lineage the tutorial's lifecycle discussion calls for so a model's
+training features are reconstructible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from ..ml.base import Estimator
+
+
+@dataclass
+class ProvenanceRecord:
+    """Lineage entry for one fitted pipeline step."""
+
+    step: str
+    transform: str
+    params: dict[str, Any]
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+
+
+@dataclass
+class Provenance:
+    """Ordered lineage of an entire pipeline fit."""
+
+    records: list[ProvenanceRecord] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = []
+        for r in self.records:
+            lines.append(
+                f"{r.step}: {r.transform}{r.params} "
+                f"{r.input_shape} -> {r.output_shape}"
+            )
+        return "\n".join(lines)
+
+
+class Pipeline(Estimator):
+    """A chain of (name, transformer) steps, optionally ending in a model.
+
+    Transformers expose fit/transform; the final step may instead expose
+    fit/predict (an estimator), in which case the pipeline itself
+    predicts and scores.
+    """
+
+    def __init__(self, steps: list[tuple[str, Any]]):
+        if not steps:
+            raise ModelError("pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate step names in {names}")
+        self.steps = steps
+
+    @property
+    def _final(self) -> Any:
+        return self.steps[-1][1]
+
+    @property
+    def _has_estimator(self) -> bool:
+        last = self._final
+        return hasattr(last, "predict") and not hasattr(last, "transform")
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "Pipeline":
+        provenance = Provenance()
+        data = X
+        transform_steps = (
+            self.steps[:-1] if self._has_estimator else self.steps
+        )
+        for name, step in transform_steps:
+            in_shape = np.asarray(data).shape
+            data = step.fit_transform(data, y) if hasattr(
+                step, "fit_transform"
+            ) else step.fit(data, y).transform(data)
+            provenance.records.append(
+                ProvenanceRecord(
+                    step=name,
+                    transform=type(step).__name__,
+                    params=_params_of(step),
+                    input_shape=in_shape,
+                    output_shape=np.asarray(data).shape,
+                )
+            )
+        if self._has_estimator:
+            name, model = self.steps[-1]
+            in_shape = np.asarray(data).shape
+            model.fit(data, y)
+            provenance.records.append(
+                ProvenanceRecord(
+                    step=name,
+                    transform=type(model).__name__,
+                    params=_params_of(model),
+                    input_shape=in_shape,
+                    output_shape=(),
+                )
+            )
+        self.provenance_ = provenance
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        data = X
+        transform_steps = (
+            self.steps[:-1] if self._has_estimator else self.steps
+        )
+        for _, step in transform_steps:
+            data = step.transform(data)
+        return data
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        if self._has_estimator:
+            raise ModelError(
+                "pipeline ends in an estimator; use fit + predict"
+            )
+        return self.fit(X, y).transform(X)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        if not self._has_estimator:
+            raise ModelError("pipeline has no final estimator")
+        return self._final.predict(self.transform_features(X))
+
+    def transform_features(self, X: np.ndarray) -> np.ndarray:
+        """Apply all transformer steps (excluding the final estimator)."""
+        self._check_fitted()
+        data = X
+        for _, step in self.steps[:-1] if self._has_estimator else self.steps:
+            data = step.transform(data)
+        return data
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        self._check_fitted()
+        if not self._has_estimator:
+            raise ModelError("pipeline has no final estimator")
+        return self._final.score(self.transform_features(X), y)
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "provenance_"):
+            raise NotFittedError("pipeline must be fitted first")
+
+    def get_params(self) -> dict[str, Any]:
+        return {"steps": self.steps}
+
+    def clone(self) -> "Pipeline":
+        cloned = []
+        for name, step in self.steps:
+            if hasattr(step, "clone"):
+                cloned.append((name, step.clone()))
+            else:
+                cloned.append((name, type(step)(**_params_of(step))))
+        return Pipeline(cloned)
+
+
+def _params_of(step: Any) -> dict[str, Any]:
+    if hasattr(step, "get_params"):
+        try:
+            return dict(step.get_params())
+        except Exception:
+            return {}
+    return {}

@@ -1,0 +1,212 @@
+"""Declarative table-to-matrix feature transformation.
+
+The transform-encode step of in-database ML (SystemML's ``transform``,
+MADlib's encoding UDFs): a declarative :class:`TransformSpec` names what
+to do per column — impute, recode, dummy-code, bin, standardize,
+pass through — and a :class:`TableEncoder` fits the metadata on a
+training table and applies it consistently to any future table,
+producing a numeric design matrix plus the emitted feature names.
+
+>>> spec = TransformSpec(
+...     impute={"income": "mean"},
+...     dummycode=["city"],
+...     bin={"age": 4},
+...     standardize=["income"],
+... )
+>>> encoder = TableEncoder(spec).fit(train_table)
+>>> X = encoder.transform(test_table)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError, SchemaError
+from ..storage.table import Table
+
+
+@dataclass
+class TransformSpec:
+    """Per-column transformation declarations.
+
+    A column may appear in ``impute`` plus at most one encoding
+    (``recode`` / ``dummycode`` / ``bin`` / ``standardize`` /
+    ``passthrough``).
+    """
+
+    recode: Sequence[str] = ()
+    dummycode: Sequence[str] = ()
+    bin: dict[str, int] = field(default_factory=dict)
+    standardize: Sequence[str] = ()
+    passthrough: Sequence[str] = ()
+    impute: dict[str, Any] = field(default_factory=dict)
+
+    def encoded_columns(self) -> list[str]:
+        """Columns producing output features, in declaration order."""
+        return (
+            list(self.recode)
+            + list(self.dummycode)
+            + list(self.bin)
+            + list(self.standardize)
+            + list(self.passthrough)
+        )
+
+    def validate(self) -> None:
+        cols = self.encoded_columns()
+        duplicates = sorted({c for c in cols if cols.count(c) > 1})
+        if duplicates:
+            raise ModelError(
+                f"columns with multiple encodings: {duplicates}"
+            )
+        if not cols:
+            raise ModelError("transform spec encodes no columns")
+        for column, k in self.bin.items():
+            if k < 2:
+                raise ModelError(f"bin[{column!r}] must be >= 2, got {k}")
+
+
+class TableEncoder:
+    """Fits and applies a :class:`TransformSpec` to tables."""
+
+    def __init__(self, spec: TransformSpec, allow_unknown: bool = False):
+        spec.validate()
+        self.spec = spec
+        self.allow_unknown = allow_unknown
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table) -> "TableEncoder":
+        for column in set(self.spec.encoded_columns()) | set(self.spec.impute):
+            if column not in table.schema:
+                raise SchemaError(f"table has no column {column!r}")
+
+        self.impute_values_: dict[str, Any] = {}
+        for column, strategy in self.spec.impute.items():
+            self.impute_values_[column] = self._fit_impute(
+                table.column(column), strategy
+            )
+
+        work = self._impute(table)
+        self.categories_: dict[str, dict[Any, int]] = {}
+        for column in list(self.spec.recode) + list(self.spec.dummycode):
+            values = work.column(column)
+            cats = sorted(set(values.tolist()), key=repr)
+            self.categories_[column] = {v: i for i, v in enumerate(cats)}
+
+        self.bin_edges_: dict[str, np.ndarray] = {}
+        for column, k in self.spec.bin.items():
+            values = work.column(column).astype(np.float64)
+            lo, hi = float(values.min()), float(values.max())
+            self.bin_edges_[column] = np.linspace(lo, hi, k + 1)[1:-1]
+
+        self.moments_: dict[str, tuple[float, float]] = {}
+        for column in self.spec.standardize:
+            values = work.column(column).astype(np.float64)
+            mean = float(values.mean())
+            std = float(values.std()) or 1.0
+            self.moments_[column] = (mean, std)
+
+        self.feature_names_ = self._feature_names()
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        self._check_fitted()
+        work = self._impute(table)
+        blocks: list[np.ndarray] = []
+        for column in self.spec.recode:
+            blocks.append(self._recode(work, column).reshape(-1, 1))
+        for column in self.spec.dummycode:
+            codes = self._recode(work, column)
+            width = len(self.categories_[column])
+            block = np.zeros((len(work), width))
+            valid = codes >= 0
+            block[np.nonzero(valid)[0], codes[valid].astype(int)] = 1.0
+            blocks.append(block)
+        for column in self.spec.bin:
+            values = work.column(column).astype(np.float64)
+            codes = np.searchsorted(
+                self.bin_edges_[column], values, side="right"
+            )
+            blocks.append(codes.astype(np.float64).reshape(-1, 1))
+        for column in self.spec.standardize:
+            mean, std = self.moments_[column]
+            values = work.column(column).astype(np.float64)
+            blocks.append(((values - mean) / std).reshape(-1, 1))
+        for column in self.spec.passthrough:
+            blocks.append(
+                work.column(column).astype(np.float64).reshape(-1, 1)
+            )
+        return np.hstack(blocks) if blocks else np.empty((len(table), 0))
+
+    def fit_transform(self, table: Table) -> np.ndarray:
+        return self.fit(table).transform(table)
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "feature_names_"):
+            raise NotFittedError("TableEncoder must be fitted first")
+
+    def _feature_names(self) -> list[str]:
+        names: list[str] = []
+        names.extend(f"{c}_code" for c in self.spec.recode)
+        for column in self.spec.dummycode:
+            inverse = sorted(
+                self.categories_[column], key=self.categories_[column].get
+            )
+            names.extend(f"{column}={v}" for v in inverse)
+        names.extend(f"{c}_bin" for c in self.spec.bin)
+        names.extend(f"{c}_z" for c in self.spec.standardize)
+        names.extend(self.spec.passthrough)
+        return names
+
+    def _fit_impute(self, values: np.ndarray, strategy: Any) -> Any:
+        present = _present_mask(values)
+        observed = values[present]
+        if strategy == "mean":
+            return float(observed.astype(np.float64).mean())
+        if strategy == "median":
+            return float(np.median(observed.astype(np.float64)))
+        if strategy == "mode":
+            uniques, counts = np.unique(observed.astype(str), return_counts=True)
+            winner = uniques[int(np.argmax(counts))]
+            # Preserve the original value object where possible.
+            for v in observed:
+                if str(v) == winner:
+                    return v
+            return winner
+        # Any other value is a constant fill.
+        return strategy
+
+    def _impute(self, table: Table) -> Table:
+        for column, fill in getattr(self, "impute_values_", {}).items():
+            values = table.column(column)
+            missing = ~_present_mask(values)
+            if missing.any():
+                filled = values.astype(object).copy() if values.dtype == object else values.astype(np.float64).copy()
+                filled[missing] = fill
+                table = table.with_column(column, filled)
+        return table
+
+    def _recode(self, table: Table, column: str) -> np.ndarray:
+        mapping = self.categories_[column]
+        codes = np.empty(len(table), dtype=np.float64)
+        for i, value in enumerate(table.column(column)):
+            code = mapping.get(value)
+            if code is None:
+                if not self.allow_unknown:
+                    raise ModelError(
+                        f"unknown category {value!r} in column {column!r}"
+                    )
+                code = -1
+            codes[i] = code
+        return codes
+
+
+def _present_mask(values: np.ndarray) -> np.ndarray:
+    if values.dtype.kind == "f":
+        return ~np.isnan(values)
+    if values.dtype == object:
+        return np.array([v is not None for v in values], dtype=bool)
+    return np.ones(len(values), dtype=bool)

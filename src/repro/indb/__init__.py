@@ -1,0 +1,57 @@
+"""In-RDBMS machine learning (MADlib / Bismarck).
+
+Training runs *inside* the relational substrate via user-defined
+aggregates: IGD/BGD for GLMs (:mod:`.gradient`), one-scan normal
+equations and high-level estimators (:mod:`.glm`), and Naive Bayes as
+pure GROUP BY aggregation (:mod:`.naive_bayes_sql`).
+"""
+
+from .glm import (
+    InDBLinearRegression,
+    InDBLogisticRegression,
+    train_linear_svm_indb,
+    train_linreg_igd_indb,
+)
+from .gradient import (
+    SHUFFLE_POLICIES,
+    IGDResult,
+    IGDState,
+    IGDTransition,
+    train_bgd,
+    train_igd,
+)
+from .kmeans_uda import (
+    InDBKMeansResult,
+    KMeansAssignUDA,
+    assign_clusters_indb,
+    train_kmeans_indb,
+)
+from .naive_bayes_sql import SQLNaiveBayes
+from .scoring import linear_expression, score_linear_model, score_probability
+from .uda import UDA, CovarianceUDA, GramUDA, SumCountUDA, run_uda
+
+__all__ = [
+    "SHUFFLE_POLICIES",
+    "UDA",
+    "CovarianceUDA",
+    "GramUDA",
+    "IGDResult",
+    "IGDState",
+    "IGDTransition",
+    "InDBKMeansResult",
+    "InDBLinearRegression",
+    "InDBLogisticRegression",
+    "KMeansAssignUDA",
+    "SQLNaiveBayes",
+    "assign_clusters_indb",
+    "SumCountUDA",
+    "linear_expression",
+    "run_uda",
+    "score_linear_model",
+    "score_probability",
+    "train_bgd",
+    "train_igd",
+    "train_kmeans_indb",
+    "train_linear_svm_indb",
+    "train_linreg_igd_indb",
+]

@@ -1,0 +1,228 @@
+"""Incremental gradient descent as a user-defined aggregate (Bismarck).
+
+One epoch of IGD is one aggregation pass: the transition function applies
+a pointwise gradient step per tuple, and parallel partitions merge by
+model averaging. Epochs repeat the pass; the shuffle policy controls the
+row order the engine feeds the aggregate — Bismarck's key performance
+finding is that *shuffling once* before training nearly matches per-epoch
+reshuffling at a fraction of the cost, while *no* shuffling on clustered
+data hurts convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError, StorageError
+from ..ml.losses import Loss
+from ..storage.table import Table
+from .uda import UDA, run_uda
+
+SHUFFLE_POLICIES = ("none", "once", "each")
+
+
+@dataclass
+class IGDState:
+    """Running model state inside the aggregate."""
+
+    weights: np.ndarray
+    examples: int = 0
+
+
+class IGDTransition(UDA[IGDState, np.ndarray]):
+    """One IGD epoch as a UDA.
+
+    The last selected column is the label; the rest are features. The
+    step size is fixed for the epoch (the trainer decays it across
+    epochs).
+    """
+
+    def __init__(self, loss: Loss, dim: int, learning_rate: float, l2: float,
+                 initial: np.ndarray | None = None):
+        self.loss = loss
+        self.dim = dim
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.initial = initial
+
+    def initialize(self) -> IGDState:
+        start = (
+            self.initial.copy() if self.initial is not None else np.zeros(self.dim)
+        )
+        return IGDState(weights=start)
+
+    def transition(self, state: IGDState, row: np.ndarray) -> IGDState:
+        x, y = row[:-1], row[-1]
+        grad = self.loss.pointwise_gradient(x, y, state.weights)
+        if self.l2 > 0:
+            grad = grad + self.l2 * state.weights
+        state.weights -= self.learning_rate * grad
+        state.examples += 1
+        return state
+
+    def merge(self, left: IGDState, right: IGDState) -> IGDState:
+        # Bismarck-style model averaging, weighted by examples seen.
+        total = left.examples + right.examples
+        if total == 0:
+            return left
+        weights = (
+            left.weights * left.examples + right.weights * right.examples
+        ) / total
+        return IGDState(weights=weights, examples=total)
+
+    def finalize(self, state: IGDState) -> np.ndarray:
+        return state.weights
+
+
+@dataclass
+class IGDResult:
+    """Outcome of in-database IGD training."""
+
+    weights: np.ndarray
+    epochs: int
+    loss_history: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+
+def train_igd(
+    table: Table,
+    feature_columns: Sequence[str],
+    label_column: str,
+    loss: Loss,
+    epochs: int = 10,
+    learning_rate: float = 0.1,
+    decay: float = 0.5,
+    l2: float = 0.0,
+    shuffle: str = "once",
+    partitions: int = 1,
+    add_intercept: bool = True,
+    seed: int | None = 0,
+) -> IGDResult:
+    """Train a GLM over a table with epoch-per-aggregation IGD.
+
+    Args:
+        shuffle: ``"none"`` (physical row order — worst case on clustered
+            data), ``"once"`` (shuffle before epoch 1 and keep that
+            order), or ``"each"`` (reshuffle every epoch).
+        decay: per-epoch step decay, lr_t = lr / (1 + decay * t).
+        partitions: simulated parallel workers (merged by averaging).
+    """
+    if shuffle not in SHUFFLE_POLICIES:
+        raise ModelError(
+            f"shuffle must be one of {SHUFFLE_POLICIES}, got {shuffle!r}"
+        )
+    if not feature_columns:
+        raise ModelError("need at least one feature column")
+
+    work = table
+    intercept_col = None
+    if add_intercept:
+        intercept_col = _fresh_name(table, "intercept")
+        work = table.with_column(intercept_col, np.ones(table.num_rows))
+        feature_columns = [intercept_col, *feature_columns]
+    columns = [*feature_columns, label_column]
+    dim = len(feature_columns)
+
+    data = work.to_matrix(columns)
+    X_full, y_full = data[:, :-1], data[:, -1]
+    loss_of = lambda w: loss.value(X_full, y_full, w) + (
+        0.5 * l2 * float(w @ w) if l2 > 0 else 0.0
+    )
+
+    rng = np.random.default_rng(seed)
+    n = work.num_rows
+    order = rng.permutation(n) if shuffle in ("once", "each") else None
+
+    weights = np.zeros(dim)
+    history = [loss_of(weights)]
+    for epoch in range(epochs):
+        if shuffle == "each" and epoch > 0:
+            order = rng.permutation(n)
+        lr = learning_rate / (1.0 + decay * epoch)
+        uda = IGDTransition(loss, dim, lr, l2, initial=weights)
+        weights = run_uda(
+            work, uda, columns, partitions=partitions, row_order=order
+        )
+        history.append(loss_of(weights))
+    return IGDResult(weights=weights, epochs=epochs, loss_history=history)
+
+
+def train_bgd(
+    table: Table,
+    feature_columns: Sequence[str],
+    label_column: str,
+    loss: Loss,
+    iterations: int = 50,
+    learning_rate: float = 0.5,
+    l2: float = 0.0,
+    partitions: int = 1,
+    add_intercept: bool = True,
+) -> IGDResult:
+    """Batch gradient descent: one aggregation pass per iteration.
+
+    The aggregate accumulates the full-data gradient (transition adds
+    per-tuple contributions, merge adds partials) and the driver applies
+    one step between passes — the MADlib convex-optimization pattern.
+    """
+    if not feature_columns:
+        raise ModelError("need at least one feature column")
+    work = table
+    if add_intercept:
+        name = _fresh_name(table, "intercept")
+        work = table.with_column(name, np.ones(table.num_rows))
+        feature_columns = [name, *feature_columns]
+    columns = [*feature_columns, label_column]
+    dim = len(feature_columns)
+
+    data = work.to_matrix(columns)
+    X_full, y_full = data[:, :-1], data[:, -1]
+
+    weights = np.zeros(dim)
+    history = [loss.value(X_full, y_full, weights)]
+
+    class GradientUDA(UDA):
+        def __init__(self, w: np.ndarray):
+            self.w = w
+
+        def initialize(self):
+            return (np.zeros(dim), 0)
+
+        def transition(self, state, row):
+            grad, count = state
+            x, y = row[:-1], row[-1]
+            return (grad + loss.pointwise_gradient(x, y, self.w), count + 1)
+
+        def merge(self, left, right):
+            return (left[0] + right[0], left[1] + right[1])
+
+        def finalize(self, state):
+            grad, count = state
+            if count == 0:
+                raise StorageError("gradient over an empty table")
+            return grad / count
+
+    for _ in range(iterations):
+        grad = run_uda(work, GradientUDA(weights), columns, partitions)
+        if l2 > 0:
+            grad = grad + l2 * weights
+        weights = weights - learning_rate * grad
+        value = loss.value(X_full, y_full, weights)
+        if l2 > 0:
+            value += 0.5 * l2 * float(weights @ weights)
+        history.append(value)
+    return IGDResult(weights=weights, epochs=iterations, loss_history=history)
+
+
+def _fresh_name(table: Table, base: str) -> str:
+    name = base
+    suffix = 0
+    while name in table.schema:
+        suffix += 1
+        name = f"{base}_{suffix}"
+    return name

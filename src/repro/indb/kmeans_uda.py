@@ -1,0 +1,133 @@
+"""K-means clustering inside the database (MADlib's kmeans pattern).
+
+Each Lloyd iteration is one aggregation pass: the transition function
+assigns a tuple to its nearest current centroid and accumulates
+per-centroid sums and counts; merge adds partial accumulators across
+partitions; finalize emits the new centroids. The driver repeats passes
+until centroids stabilize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..storage.table import Table
+from .uda import UDA, run_uda
+
+
+@dataclass
+class KMeansState:
+    sums: np.ndarray  # (k, d) per-centroid coordinate sums
+    counts: np.ndarray  # (k,) per-centroid member counts
+    inertia: float = 0.0
+
+
+class KMeansAssignUDA(UDA[KMeansState, KMeansState]):
+    """One assign-and-accumulate pass against fixed current centroids."""
+
+    def __init__(self, centroids: np.ndarray):
+        self.centroids = centroids
+
+    def initialize(self) -> KMeansState:
+        k, d = self.centroids.shape
+        return KMeansState(sums=np.zeros((k, d)), counts=np.zeros(k))
+
+    def transition(self, state: KMeansState, row: np.ndarray) -> KMeansState:
+        diffs = self.centroids - row
+        d2 = np.einsum("ij,ij->i", diffs, diffs)
+        nearest = int(np.argmin(d2))
+        state.sums[nearest] += row
+        state.counts[nearest] += 1
+        state.inertia += float(d2[nearest])
+        return state
+
+    def merge(self, left: KMeansState, right: KMeansState) -> KMeansState:
+        return KMeansState(
+            sums=left.sums + right.sums,
+            counts=left.counts + right.counts,
+            inertia=left.inertia + right.inertia,
+        )
+
+    def finalize(self, state: KMeansState) -> KMeansState:
+        return state
+
+
+@dataclass
+class InDBKMeansResult:
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+    inertia_history: list[float] = field(default_factory=list)
+
+
+def train_kmeans_indb(
+    table: Table,
+    feature_columns: Sequence[str],
+    n_clusters: int,
+    max_iter: int = 50,
+    tol: float = 1e-6,
+    partitions: int = 1,
+    seed: int | None = 0,
+) -> InDBKMeansResult:
+    """Lloyd's algorithm as repeated aggregation passes over a table."""
+    if not feature_columns:
+        raise ModelError("need at least one feature column")
+    if n_clusters < 1:
+        raise ModelError("n_clusters must be >= 1")
+    if table.num_rows < n_clusters:
+        raise ModelError(
+            f"need at least n_clusters={n_clusters} rows, got {table.num_rows}"
+        )
+
+    rng = np.random.default_rng(seed)
+    data = table.to_matrix(feature_columns)
+    centroids = data[
+        rng.choice(table.num_rows, size=n_clusters, replace=False)
+    ].copy()
+
+    history: list[float] = []
+    it = 0
+    for it in range(1, max_iter + 1):
+        state = run_uda(
+            table,
+            KMeansAssignUDA(centroids),
+            feature_columns,
+            partitions=partitions,
+        )
+        history.append(state.inertia)
+        new_centroids = centroids.copy()
+        for k in range(n_clusters):
+            if state.counts[k] > 0:
+                new_centroids[k] = state.sums[k] / state.counts[k]
+        shift = float(np.max(np.linalg.norm(new_centroids - centroids, axis=1)))
+        centroids = new_centroids
+        if shift <= tol:
+            break
+
+    final = run_uda(
+        table, KMeansAssignUDA(centroids), feature_columns, partitions=partitions
+    )
+    return InDBKMeansResult(
+        centroids=centroids,
+        inertia=final.inertia,
+        iterations=it,
+        inertia_history=history,
+    )
+
+
+def assign_clusters_indb(
+    table: Table,
+    feature_columns: Sequence[str],
+    centroids: np.ndarray,
+    output_column: str = "cluster",
+) -> Table:
+    """Score a table: append the nearest-centroid id per row."""
+    data = table.to_matrix(feature_columns)
+    x2 = np.sum(data * data, axis=1, keepdims=True)
+    c2 = np.sum(centroids * centroids, axis=1)
+    d2 = x2 - 2.0 * (data @ centroids.T) + c2
+    return table.with_column(output_column, np.argmin(d2, axis=1).astype(np.int64))

@@ -1,0 +1,100 @@
+"""Naive Bayes training by pure SQL-style aggregation.
+
+The categorical-NB sufficient statistics are just counts: class counts
+and per-(feature, value, class) counts — each obtainable with a GROUP BY
+over the training table. This module trains NB by issuing exactly those
+group-by queries against the relational substrate, demonstrating the
+"ML through the query layer" approach the tutorial covers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from ..storage.aggregates import agg
+from ..storage.operators import group_by
+from ..storage.table import Table
+
+
+class SQLNaiveBayes:
+    """Categorical Naive Bayes whose training is GROUP BY aggregation."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha <= 0:
+            raise ModelError("alpha must be positive")
+        self.alpha = alpha
+
+    def fit(
+        self, table: Table, feature_columns: Sequence[str], label_column: str
+    ) -> "SQLNaiveBayes":
+        if not feature_columns:
+            raise ModelError("need at least one feature column")
+        self.feature_columns_ = list(feature_columns)
+        self.label_column_ = label_column
+
+        # SELECT label, COUNT(*) FROM t GROUP BY label
+        class_counts = group_by(table, [label_column], [agg("count")])
+        self.classes_ = np.array(sorted(class_counts.column(label_column).tolist()))
+        counts = dict(
+            zip(class_counts.column(label_column), class_counts.column("count"))
+        )
+        self.class_count_ = np.array(
+            [counts[c] for c in self.classes_], dtype=np.float64
+        )
+        total = float(self.class_count_.sum())
+        self.class_log_prior_ = np.log(self.class_count_ / total)
+
+        # Per feature: SELECT label, feature, COUNT(*) GROUP BY label, feature
+        self.value_counts_: list[dict] = []
+        self.cardinality_ = []
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        for feature in feature_columns:
+            grouped = group_by(table, [label_column, feature], [agg("count")])
+            table_counts: dict = {}
+            values = set()
+            for label, value, count in zip(
+                grouped.column(label_column),
+                grouped.column(feature),
+                grouped.column("count"),
+            ):
+                table_counts[(class_index[label], value)] = float(count)
+                values.add(value)
+            self.value_counts_.append(table_counts)
+            self.cardinality_.append(len(values))
+        return self
+
+    def predict(self, table: Table, output_column: str = "prediction") -> Table:
+        """Table with the MAP class appended."""
+        jll = self._joint_log_likelihood(table)
+        labels = self.classes_[np.argmax(jll, axis=1)]
+        return table.with_column(output_column, labels)
+
+    def predict_labels(self, table: Table) -> np.ndarray:
+        return self.classes_[np.argmax(self._joint_log_likelihood(table), axis=1)]
+
+    def score(self, table: Table, label_column: str | None = None) -> float:
+        if not hasattr(self, "classes_"):
+            raise NotFittedError("fit must be called before predict/score")
+        label_column = label_column or self.label_column_
+        predicted = self.predict_labels(table)
+        return float(np.mean(predicted == table.column(label_column)))
+
+    def _joint_log_likelihood(self, table: Table) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise NotFittedError("fit must be called before predict/score")
+        n = table.num_rows
+        k = len(self.classes_)
+        out = np.tile(self.class_log_prior_, (n, 1))
+        for j, feature in enumerate(self.feature_columns_):
+            column = table.column(feature)
+            card = self.cardinality_[j]
+            denom = self.class_count_ + self.alpha * card
+            counts = self.value_counts_[j]
+            for row, value in enumerate(column):
+                for i in range(k):
+                    num = counts.get((i, value), 0.0) + self.alpha
+                    out[row, i] += np.log(num / denom[i])
+        return out

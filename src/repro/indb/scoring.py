@@ -1,0 +1,76 @@
+"""In-database model scoring: compile fitted models to engine expressions.
+
+Deployment half of in-RDBMS ML: a trained linear model becomes a plain
+column expression (``w0 + w1*x1 + ...``) the engine evaluates with its
+own vectorized operators — no model object needed at serving time, and
+the scoring 'query' can be composed with filters and joins like any
+other expression.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..ml.losses import sigmoid
+from ..storage.expressions import Expr, col, lit
+from ..storage.table import Table
+
+
+def linear_expression(
+    coef: np.ndarray, intercept: float, feature_columns: Sequence[str]
+) -> Expr:
+    """The affine score ``intercept + sum(coef_i * column_i)`` as an Expr."""
+    coef = np.asarray(coef, dtype=np.float64)
+    if len(coef) != len(feature_columns):
+        raise ModelError(
+            f"{len(coef)} coefficients for {len(feature_columns)} columns"
+        )
+    expr: Expr = lit(float(intercept))
+    for weight, name in zip(coef, feature_columns):
+        expr = expr + float(weight) * col(name)
+    return expr
+
+
+def score_linear_model(
+    table: Table,
+    model,
+    feature_columns: Sequence[str] | None = None,
+    output_column: str = "score",
+) -> Table:
+    """Append a fitted linear/logistic model's raw score as a column.
+
+    Works with any estimator exposing ``coef_`` and ``intercept_``
+    (LinearRegression, Ridge, LogisticRegression, LinearSVM, the in-DB
+    GLMs). For classifiers the appended value is the *margin*; use
+    :func:`score_probability` for calibrated probabilities.
+    """
+    if not hasattr(model, "coef_"):
+        raise ModelError("model must be fitted and expose coef_/intercept_")
+    columns = list(
+        feature_columns
+        if feature_columns is not None
+        else getattr(model, "feature_columns_", [])
+    )
+    if not columns:
+        raise ModelError(
+            "feature_columns required (model records none)"
+        )
+    expr = linear_expression(model.coef_, model.intercept_, columns)
+    return table.with_column(output_column, expr.evaluate(table))
+
+
+def score_probability(
+    table: Table,
+    model,
+    feature_columns: Sequence[str] | None = None,
+    output_column: str = "probability",
+) -> Table:
+    """Append sigmoid(margin): P(positive class) for logistic models."""
+    scored = score_linear_model(
+        table, model, feature_columns, output_column="_margin"
+    )
+    p = sigmoid(scored.column("_margin"))
+    return scored.drop(["_margin"]).with_column(output_column, p)

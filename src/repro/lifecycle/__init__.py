@@ -1,0 +1,17 @@
+"""ML lifecycle management: model registry, experiment tracking, and
+pickle-free model serialization."""
+
+from .registry import ModelRegistry, ModelVersion
+from .serialize import dumps_model, load_model, loads_model, save_model
+from .tracking import ExperimentTracker, Run
+
+__all__ = [
+    "ExperimentTracker",
+    "ModelRegistry",
+    "ModelVersion",
+    "Run",
+    "dumps_model",
+    "load_model",
+    "loads_model",
+    "save_model",
+]

@@ -1,0 +1,193 @@
+"""Model registry with versioning and lineage (ModelDB-lite).
+
+Registered models are immutable versioned entries carrying
+hyperparameters, metrics, tags, and an optional parent version — enough
+to answer the lifecycle questions the tutorial raises: which model is
+deployed, what produced it, and how did it evolve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import LifecycleError
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable registered version of a named model."""
+
+    name: str
+    version: int
+    model: Any
+    params: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+    parent_version: int | None = None
+    created_at: float = field(default_factory=time.time)
+
+    @property
+    def identifier(self) -> str:
+        return f"{self.name}:v{self.version}"
+
+
+class ModelRegistry:
+    """In-memory versioned model store."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, list[ModelVersion]] = {}
+        self._stage: dict[str, int] = {}  # name -> deployed version
+
+    def register(
+        self,
+        name: str,
+        model: Any,
+        params: dict[str, Any] | None = None,
+        metrics: dict[str, float] | None = None,
+        tags: tuple[str, ...] = (),
+        parent_version: int | None = None,
+    ) -> ModelVersion:
+        """Register a new version of ``name``; returns the version entry."""
+        versions = self._models.setdefault(name, [])
+        if parent_version is not None and not any(
+            v.version == parent_version for v in versions
+        ):
+            raise LifecycleError(
+                f"parent version v{parent_version} of {name!r} does not exist"
+            )
+        entry = ModelVersion(
+            name=name,
+            version=len(versions) + 1,
+            model=model,
+            params=dict(params or {}),
+            metrics=dict(metrics or {}),
+            tags=tuple(tags),
+            parent_version=parent_version,
+        )
+        versions.append(entry)
+        return entry
+
+    def get(self, name: str, version: int | None = None) -> ModelVersion:
+        """A specific version, or the latest when ``version`` is None."""
+        versions = self._models.get(name)
+        if not versions:
+            raise LifecycleError(f"no model named {name!r}")
+        if version is None:
+            return versions[-1]
+        for v in versions:
+            if v.version == version:
+                return v
+        raise LifecycleError(f"{name!r} has no version v{version}")
+
+    def versions(self, name: str) -> list[ModelVersion]:
+        if name not in self._models:
+            raise LifecycleError(f"no model named {name!r}")
+        return list(self._models[name])
+
+    def names(self) -> list[str]:
+        return sorted(self._models)
+
+    def lineage(self, name: str, version: int) -> list[ModelVersion]:
+        """The ancestor chain of a version, oldest first."""
+        chain: list[ModelVersion] = []
+        current: int | None = version
+        while current is not None:
+            entry = self.get(name, current)
+            chain.append(entry)
+            current = entry.parent_version
+        return list(reversed(chain))
+
+    def best(self, name: str, metric: str, higher_is_better: bool = True) -> ModelVersion:
+        """The version with the best recorded value of ``metric``."""
+        candidates = [v for v in self.versions(name) if metric in v.metrics]
+        if not candidates:
+            raise LifecycleError(
+                f"no version of {name!r} records metric {metric!r}"
+            )
+        key = lambda v: v.metrics[metric]
+        return max(candidates, key=key) if higher_is_better else min(candidates, key=key)
+
+    # -- deployment staging ------------------------------------------------
+    def deploy(self, name: str, version: int) -> None:
+        self.get(name, version)  # validates existence
+        self._stage[name] = version
+
+    def deployed(self, name: str) -> ModelVersion:
+        if name not in self._stage:
+            raise LifecycleError(f"no deployed version of {name!r}")
+        return self.get(name, self._stage[name])
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the registry to a JSON file.
+
+        Models of serializable estimator classes are embedded (see
+        :mod:`repro.lifecycle.serialize`); other model objects are stored
+        as ``null`` with their metadata intact.
+        """
+        import json
+        from pathlib import Path
+
+        from .serialize import dumps_model
+
+        entries = []
+        for name in self.names():
+            for v in self.versions(name):
+                try:
+                    model_json = dumps_model(v.model)
+                except LifecycleError:
+                    model_json = None
+                entries.append(
+                    {
+                        "name": v.name,
+                        "version": v.version,
+                        "model": model_json,
+                        "params": v.params,
+                        "metrics": v.metrics,
+                        "tags": list(v.tags),
+                        "parent_version": v.parent_version,
+                        "created_at": v.created_at,
+                    }
+                )
+        payload = {"versions": entries, "deployed": dict(self._stage)}
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path) -> "ModelRegistry":
+        """Restore a registry saved with :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        from .serialize import loads_model
+
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LifecycleError(f"cannot load registry: {exc}") from exc
+        registry = cls()
+        entries = sorted(
+            payload.get("versions", []), key=lambda e: (e["name"], e["version"])
+        )
+        for entry in entries:
+            model = (
+                loads_model(entry["model"])
+                if entry["model"] is not None
+                else None
+            )
+            version = ModelVersion(
+                name=entry["name"],
+                version=entry["version"],
+                model=model,
+                params=entry["params"],
+                metrics=entry["metrics"],
+                tags=tuple(entry["tags"]),
+                parent_version=entry["parent_version"],
+                created_at=entry["created_at"],
+            )
+            registry._models.setdefault(entry["name"], []).append(version)
+        registry._stage = {
+            name: int(v) for name, v in payload.get("deployed", {}).items()
+        }
+        return registry

@@ -1,0 +1,197 @@
+"""Safe, pickle-free model serialization.
+
+Models are stored as JSON: the estimator class (validated against a
+registry of known classes — loading never imports or executes arbitrary
+code), its hyperparameters, and its fitted state (trailing-underscore
+attributes). Numpy arrays are embedded as base64 with dtype/shape so the
+round trip is bit-exact.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..errors import LifecycleError
+
+FORMAT_VERSION = 1
+
+
+def _known_classes() -> dict[str, type]:
+    """Estimator classes eligible for (de)serialization."""
+    from ..ml import (
+        PCA,
+        DecisionTreeClassifier,
+        DecisionTreeRegressor,
+        GaussianNB,
+        KBinsDiscretizer,
+        KMeans,
+        LinearRegression,
+        LinearSVM,
+        LogisticRegression,
+        MinMaxScaler,
+        Ridge,
+        StandardScaler,
+    )
+
+    classes = [
+        PCA,
+        DecisionTreeClassifier,
+        DecisionTreeRegressor,
+        GaussianNB,
+        KBinsDiscretizer,
+        KMeans,
+        LinearRegression,
+        LinearSVM,
+        LogisticRegression,
+        MinMaxScaler,
+        Ridge,
+        StandardScaler,
+    ]
+    return {cls.__name__: cls for cls in classes}
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+def _encode_value(value: Any) -> Any:
+    from ..ml.tree import _Node
+
+    if isinstance(value, _Node):
+        return {
+            "__kind__": "tree_node",
+            "prediction": _encode_value(value.prediction),
+            "feature": value.feature,
+            "threshold": value.threshold,
+            "impurity": value.impurity,
+            "n_samples": value.n_samples,
+            "left": None if value.left is None else _encode_value(value.left),
+            "right": None if value.right is None else _encode_value(value.right),
+        }
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            return {
+                "__kind__": "object_array",
+                "values": [_encode_value(v) for v in value.tolist()],
+            }
+        return {
+            "__kind__": "ndarray",
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            "data": base64.b64encode(np.ascontiguousarray(value).tobytes()).decode(),
+        }
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, (list, tuple)):
+        return {
+            "__kind__": "list" if isinstance(value, list) else "tuple",
+            "values": [_encode_value(v) for v in value],
+        }
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise LifecycleError(
+        f"cannot serialize value of type {type(value).__name__}"
+    )
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__kind__" in value:
+        kind = value["__kind__"]
+        if kind == "ndarray":
+            raw = base64.b64decode(value["data"])
+            return np.frombuffer(raw, dtype=np.dtype(value["dtype"])).reshape(
+                value["shape"]
+            ).copy()
+        if kind == "object_array":
+            return np.array(
+                [_decode_value(v) for v in value["values"]], dtype=object
+            )
+        if kind in ("list", "tuple"):
+            items = [_decode_value(v) for v in value["values"]]
+            return items if kind == "list" else tuple(items)
+        if kind == "tree_node":
+            from ..ml.tree import _Node
+
+            return _Node(
+                prediction=_decode_value(value["prediction"]),
+                feature=value["feature"],
+                threshold=value["threshold"],
+                impurity=value["impurity"],
+                n_samples=value["n_samples"],
+                left=(
+                    None if value["left"] is None else _decode_value(value["left"])
+                ),
+                right=(
+                    None
+                    if value["right"] is None
+                    else _decode_value(value["right"])
+                ),
+            )
+        raise LifecycleError(f"unknown encoded kind {kind!r}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Model (de)serialization
+# ----------------------------------------------------------------------
+def dumps_model(model: Any) -> str:
+    """Serialize a fitted (or unfitted) estimator to a JSON string."""
+    classes = _known_classes()
+    name = type(model).__name__
+    if name not in classes or type(model) is not classes[name]:
+        raise LifecycleError(
+            f"{name} is not a serializable estimator; known: {sorted(classes)}"
+        )
+    state = {
+        attr: _encode_value(value)
+        for attr, value in vars(model).items()
+        if attr.endswith("_") and not attr.startswith("_")
+        # optimizer traces are diagnostics, not model state
+        and attr != "optim_result_"
+    }
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "class": name,
+        "params": {k: _encode_value(v) for k, v in model.get_params().items()},
+        "state": state,
+    }
+    return json.dumps(payload)
+
+
+def loads_model(text: str) -> Any:
+    """Reconstruct an estimator from :func:`dumps_model` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise LifecycleError(f"malformed model JSON: {exc}") from exc
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise LifecycleError(
+            f"unsupported model format version {payload.get('format_version')!r}"
+        )
+    classes = _known_classes()
+    name = payload.get("class")
+    if name not in classes:
+        raise LifecycleError(f"unknown model class {name!r}")
+    params = {k: _decode_value(v) for k, v in payload["params"].items()}
+    model = classes[name](**params)
+    for attr, value in payload["state"].items():
+        setattr(model, attr, _decode_value(value))
+    return model
+
+
+def save_model(model: Any, path: str | Path) -> None:
+    """Serialize an estimator to a file."""
+    Path(path).write_text(dumps_model(model))
+
+
+def load_model(path: str | Path) -> Any:
+    """Load an estimator saved with :func:`save_model`."""
+    return loads_model(Path(path).read_text())

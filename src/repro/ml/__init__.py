@@ -1,0 +1,86 @@
+"""ML algorithm library: the workloads the data-management layers serve.
+
+GLMs (linear/logistic/SVM) with batch, stochastic, and closed-form
+solvers; k-means; Naive Bayes; PCA; plus losses, optimizers,
+preprocessing, and metrics. The algorithms are written in the vectorized
+style that declarative ML compilers target, so the same models run
+directly on numpy, on the compiled DSL, over normalized (factorized)
+data, and inside the relational engine.
+"""
+
+from .base import Classifier, Estimator, Regressor, as_pm_one, check_X, check_X_y
+from .kmeans import KMeans
+from .linreg import LinearRegression, Ridge
+from .logreg import LogisticRegression
+from .losses import HingeLoss, LogisticLoss, Loss, SquaredLoss, sigmoid
+from .metrics import (
+    accuracy_score,
+    confusion_matrix,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_recall_f1,
+    r2_score,
+    root_mean_squared_error,
+)
+from .naive_bayes import CategoricalNB, GaussianNB
+from .optim import OptimResult, gradient_descent, sgd
+from .pca import PCA
+from .preprocessing import (
+    FeatureHasher,
+    KBinsDiscretizer,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    add_intercept,
+    train_test_split,
+)
+from .boosting import GradientBoostingRegressor
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .svm import LinearSVM
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "PCA",
+    "CategoricalNB",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "Classifier",
+    "Estimator",
+    "FeatureHasher",
+    "GaussianNB",
+    "GradientBoostingRegressor",
+    "HingeLoss",
+    "KBinsDiscretizer",
+    "KMeans",
+    "LinearRegression",
+    "LinearSVM",
+    "LogisticLoss",
+    "LogisticRegression",
+    "Loss",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "OptimResult",
+    "Regressor",
+    "Ridge",
+    "SquaredLoss",
+    "StandardScaler",
+    "accuracy_score",
+    "add_intercept",
+    "as_pm_one",
+    "check_X",
+    "check_X_y",
+    "confusion_matrix",
+    "gradient_descent",
+    "log_loss",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "precision_recall_f1",
+    "r2_score",
+    "root_mean_squared_error",
+    "sgd",
+    "sigmoid",
+    "train_test_split",
+]

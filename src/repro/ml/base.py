@@ -1,0 +1,139 @@
+"""Estimator API shared by every model in the library.
+
+Estimators follow the fit/predict convention with introspectable
+hyperparameters (``get_params`` / ``set_params``), which is what the
+model-selection layer (:mod:`repro.selection`) enumerates over.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+
+
+class Estimator:
+    """Base class: hyperparameters are the constructor keyword arguments."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "Estimator":
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Hyperparameter protocol
+    # ------------------------------------------------------------------
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        sig = inspect.signature(cls.__init__)
+        return [
+            p.name
+            for p in sig.parameters.values()
+            if p.name != "self" and p.kind == p.POSITIONAL_OR_KEYWORD
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Current hyperparameter values."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "Estimator":
+        """Set hyperparameters in place; returns self for chaining."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ModelError(
+                    f"{type(self).__name__} has no hyperparameter {name!r}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def clone(self) -> "Estimator":
+        """A fresh, unfitted copy with the same hyperparameters."""
+        return type(self)(**copy.deepcopy(self.get_params()))
+
+    # ------------------------------------------------------------------
+    # Fitted-state protocol
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return any(
+            name.endswith("_") and not name.startswith("_")
+            for name in vars(self)
+        )
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before this call"
+            )
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class Regressor(Estimator):
+    """Estimator predicting real values; provides R^2 scoring."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        from .metrics import r2_score
+
+        return r2_score(y, self.predict(X))
+
+
+class Classifier(Estimator):
+    """Estimator predicting discrete labels; provides accuracy scoring."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        from .metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a design matrix / label vector pair."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ModelError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ModelError(f"y must be 1-D, got shape {y.shape}")
+    if len(X) != len(y):
+        raise ModelError(f"X has {len(X)} rows but y has {len(y)}")
+    if len(X) == 0:
+        raise ModelError("cannot fit on an empty dataset")
+    if not np.isfinite(X).all():
+        raise ModelError("X contains NaN or infinite values")
+    return X, y
+
+
+def check_X(X: np.ndarray) -> np.ndarray:
+    """Validate and coerce a design matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ModelError(f"X must be 2-D, got shape {X.shape}")
+    return X
+
+
+def as_pm_one(y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map a binary label vector to {-1, +1}; return (mapped, classes).
+
+    ``classes[0]`` maps to -1 and ``classes[1]`` to +1.
+    """
+    classes = np.unique(y)
+    if len(classes) != 2:
+        raise ModelError(
+            f"binary classifier requires exactly 2 classes, got {len(classes)}"
+        )
+    return np.where(y == classes[1], 1.0, -1.0), classes

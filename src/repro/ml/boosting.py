@@ -1,0 +1,98 @@
+"""Gradient-boosted regression trees (least-squares boosting).
+
+Stagewise additive modeling: each round fits a shallow CART regressor to
+the current residuals and adds it with a shrinkage factor. Completes the
+tree-ensemble family (bagging in :mod:`.forest`, boosting here) that
+in-database ML suites serve alongside GLMs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Regressor, check_X, check_X_y
+from .tree import DecisionTreeRegressor
+
+
+class GradientBoostingRegressor(Regressor):
+    """L2 gradient boosting over shallow CART trees.
+
+    Args:
+        n_stages: boosting rounds.
+        learning_rate: shrinkage applied to each stage's contribution.
+        max_depth: per-stage tree depth (shallow trees boost best).
+        subsample: optional row fraction per stage (stochastic boosting).
+    """
+
+    def __init__(
+        self,
+        n_stages: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        seed: int | None = 0,
+    ):
+        self.n_stages = n_stages
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None):
+        X, y = check_X_y(X, y)
+        y = y.astype(np.float64)
+        if self.n_stages < 1:
+            raise ModelError("n_stages must be >= 1")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ModelError("learning_rate must be in (0, 1]")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ModelError("subsample must be in (0, 1]")
+        rng = np.random.default_rng(self.seed)
+        n = len(y)
+
+        self.init_ = float(y.mean())
+        prediction = np.full(n, self.init_)
+        self.stages_: list[DecisionTreeRegressor] = []
+        self.train_loss_: list[float] = []
+        for _ in range(self.n_stages):
+            residual = y - prediction
+            if self.subsample < 1.0:
+                take = max(2, int(round(n * self.subsample)))
+                rows = rng.choice(n, size=take, replace=False)
+            else:
+                rows = np.arange(n)
+            stage = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            stage.fit(X[rows], residual[rows])
+            prediction = prediction + self.learning_rate * stage.predict(X)
+            self.stages_.append(stage)
+            self.train_loss_.append(float(np.mean((y - prediction) ** 2)))
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X)
+        if X.shape[1] != self.n_features_:
+            raise ModelError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        out = np.full(len(X), self.init_)
+        for stage in self.stages_:
+            out = out + self.learning_rate * stage.predict(X)
+        return out
+
+    def staged_predict(self, X: np.ndarray, every: int = 1):
+        """Yield (stage_index, predictions) as stages accumulate."""
+        self._check_fitted()
+        X = check_X(X)
+        out = np.full(len(X), self.init_)
+        for i, stage in enumerate(self.stages_, start=1):
+            out = out + self.learning_rate * stage.predict(X)
+            if i % every == 0 or i == len(self.stages_):
+                yield i, out.copy()

@@ -1,0 +1,107 @@
+"""Random forests: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Classifier, Regressor, check_X, check_X_y
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _BaseForest:
+    """Shared bagging machinery over the CART trees."""
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: int = 6,
+        min_samples_leaf: int = 1,
+        max_features: float | None = 0.7,
+        seed: int | None = 0,
+    ):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+
+    def _tree(self):
+        raise NotImplementedError
+
+    def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
+        if self.n_trees < 1:
+            raise ModelError("n_trees must be >= 1")
+        if self.max_features is not None and not 0.0 < self.max_features <= 1.0:
+            raise ModelError("max_features must be in (0, 1]")
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        k = d if self.max_features is None else max(1, round(d * self.max_features))
+
+        self.trees_ = []
+        self.feature_sets_ = []
+        for _ in range(self.n_trees):
+            rows = rng.integers(0, n, size=n)  # bootstrap sample
+            features = np.sort(rng.choice(d, size=k, replace=False))
+            tree = self._tree()
+            tree.fit(X[np.ix_(rows, features)], y[rows])
+            self.trees_.append(tree)
+            self.feature_sets_.append(features)
+        self.n_features_ = d
+
+    def _tree_predictions(self, X: np.ndarray) -> list[np.ndarray]:
+        self._check_fitted()
+        X = check_X(X)
+        if X.shape[1] != self.n_features_:
+            raise ModelError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        return [
+            tree.predict(X[:, features])
+            for tree, features in zip(self.trees_, self.feature_sets_)
+        ]
+
+
+class RandomForestClassifier(_BaseForest, Classifier):
+    """Majority-vote ensemble of CART classifiers."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None):
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        self._fit_forest(X, y)
+        return self
+
+    def _tree(self) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+        )
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Vote fractions per class, shape (n, k)."""
+        votes = self._tree_predictions(X)
+        index = {c: i for i, c in enumerate(self.classes_)}
+        out = np.zeros((len(votes[0]), len(self.classes_)))
+        for prediction in votes:
+            for row, label in enumerate(prediction):
+                out[row, index[label]] += 1.0
+        return out / len(votes)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+
+class RandomForestRegressor(_BaseForest, Regressor):
+    """Mean ensemble of CART regressors."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None):
+        X, y = check_X_y(X, y)
+        self._fit_forest(X, y.astype(np.float64))
+        return self
+
+    def _tree(self) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.mean(np.vstack(self._tree_predictions(X)), axis=0)

@@ -1,0 +1,128 @@
+"""Lloyd's k-means with k-means++ initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Estimator, check_X
+
+
+class KMeans(Estimator):
+    """K-means clustering.
+
+    Args:
+        n_clusters: number of centroids.
+        init: ``"kmeans++"`` or ``"random"``.
+        n_init: restarts; the run with the lowest inertia wins.
+        max_iter / tol: Lloyd-iteration controls (tol is on centroid shift).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        init: str = "kmeans++",
+        n_init: int = 3,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        seed: int | None = 0,
+    ):
+        self.n_clusters = n_clusters
+        self.init = init
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "KMeans":
+        X = check_X(X)
+        if self.n_clusters < 1:
+            raise ModelError("n_clusters must be >= 1")
+        if len(X) < self.n_clusters:
+            raise ModelError(
+                f"need at least n_clusters={self.n_clusters} points, got {len(X)}"
+            )
+        rng = np.random.default_rng(self.seed)
+        best_inertia = np.inf
+        for _ in range(max(1, self.n_init)):
+            centers, labels, inertia, iters = self._run(X, rng)
+            if inertia < best_inertia:
+                best_inertia = inertia
+                self.cluster_centers_ = centers
+                self.labels_ = labels
+                self.inertia_ = inertia
+                self.n_iter_ = iters
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid assignment per row."""
+        self._check_fitted()
+        X = check_X(X)
+        return _assign(X, self.cluster_centers_)[0]
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Distances to every centroid, shape (n, k)."""
+        self._check_fitted()
+        X = check_X(X)
+        return np.sqrt(_sq_distances(X, self.cluster_centers_))
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).labels_
+
+    # ------------------------------------------------------------------
+    def _run(self, X, rng) -> tuple[np.ndarray, np.ndarray, float, int]:
+        centers = self._init_centers(X, rng)
+        labels = np.zeros(len(X), dtype=np.int64)
+        iters = 0
+        for iters in range(1, self.max_iter + 1):
+            labels, dists = _assign(X, centers)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members):
+                    new_centers[k] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    new_centers[k] = X[int(np.argmax(dists))]
+            shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        labels, dists = _assign(X, centers)
+        return centers, labels, float(dists.sum()), iters
+
+    def _init_centers(self, X: np.ndarray, rng) -> np.ndarray:
+        if self.init == "random":
+            idx = rng.choice(len(X), size=self.n_clusters, replace=False)
+            return X[idx].copy()
+        if self.init != "kmeans++":
+            raise ModelError(f"unknown init {self.init!r}")
+        centers = [X[rng.integers(len(X))]]
+        for _ in range(1, self.n_clusters):
+            d2 = _sq_distances(X, np.array(centers)).min(axis=1)
+            total = d2.sum()
+            if total <= 0:
+                # All remaining points coincide with chosen centers.
+                centers.append(X[rng.integers(len(X))])
+                continue
+            probs = d2 / total
+            centers.append(X[rng.choice(len(X), p=probs)])
+        return np.array(centers)
+
+
+def _sq_distances(X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, shape (n, k).
+
+    Computed via the expansion ||x||^2 - 2 x.c + ||c||^2, which is the
+    vectorized form declarative ML compilers generate for k-means.
+    """
+    x2 = np.sum(X * X, axis=1, keepdims=True)
+    c2 = np.sum(centers * centers, axis=1)
+    d2 = x2 - 2.0 * (X @ centers.T) + c2
+    return np.maximum(d2, 0.0)
+
+
+def _assign(X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    d2 = _sq_distances(X, centers)
+    labels = np.argmin(d2, axis=1)
+    return labels, d2[np.arange(len(X)), labels]

@@ -1,0 +1,185 @@
+"""First-order optimizers for GLM training.
+
+Batch gradient descent (with optional backtracking line search), and
+mini-batch SGD with momentum / AdaGrad variants. Every optimizer returns
+an :class:`OptimResult` carrying the loss trajectory so benchmarks and the
+model-selection layer can account for iterations, not just final loss.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConvergenceWarning
+from .losses import Loss
+
+
+@dataclass
+class OptimResult:
+    """Outcome of an optimization run."""
+
+    weights: np.ndarray
+    iterations: int
+    converged: bool
+    loss_history: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+
+def _regularized(
+    loss: Loss, l2: float
+) -> tuple[Callable[..., float], Callable[..., np.ndarray]]:
+    """Wrap a loss with an L2 penalty 0.5 * l2 * ||w||^2."""
+
+    def value(X, y, w):
+        v = loss.value(X, y, w)
+        if l2 > 0:
+            v += 0.5 * l2 * float(w @ w)
+        return v
+
+    def gradient(X, y, w):
+        g = loss.gradient(X, y, w)
+        if l2 > 0:
+            g = g + l2 * w
+        return g
+
+    return value, gradient
+
+
+def gradient_descent(
+    loss: Loss,
+    X: np.ndarray,
+    y: np.ndarray,
+    w0: np.ndarray | None = None,
+    learning_rate: float = 0.1,
+    l2: float = 0.0,
+    max_iter: int = 500,
+    tol: float = 1e-6,
+    line_search: bool = True,
+    warn_on_cap: bool = True,
+) -> OptimResult:
+    """Full-batch gradient descent with optional backtracking line search.
+
+    Convergence is declared when the relative loss improvement falls below
+    ``tol``. With ``line_search``, the step size is halved until the Armijo
+    sufficient-decrease condition holds (this is the strategy SystemML's
+    GLM scripts use to stay robust to scaling).
+    """
+    value, grad = _regularized(loss, l2)
+    w = np.zeros(X.shape[1]) if w0 is None else np.array(w0, dtype=np.float64)
+    history = [value(X, y, w)]
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        g = grad(X, y, w)
+        if line_search:
+            w, new_loss = _backtrack(value, X, y, w, g, history[-1], learning_rate)
+        else:
+            w = w - learning_rate * g
+            new_loss = value(X, y, w)
+        history.append(new_loss)
+        if _relative_improvement(history[-2], new_loss) < tol:
+            converged = True
+            break
+    if not converged and warn_on_cap:
+        warnings.warn(
+            f"gradient descent hit max_iter={max_iter} (loss {history[-1]:.6g})",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+    return OptimResult(w, it, converged, history)
+
+
+def _backtrack(
+    value: Callable,
+    X: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    g: np.ndarray,
+    current: float,
+    step0: float,
+    shrink: float = 0.5,
+    c: float = 1e-4,
+    max_halvings: int = 30,
+) -> tuple[np.ndarray, float]:
+    """Backtracking line search along -g (Armijo condition)."""
+    step = step0
+    g_norm_sq = float(g @ g)
+    for _ in range(max_halvings):
+        candidate = w - step * g
+        new_loss = value(X, y, candidate)
+        if new_loss <= current - c * step * g_norm_sq:
+            return candidate, new_loss
+        step *= shrink
+    # Could not find decrease (at a stationary point or numerically stuck).
+    return w, current
+
+
+def sgd(
+    loss: Loss,
+    X: np.ndarray,
+    y: np.ndarray,
+    w0: np.ndarray | None = None,
+    learning_rate: float = 0.1,
+    l2: float = 0.0,
+    epochs: int = 20,
+    batch_size: int = 32,
+    momentum: float = 0.0,
+    adagrad: bool = False,
+    decay: float = 0.0,
+    shuffle: bool = True,
+    tol: float = 0.0,
+    seed: int | None = 0,
+) -> OptimResult:
+    """Mini-batch stochastic gradient descent.
+
+    Args:
+        momentum: classical momentum coefficient (0 disables).
+        adagrad: per-coordinate AdaGrad scaling (overrides momentum).
+        decay: learning-rate decay; epoch t uses lr / (1 + decay * t).
+        tol: if > 0, stop early when the epoch-end relative loss
+            improvement falls below it.
+
+    The loss history records the full-data loss at the end of each epoch,
+    matching how Bismarck-style systems monitor convergence.
+    """
+    value, grad = _regularized(loss, l2)
+    rng = np.random.default_rng(seed)
+    n = len(y)
+    w = np.zeros(X.shape[1]) if w0 is None else np.array(w0, dtype=np.float64)
+    velocity = np.zeros_like(w)
+    g2_sum = np.zeros_like(w)
+    history = [value(X, y, w)]
+    converged = False
+    epoch = 0
+    for epoch in range(1, epochs + 1):
+        lr = learning_rate / (1.0 + decay * (epoch - 1))
+        order = rng.permutation(n) if shuffle else np.arange(n)
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            g = grad(X[idx], y[idx], w)
+            if adagrad:
+                g2_sum += g * g
+                w = w - lr * g / (np.sqrt(g2_sum) + 1e-8)
+            elif momentum > 0:
+                velocity = momentum * velocity - lr * g
+                w = w + velocity
+            else:
+                w = w - lr * g
+        history.append(value(X, y, w))
+        if tol > 0 and _relative_improvement(history[-2], history[-1]) < tol:
+            converged = True
+            break
+    return OptimResult(w, epoch, converged, history)
+
+
+def _relative_improvement(previous: float, current: float) -> float:
+    if not np.isfinite(previous) or not np.isfinite(current):
+        return float("inf")
+    return abs(previous - current) / max(abs(previous), 1e-12)

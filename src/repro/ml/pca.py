@@ -1,0 +1,59 @@
+"""Principal component analysis via singular value decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Estimator, check_X
+
+
+class PCA(Estimator):
+    """PCA by SVD of the centered data matrix.
+
+    Components have deterministic signs (largest-magnitude coordinate of
+    each component is made positive) so results are reproducible.
+    """
+
+    def __init__(self, n_components: int | None = None):
+        self.n_components = n_components
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "PCA":
+        X = check_X(X)
+        n, d = X.shape
+        k = self.n_components if self.n_components is not None else min(n, d)
+        if not 1 <= k <= min(n, d):
+            raise ModelError(
+                f"n_components must be in [1, {min(n, d)}], got {k}"
+            )
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, s, vt = np.linalg.svd(centered, full_matrices=False)
+        components = vt[:k]
+        # Deterministic sign convention.
+        for i in range(k):
+            pivot = np.argmax(np.abs(components[i]))
+            if components[i, pivot] < 0:
+                components[i] = -components[i]
+        self.components_ = components
+        explained = (s**2) / max(n - 1, 1)
+        total = float(explained.sum()) or 1.0
+        self.explained_variance_ = explained[:k]
+        self.explained_variance_ratio_ = explained[:k] / total
+        self.singular_values_ = s[:k]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project rows onto the principal components, shape (n, k)."""
+        self._check_fitted()
+        X = check_X(X)
+        return (X - self.mean_) @ self.components_.T
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        """Reconstruct from component scores back to the original space."""
+        self._check_fitted()
+        Z = np.asarray(Z, dtype=np.float64)
+        return Z @ self.components_ + self.mean_
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        return self.fit(X).transform(X)

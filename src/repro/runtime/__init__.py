@@ -1,0 +1,29 @@
+"""Runtime: plan interpreter, fused kernels, blocked matrices, buffer pool."""
+
+from .blocks import BlockedMatrix
+from .bufferpool import BlockStore, BufferPool, PoolStats
+from .executor import ExecutionStats, execute
+from .outofcore import OutOfCoreLinearRegression, OutOfCoreResult
+from .ops import (
+    FUSED_KERNELS,
+    apply_aggregate,
+    apply_binary,
+    apply_fused,
+    apply_unary,
+)
+
+__all__ = [
+    "FUSED_KERNELS",
+    "BlockStore",
+    "BlockedMatrix",
+    "BufferPool",
+    "ExecutionStats",
+    "OutOfCoreLinearRegression",
+    "OutOfCoreResult",
+    "PoolStats",
+    "apply_aggregate",
+    "apply_binary",
+    "apply_fused",
+    "apply_unary",
+    "execute",
+]

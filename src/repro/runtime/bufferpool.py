@@ -1,0 +1,144 @@
+"""LRU buffer pool for matrix blocks.
+
+Declarative ML systems keep block-partitioned matrices on a storage tier
+and cache hot blocks in memory; iterative algorithms then hit the cache
+on every epoch after the first. This module simulates that memory
+hierarchy: a :class:`BlockStore` is the 'disk' (counting reads/writes) and
+the :class:`BufferPool` is a byte-budgeted LRU cache over it with pinning.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+class BlockStore:
+    """Backing storage for blocks, with I/O accounting.
+
+    Blocks are stored as immutable bytes to model the
+    serialize-on-write / deserialize-on-read cost of a real tier.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, tuple[bytes, tuple[int, int]]] = {}
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def write(self, block_id: str, array: np.ndarray) -> None:
+        data = np.ascontiguousarray(array, dtype=np.float64).tobytes()
+        self._blocks[block_id] = (data, array.shape)
+        self.writes += 1
+        self.bytes_written += len(data)
+
+    def read(self, block_id: str) -> np.ndarray:
+        if block_id not in self._blocks:
+            raise ExecutionError(f"no block {block_id!r} in store")
+        data, shape = self._blocks[block_id]
+        self.reads += 1
+        self.bytes_read += len(data)
+        return np.frombuffer(data, dtype=np.float64).reshape(shape).copy()
+
+    def __contains__(self, block_id: str) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+@dataclass
+class PoolStats:
+    """Cumulative buffer-pool counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class BufferPool:
+    """Byte-budgeted LRU cache of blocks over a :class:`BlockStore`."""
+
+    def __init__(self, store: BlockStore, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ExecutionError("buffer pool capacity must be positive")
+        self._store = store
+        self._capacity = capacity_bytes
+        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._pinned: set[str] = set()
+        self._used = 0
+        self.stats = PoolStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def cached_blocks(self) -> list[str]:
+        return list(self._cache)
+
+    def get(self, block_id: str) -> np.ndarray:
+        """Fetch a block, serving from cache when possible."""
+        if block_id in self._cache:
+            self.stats.hits += 1
+            self._cache.move_to_end(block_id)
+            return self._cache[block_id]
+        self.stats.misses += 1
+        array = self._store.read(block_id)
+        self._admit(block_id, array)
+        return array
+
+    def put(self, block_id: str, array: np.ndarray) -> None:
+        """Write a block through the pool to the store."""
+        array = np.asarray(array, dtype=np.float64)
+        self._store.write(block_id, array)
+        if block_id in self._cache:
+            self._used -= self._cache[block_id].nbytes
+            del self._cache[block_id]
+        self._admit(block_id, array)
+
+    def pin(self, block_id: str) -> None:
+        """Protect a cached block from eviction."""
+        if block_id not in self._cache:
+            raise ExecutionError(f"cannot pin uncached block {block_id!r}")
+        self._pinned.add(block_id)
+
+    def unpin(self, block_id: str) -> None:
+        self._pinned.discard(block_id)
+
+    def _admit(self, block_id: str, array: np.ndarray) -> None:
+        size = array.nbytes
+        if size > self._capacity:
+            # Block exceeds the whole pool: pass through uncached.
+            return
+        while self._used + size > self._capacity:
+            if not self._evict_one():
+                return  # everything left is pinned; serve uncached
+        self._cache[block_id] = array
+        self._used += size
+
+    def _evict_one(self) -> bool:
+        for victim in self._cache:
+            if victim not in self._pinned:
+                self._used -= self._cache[victim].nbytes
+                del self._cache[victim]
+                self.stats.evictions += 1
+                return True
+        return False

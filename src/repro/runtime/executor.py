@@ -1,0 +1,150 @@
+"""Plan interpreter.
+
+Evaluates a compiled DAG over numpy arrays, memoizing on node identity so
+CSE-shared subexpressions run once. Collects :class:`ExecutionStats`
+(per-op counts, FLOP estimate, intermediate-byte high-water mark) that the
+benchmark suite uses to attribute optimizer wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compiler.cost import node_flops, node_output_bytes
+from ..compiler.planner import CompiledPlan, compile_expr
+from ..errors import ExecutionError
+from ..lang.ast import (
+    Aggregate,
+    Binary,
+    Constant,
+    Data,
+    Fused,
+    MatMul,
+    Node,
+    Transpose,
+    Unary,
+)
+from ..lang.dsl import MExpr
+from .ops import apply_aggregate, apply_binary, apply_fused, apply_unary
+
+
+@dataclass
+class ExecutionStats:
+    """What one plan execution actually did."""
+
+    op_counts: dict[str, int] = field(default_factory=dict)
+    flops: int = 0
+    intermediate_bytes: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.op_counts.values())
+
+    def record(self, label: str, node: Node) -> None:
+        self.op_counts[label] = self.op_counts.get(label, 0) + 1
+        self.flops += node_flops(node)
+        self.intermediate_bytes += node_output_bytes(node)
+
+
+def execute(
+    plan: CompiledPlan | MExpr | Node,
+    bindings: dict[str, np.ndarray] | None = None,
+    collect_stats: bool = False,
+):
+    """Run a plan (or compile-and-run a raw expression).
+
+    Args:
+        bindings: name -> array for every Data input. Vectors may be 1-D;
+            they are reshaped to columns. Shapes must match declarations.
+        collect_stats: also return :class:`ExecutionStats`.
+
+    Returns:
+        The result array (scalars as Python floats), or
+        ``(result, stats)`` when ``collect_stats`` is set.
+    """
+    if isinstance(plan, (MExpr, Node)):
+        plan = compile_expr(plan)
+    bindings = bindings or {}
+    prepared = _prepare_bindings(plan, bindings)
+
+    stats = ExecutionStats()
+    memo: dict[int, np.ndarray] = {}
+    result = _eval(plan.root, prepared, memo, stats)
+
+    if plan.root.is_scalar:
+        out = float(result[0, 0])
+    else:
+        out = result
+    if collect_stats:
+        return out, stats
+    return out
+
+
+def _prepare_bindings(
+    plan: CompiledPlan, bindings: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    prepared = {}
+    for name, shape in plan.inputs.items():
+        if name not in bindings:
+            raise ExecutionError(
+                f"missing binding for input {name!r}; "
+                f"required: {sorted(plan.inputs)}"
+            )
+        arr = np.asarray(bindings[name], dtype=np.float64)
+        if arr.ndim == 0:
+            arr = arr.reshape(1, 1)
+        elif arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.shape != shape:
+            raise ExecutionError(
+                f"input {name!r} declared {shape} but bound {arr.shape}"
+            )
+        prepared[name] = arr
+    return prepared
+
+
+def _eval(
+    node: Node,
+    bindings: dict[str, np.ndarray],
+    memo: dict[int, np.ndarray],
+    stats: ExecutionStats,
+) -> np.ndarray:
+    cached = memo.get(id(node))
+    if cached is not None:
+        return cached
+
+    if isinstance(node, Data):
+        result = bindings[node.name]
+    elif isinstance(node, Constant):
+        result = node.value
+    else:
+        children = [_eval(c, bindings, memo, stats) for c in node.children]
+        if isinstance(node, Binary):
+            result = apply_binary(node.op, children[0], children[1])
+            stats.record(f"binary:{node.op}", node)
+        elif isinstance(node, Unary):
+            result = apply_unary(node.op, children[0])
+            stats.record(f"unary:{node.op}", node)
+        elif isinstance(node, MatMul):
+            result = children[0] @ children[1]
+            stats.record("matmul", node)
+        elif isinstance(node, Transpose):
+            result = children[0].T
+            stats.record("transpose", node)
+        elif isinstance(node, Aggregate):
+            result = apply_aggregate(node.op, children[0], node.axis)
+            stats.record(f"agg:{node.op}", node)
+        elif isinstance(node, Fused):
+            result = apply_fused(node.kind, children)
+            stats.record(f"fused:{node.kind}", node)
+        else:
+            raise ExecutionError(f"cannot execute node type {type(node).__name__}")
+        result = np.asarray(result, dtype=np.float64)
+        if result.shape != node.shape:
+            # Broadcasting of (1,1) scalars can shrink shapes; normalize.
+            result = np.broadcast_to(result, node.shape).copy()
+
+    memo[id(node)] = result
+    return result

@@ -1,0 +1,131 @@
+"""Out-of-core GLM training over blocked matrices.
+
+The estimator-level face of the buffer-pool substrate: training data
+lives in a :class:`~repro.runtime.bufferpool.BlockStore` as row panels
+and every epoch streams blocks through a byte-budgeted
+:class:`~repro.runtime.bufferpool.BufferPool`. When the pool holds the
+working set, epochs after the first are memory-speed; when it does not,
+the trainer still converges while the pool ledger records the paid I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .blocks import BlockedMatrix
+from .bufferpool import BlockStore, BufferPool, PoolStats
+
+
+@dataclass
+class OutOfCoreResult:
+    weights: np.ndarray
+    epochs: int
+    loss_history: list[float] = field(default_factory=list)
+    pool_stats: PoolStats | None = None
+    bytes_read_from_store: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+
+class OutOfCoreLinearRegression:
+    """Least squares trained by blocked gradient descent under a memory budget.
+
+    Args:
+        memory_budget_bytes: buffer-pool capacity. None = everything fits.
+        block_rows: row-panel height used when staging the data.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.3,
+        epochs: int = 100,
+        l2: float = 0.0,
+        block_rows: int = 1024,
+        memory_budget_bytes: int | None = None,
+        tol: float = 1e-9,
+    ):
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.block_rows = block_rows
+        self.memory_budget_bytes = memory_budget_bytes
+        self.tol = tol
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OutOfCoreLinearRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if len(X) != len(y):
+            raise ExecutionError(f"X has {len(X)} rows but y has {len(y)}")
+        n, d = X.shape
+
+        store = BlockStore()
+        blocked = BlockedMatrix.from_array(X, store, "X", self.block_rows)
+        budget = (
+            self.memory_budget_bytes
+            if self.memory_budget_bytes is not None
+            else X.nbytes * 2 + 1
+        )
+        pool = BufferPool(store, capacity_bytes=budget)
+        baseline_reads = store.bytes_read
+
+        w = np.zeros(d)
+        history = [self._loss(blocked, pool, w, y, n)]
+        epoch = 0
+        for epoch in range(1, self.epochs + 1):
+            grad = np.zeros(d)
+            for b in range(blocked.num_blocks):
+                block = blocked.get_block(b, pool)
+                start, end = blocked.block_rows_of(b)
+                residual = block @ w - y[start:end]
+                grad += block.T @ residual
+            grad = grad / n
+            if self.l2 > 0:
+                grad = grad + self.l2 * w
+            w = w - self.learning_rate * grad
+            history.append(self._loss(blocked, pool, w, y, n))
+            improvement = abs(history[-2] - history[-1]) / max(
+                abs(history[-2]), 1e-12
+            )
+            if improvement < self.tol:
+                break
+
+        self.coef_ = w
+        self.result_ = OutOfCoreResult(
+            weights=w,
+            epochs=epoch,
+            loss_history=history,
+            pool_stats=pool.stats,
+            bytes_read_from_store=store.bytes_read - baseline_reads,
+        )
+        return self
+
+    @staticmethod
+    def _loss(
+        blocked: BlockedMatrix,
+        pool: BufferPool,
+        w: np.ndarray,
+        y: np.ndarray,
+        n: int,
+    ) -> float:
+        total = 0.0
+        for b in range(blocked.num_blocks):
+            block = blocked.get_block(b, pool)
+            start, end = blocked.block_rows_of(b)
+            residual = block @ w - y[start:end]
+            total += float(residual @ residual)
+        return 0.5 * total / n
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "coef_"):
+            raise ExecutionError("fit must be called before predict")
+        return np.asarray(X, dtype=np.float64) @ self.coef_
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        from ..ml.metrics import r2_score
+
+        return r2_score(np.asarray(y), self.predict(X))

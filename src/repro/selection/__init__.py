@@ -1,0 +1,52 @@
+"""Model-selection management.
+
+Grid/random search with cost accounting, successive halving, warm-started
+regularization paths, shared-fold cross-validation, and cache-aware
+selection sessions.
+"""
+
+from .cv import KFold, StratifiedKFold, cross_val_score
+from .foldreuse import RidgeCVResult, ridge_cv_naive, ridge_cv_shared
+from .halving import (
+    HalvingResult,
+    Rung,
+    full_budget_baseline,
+    successive_halving,
+)
+from .hyperband import Bracket, HyperbandResult, hyperband, sample_from_space
+from .search import (
+    Evaluation,
+    SearchResult,
+    expand_grid,
+    grid_search,
+    random_search,
+)
+from .session import SelectionSession, SessionLedger
+from .warmstart import PathPoint, PathResult, fit_logistic_path
+
+__all__ = [
+    "Bracket",
+    "Evaluation",
+    "HalvingResult",
+    "HyperbandResult",
+    "KFold",
+    "PathPoint",
+    "PathResult",
+    "RidgeCVResult",
+    "Rung",
+    "SearchResult",
+    "SelectionSession",
+    "SessionLedger",
+    "StratifiedKFold",
+    "cross_val_score",
+    "expand_grid",
+    "fit_logistic_path",
+    "full_budget_baseline",
+    "grid_search",
+    "hyperband",
+    "random_search",
+    "ridge_cv_naive",
+    "ridge_cv_shared",
+    "sample_from_space",
+    "successive_halving",
+]

@@ -1,0 +1,114 @@
+"""Cross-validation with fold-materialization reuse.
+
+A :class:`KFold` plan materializes fold index arrays once; every
+configuration evaluated in a search session reuses the same folds, which
+both removes per-config split cost and makes scores comparable — the
+computation-sharing discipline of model-selection management systems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import SelectionError
+from ..ml.base import Estimator
+
+
+class KFold:
+    """Deterministic k-fold split plan over n rows."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int | None = 0):
+        if n_splits < 2:
+            raise SelectionError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+        self._folds: dict[int, list[np.ndarray]] = {}
+
+    def folds(self, n: int) -> list[np.ndarray]:
+        """Materialized fold index arrays for a dataset of n rows (cached)."""
+        if n < self.n_splits:
+            raise SelectionError(
+                f"cannot split {n} rows into {self.n_splits} folds"
+            )
+        cached = self._folds.get(n)
+        if cached is not None:
+            return cached
+        order = (
+            np.random.default_rng(self.seed).permutation(n)
+            if self.shuffle
+            else np.arange(n)
+        )
+        folds = [np.sort(chunk) for chunk in np.array_split(order, self.n_splits)]
+        self._folds[n] = folds
+        return folds
+
+    def split(self, n: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) per fold."""
+        folds = self.folds(n)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+class StratifiedKFold:
+    """K-fold that preserves label proportions in every fold.
+
+    Essential when classes are imbalanced: plain random folds can leave
+    a fold without minority examples, making scores incomparable.
+    """
+
+    def __init__(self, n_splits: int = 5, seed: int | None = 0):
+        if n_splits < 2:
+            raise SelectionError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def folds(self, y: np.ndarray) -> list[np.ndarray]:
+        """Fold index arrays stratified by the labels ``y``."""
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.seed)
+        buckets: list[list[int]] = [[] for _ in range(self.n_splits)]
+        for cls in np.unique(y):
+            members = np.nonzero(y == cls)[0]
+            if len(members) < self.n_splits:
+                raise SelectionError(
+                    f"class {cls!r} has {len(members)} rows; "
+                    f"need >= n_splits ({self.n_splits})"
+                )
+            members = rng.permutation(members)
+            for i, chunk in enumerate(np.array_split(members, self.n_splits)):
+                buckets[i].extend(chunk.tolist())
+        return [np.sort(np.asarray(b, dtype=np.int64)) for b in buckets]
+
+    def split(self, y: np.ndarray):
+        """Yield (train_indices, test_indices) per stratified fold."""
+        folds = self.folds(y)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate(
+                [folds[j] for j in range(self.n_splits) if j != i]
+            )
+            yield np.sort(train), test
+
+
+def cross_val_score(
+    estimator: Estimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    cv: KFold | int = 5,
+) -> np.ndarray:
+    """Per-fold scores for a fresh clone of the estimator on each fold."""
+    if isinstance(cv, int):
+        cv = KFold(cv)
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in cv.split(len(X)):
+        model = estimator.clone()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(model.score(X[test_idx], y[test_idx]))
+    return np.asarray(scores)

@@ -1,0 +1,319 @@
+"""Compressed sparse row (CSR) matrices, from scratch.
+
+Declarative ML systems exploit sparsity end to end: sparse inputs are
+stored in CSR and every kernel that touches them respects nnz instead of
+n*d. This module is that substrate for the reproduction — built on
+numpy primitives only (no scipy), with exactly the operation set GLM
+training needs:
+
+* ``X @ v`` and ``X.T @ u`` (via a lazy transpose view),
+* row slicing / row gather (mini-batch SGD),
+* scaling, element-wise multiply against dense,
+* column sums, nnz accounting, dense round-trip.
+
+Because :class:`CSRMatrix` implements ``shape``, ``__matmul__`` and
+``.T``, the GLM losses and optimizers in :mod:`repro.ml` run on sparse
+inputs unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class SparseError(ReproError):
+    """A sparse-matrix operation failed."""
+
+
+class CSRMatrix:
+    """A read-only CSR matrix."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        shape: tuple[int, int],
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+
+    def _validate(self) -> None:
+        n, d = self.shape
+        if len(self.indptr) != n + 1:
+            raise SparseError(
+                f"indptr length {len(self.indptr)} != rows+1 ({n + 1})"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.data):
+            raise SparseError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise SparseError("indptr must be non-decreasing")
+        if len(self.indices) != len(self.data):
+            raise SparseError("indices and data lengths differ")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= d
+        ):
+            raise SparseError(f"column indices out of range [0, {d})")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, X: np.ndarray, threshold: float = 0.0) -> "CSRMatrix":
+        """Encode a dense array; |values| <= threshold become implicit zeros."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise SparseError(f"expected a 2-D array, got {X.ndim}-D")
+        mask = np.abs(X) > threshold
+        indptr = np.zeros(X.shape[0] + 1, dtype=np.int64)
+        np.cumsum(mask.sum(axis=1), out=indptr[1:])
+        rows, cols = np.nonzero(mask)
+        return cls(X[rows, cols], cols, indptr, X.shape)
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CSRMatrix":
+        """Build from coordinate triplets (duplicates are summed)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (len(rows) == len(cols) == len(values)):
+            raise SparseError("rows, cols, values must have equal length")
+        if len(rows) and (rows.min() < 0 or rows.max() >= shape[0]):
+            raise SparseError(f"row indices out of range [0, {shape[0]})")
+        # Sort by (row, col), then merge duplicates.
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+        if len(rows):
+            keys = rows * shape[1] + cols
+            unique_mask = np.empty(len(keys), dtype=bool)
+            unique_mask[0] = True
+            unique_mask[1:] = keys[1:] != keys[:-1]
+            group_ids = np.cumsum(unique_mask) - 1
+            merged_values = np.bincount(group_ids, weights=values)
+            rows = rows[unique_mask]
+            cols = cols[unique_mask]
+            values = merged_values
+        indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(values, cols, indptr, shape)
+
+    @classmethod
+    def random(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        density: float,
+        seed: int | None = 0,
+    ) -> "CSRMatrix":
+        """A random sparse matrix with standard-normal nonzeros."""
+        if not 0.0 <= density <= 1.0:
+            raise SparseError("density must be in [0, 1]")
+        rng = np.random.default_rng(seed)
+        nnz = int(round(n_rows * n_cols * density))
+        flat = rng.choice(n_rows * n_cols, size=nnz, replace=False)
+        return cls.from_coo(
+            flat // n_cols,
+            flat % n_cols,
+            rng.standard_normal(nnz),
+            (n_rows, n_cols),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def density(self) -> float:
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes + self.indices.nbytes + self.indptr.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.4f})"
+        )
+
+    def row_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """X @ v in O(nnz)."""
+        v = np.asarray(v, dtype=np.float64).reshape(-1)
+        if len(v) != self.shape[1]:
+            raise SparseError(
+                f"vector length {len(v)} != num columns {self.shape[1]}"
+            )
+        products = self.data * v[self.indices]
+        out = np.zeros(self.shape[0])
+        # Segment-sum per row via reduceat (empty rows handled below).
+        nonempty = np.diff(self.indptr) > 0
+        if products.size:
+            sums = np.add.reduceat(products, self.indptr[:-1][nonempty])
+            out[nonempty] = sums
+        return out
+
+    def rmatvec(self, u: np.ndarray) -> np.ndarray:
+        """X.T @ u in O(nnz)."""
+        u = np.asarray(u, dtype=np.float64).reshape(-1)
+        if len(u) != self.shape[0]:
+            raise SparseError(
+                f"vector length {len(u)} != num rows {self.shape[0]}"
+            )
+        row_of = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return np.bincount(
+            self.indices,
+            weights=self.data * u[row_of],
+            minlength=self.shape[1],
+        )
+
+    def matmat(self, B: np.ndarray) -> np.ndarray:
+        """X @ B for dense B, column by column."""
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim == 1:
+            return self.matvec(B)
+        if B.shape[0] != self.shape[1]:
+            raise SparseError(f"shape mismatch: {self.shape} @ {B.shape}")
+        out = np.empty((self.shape[0], B.shape[1]))
+        for j in range(B.shape[1]):
+            out[:, j] = self.matvec(B[:, j])
+        return out
+
+    def scale(self, alpha: float) -> "CSRMatrix":
+        """alpha * X (sparsity preserved)."""
+        return CSRMatrix(self.data * alpha, self.indices, self.indptr, self.shape)
+
+    def multiply_dense(self, D: np.ndarray) -> "CSRMatrix":
+        """Element-wise X * D for dense D (result stays sparse)."""
+        D = np.asarray(D, dtype=np.float64)
+        if D.shape != self.shape:
+            raise SparseError(f"shape mismatch: {self.shape} * {D.shape}")
+        row_of = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        new_data = self.data * D[row_of, self.indices]
+        return CSRMatrix(new_data, self.indices, self.indptr, self.shape)
+
+    def colsums(self) -> np.ndarray:
+        return np.bincount(
+            self.indices, weights=self.data, minlength=self.shape[1]
+        )
+
+    def rowsums(self) -> np.ndarray:
+        out = np.zeros(self.shape[0])
+        nonempty = np.diff(self.indptr) > 0
+        if self.data.size:
+            out[nonempty] = np.add.reduceat(
+                self.data, self.indptr[:-1][nonempty]
+            )
+        return out
+
+    def sum(self) -> float:
+        return float(self.data.sum())
+
+    def take_rows(self, rows: np.ndarray) -> "CSRMatrix":
+        """Rows at the given positions (mini-batch gather)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise SparseError("row indices out of range")
+        counts = np.diff(self.indptr)[rows]
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        segments = [
+            slice(self.indptr[r], self.indptr[r + 1]) for r in rows
+        ]
+        data = np.concatenate([self.data[s] for s in segments]) if segments else np.empty(0)
+        indices = (
+            np.concatenate([self.indices[s] for s in segments])
+            if segments
+            else np.empty(0, dtype=np.int64)
+        )
+        return CSRMatrix(data, indices, indptr, (len(rows), self.shape[1]))
+
+    def row(self, i: int) -> np.ndarray:
+        """Row ``i`` as a dense vector."""
+        if not 0 <= i < self.shape[0]:
+            raise SparseError(f"row {i} out of range [0, {self.shape[0]})")
+        out = np.zeros(self.shape[1])
+        s = slice(self.indptr[i], self.indptr[i + 1])
+        out[self.indices[s]] = self.data[s]
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        row_of = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        out[row_of, self.indices] = self.data
+        return out
+
+    def transpose(self) -> "CSRMatrix":
+        """Materialized transpose (CSR of X.T)."""
+        row_of = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return CSRMatrix.from_coo(
+            self.indices, row_of, self.data, (self.shape[1], self.shape[0])
+        )
+
+    # ------------------------------------------------------------------
+    # numpy-like protocol so GLM losses/optimizers work unchanged
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> np.ndarray:
+        return self.matmat(np.asarray(other))
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __getitem__(self, key):
+        """Row selection with an index array (mini-batch protocol)."""
+        if isinstance(key, np.ndarray):
+            return self.take_rows(key)
+        if isinstance(key, (int, np.integer)):
+            return self.row(int(key))
+        raise SparseError(f"unsupported index type {type(key).__name__}")
+
+    @property
+    def T(self) -> "TransposedCSR":
+        return TransposedCSR(self)
+
+
+class TransposedCSR:
+    """A zero-copy transpose view supporting ``X.T @ u`` / ``X.T @ U``."""
+
+    def __init__(self, base: CSRMatrix):
+        self.base = base
+        self.shape = (base.shape[1], base.shape[0])
+
+    def __matmul__(self, other) -> np.ndarray:
+        other = np.asarray(other, dtype=np.float64)
+        if other.ndim == 1:
+            return self.base.rmatvec(other)
+        if other.shape[0] != self.shape[1]:
+            raise SparseError(f"shape mismatch: {self.shape} @ {other.shape}")
+        out = np.empty((self.shape[0], other.shape[1]))
+        for j in range(other.shape[1]):
+            out[:, j] = self.base.rmatvec(other[:, j])
+        return out
+
+    @property
+    def T(self) -> CSRMatrix:
+        return self.base
+
+    def to_dense(self) -> np.ndarray:
+        return self.base.to_dense().T

@@ -1,0 +1,198 @@
+"""Vectorized row expressions for predicates and computed columns.
+
+Expressions form a small tree evaluated column-at-a-time against a
+:class:`~repro.storage.table.Table`:
+
+>>> from repro.storage import col, lit
+>>> expr = (col("age") >= 18) & (col("country") == "FR")
+>>> mask = expr.evaluate(table)        # boolean numpy array
+
+Comparison and arithmetic operators are overloaded on :class:`Expr`;
+plain Python values are lifted to literals automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import StorageError
+from .table import Table
+
+
+class Expr:
+    """Base class of the expression tree."""
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- comparisons ----------------------------------------------------
+    def __eq__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return BinaryOp("==", self, lift(other), np.equal)
+
+    def __ne__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return BinaryOp("!=", self, lift(other), np.not_equal)
+
+    def __lt__(self, other: Any) -> "Expr":
+        return BinaryOp("<", self, lift(other), np.less)
+
+    def __le__(self, other: Any) -> "Expr":
+        return BinaryOp("<=", self, lift(other), np.less_equal)
+
+    def __gt__(self, other: Any) -> "Expr":
+        return BinaryOp(">", self, lift(other), np.greater)
+
+    def __ge__(self, other: Any) -> "Expr":
+        return BinaryOp(">=", self, lift(other), np.greater_equal)
+
+    __hash__ = None  # type: ignore[assignment]  # == builds an Expr, not a bool
+
+    # -- boolean connectives --------------------------------------------
+    def __and__(self, other: Any) -> "Expr":
+        return BinaryOp("and", self, lift(other), np.logical_and)
+
+    def __or__(self, other: Any) -> "Expr":
+        return BinaryOp("or", self, lift(other), np.logical_or)
+
+    def __invert__(self) -> "Expr":
+        return UnaryOp("not", self, np.logical_not)
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: Any) -> "Expr":
+        return BinaryOp("+", self, lift(other), np.add)
+
+    def __radd__(self, other: Any) -> "Expr":
+        return BinaryOp("+", lift(other), self, np.add)
+
+    def __sub__(self, other: Any) -> "Expr":
+        return BinaryOp("-", self, lift(other), np.subtract)
+
+    def __rsub__(self, other: Any) -> "Expr":
+        return BinaryOp("-", lift(other), self, np.subtract)
+
+    def __mul__(self, other: Any) -> "Expr":
+        return BinaryOp("*", self, lift(other), np.multiply)
+
+    def __rmul__(self, other: Any) -> "Expr":
+        return BinaryOp("*", lift(other), self, np.multiply)
+
+    def __truediv__(self, other: Any) -> "Expr":
+        return BinaryOp("/", self, lift(other), np.divide)
+
+    def __rtruediv__(self, other: Any) -> "Expr":
+        return BinaryOp("/", lift(other), self, np.divide)
+
+    def __neg__(self) -> "Expr":
+        return UnaryOp("neg", self, np.negative)
+
+    # -- convenience ------------------------------------------------------
+    def isin(self, values: Any) -> "Expr":
+        """True where the expression value is one of ``values``."""
+        value_set = list(values)
+
+        def _isin(arr: np.ndarray) -> np.ndarray:
+            return np.isin(arr, value_set)
+
+        return UnaryOp("isin", self, _isin)
+
+    def is_null(self) -> "Expr":
+        """True where the value is None or NaN."""
+
+        def _isnull(arr: np.ndarray) -> np.ndarray:
+            if arr.dtype.kind == "f":
+                return np.isnan(arr)
+            if arr.dtype == object:
+                return np.array([v is None for v in arr], dtype=bool)
+            return np.zeros(len(arr), dtype=bool)
+
+        return UnaryOp("is_null", self, _isnull)
+
+
+class ColumnRef(Expr):
+    """Reference to a named column of the input table."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return table.column(self.name)
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expr):
+    """A constant broadcast across all rows."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return np.full(table.num_rows, self.value)
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class BinaryOp(Expr):
+    """A vectorized binary operation."""
+
+    def __init__(self, symbol: str, left: Expr, right: Expr, fn: Callable):
+        self.symbol = symbol
+        self.left = left
+        self.right = right
+        self.fn = fn
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        # Literals do not need materializing to full arrays for binary ops;
+        # numpy broadcasting handles scalars directly.
+        left = (
+            self.left.value
+            if isinstance(self.left, Literal)
+            else self.left.evaluate(table)
+        )
+        right = (
+            self.right.value
+            if isinstance(self.right, Literal)
+            else self.right.evaluate(table)
+        )
+        try:
+            return self.fn(left, right)
+        except TypeError as exc:
+            raise StorageError(
+                f"cannot evaluate {self!r}: incompatible operand types"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class UnaryOp(Expr):
+    """A vectorized unary operation."""
+
+    def __init__(self, symbol: str, operand: Expr, fn: Callable):
+        self.symbol = symbol
+        self.operand = operand
+        self.fn = fn
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return self.fn(self.operand.evaluate(table))
+
+    def __repr__(self) -> str:
+        return f"{self.symbol}({self.operand!r})"
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column by name."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Wrap a constant as an expression."""
+    return Literal(value)
+
+
+def lift(value: Any) -> Expr:
+    """Lift a plain Python value to an expression (no-op for Expr)."""
+    return value if isinstance(value, Expr) else Literal(value)

@@ -1,0 +1,98 @@
+"""Materialized query results with version-based invalidation.
+
+Feature queries are re-issued constantly during model iteration — the
+same GROUP BY mart feeding every hyperparameter trial. A
+:class:`QueryCache` memoizes SELECT results keyed by (query text, the
+versions of every table it reads); registering new data under a table
+name bumps that table's version and invalidates exactly the cached
+queries that read it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from .catalog import Catalog
+from .sql import parse_sql, run_sql
+from .table import Table
+
+
+class VersionedCatalog(Catalog):
+    """A catalog that counts mutations per table name."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._versions: dict[str, int] = {}
+
+    def register(self, name: str, table: Table, replace: bool = False) -> None:
+        super().register(name, table, replace)
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    def drop(self, name: str) -> None:
+        super().drop(name)
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    def version(self, name: str) -> int:
+        """Mutation counter for a table name (0 if never registered)."""
+        return self._versions.get(name, 0)
+
+
+@dataclass
+class QueryCacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class QueryCache:
+    """LRU cache of SELECT results over a :class:`VersionedCatalog`."""
+
+    def __init__(self, catalog: VersionedCatalog, capacity: int = 64):
+        if not isinstance(catalog, VersionedCatalog):
+            raise StorageError("QueryCache requires a VersionedCatalog")
+        if capacity < 1:
+            raise StorageError("capacity must be >= 1")
+        self.catalog = catalog
+        self.capacity = capacity
+        self._entries: OrderedDict[str, tuple[tuple, Table]] = OrderedDict()
+        self.stats = QueryCacheStats()
+
+    def _table_versions(self, text: str) -> tuple:
+        query = parse_sql(text)
+        names = [query.table] + [j.table for j in query.joins]
+        return tuple(
+            (name, self.catalog.version(name)) for name in sorted(set(names))
+        )
+
+    def run(self, text: str) -> Table:
+        """Execute a SELECT, serving an identical-version repeat from cache."""
+        versions = self._table_versions(text)
+        cached = self._entries.get(text)
+        if cached is not None:
+            cached_versions, result = cached
+            if cached_versions == versions:
+                self.stats.hits += 1
+                self._entries.move_to_end(text)
+                return result
+            # A referenced table changed: drop the stale entry.
+            del self._entries[text]
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        result = run_sql(text, self.catalog)
+        self._entries[text] = (versions, result)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

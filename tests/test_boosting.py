@@ -1,0 +1,88 @@
+"""Unit tests for gradient-boosted regression trees."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_regression
+from repro.errors import ModelError, NotFittedError
+from repro.ml import DecisionTreeRegressor, GradientBoostingRegressor
+
+
+@pytest.fixture
+def data():
+    return make_regression(500, 6, noise=0.3, seed=111)
+
+
+class TestGradientBoosting:
+    def test_beats_single_tree(self, data):
+        X, y, _ = data
+        boosted = GradientBoostingRegressor(
+            n_stages=60, learning_rate=0.2, max_depth=3, seed=1
+        ).fit(X, y)
+        single = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert boosted.score(X, y) > single.score(X, y) + 0.1
+
+    def test_train_loss_monotone_nonincreasing(self, data):
+        X, y, _ = data
+        model = GradientBoostingRegressor(n_stages=40, seed=2).fit(X, y)
+        losses = model.train_loss_
+        assert all(b <= a + 1e-9 for a, b in zip(losses, losses[1:]))
+
+    def test_zero_stages_prediction_is_mean(self, data):
+        X, y, _ = data
+        model = GradientBoostingRegressor(n_stages=1, learning_rate=1e-9).fit(X, y)
+        assert np.allclose(model.predict(X), y.mean(), atol=1e-6)
+
+    def test_more_stages_help_until_saturation(self, data):
+        X, y, _ = data
+        few = GradientBoostingRegressor(n_stages=5, seed=3).fit(X, y)
+        many = GradientBoostingRegressor(n_stages=80, seed=3).fit(X, y)
+        assert many.score(X, y) > few.score(X, y)
+
+    def test_staged_predict_converges_to_final(self, data):
+        X, y, _ = data
+        model = GradientBoostingRegressor(n_stages=20, seed=4).fit(X, y)
+        stages = list(model.staged_predict(X, every=5))
+        assert [i for i, _ in stages] == [5, 10, 15, 20]
+        assert np.allclose(stages[-1][1], model.predict(X))
+
+    def test_stochastic_subsampling_trains(self, data):
+        X, y, _ = data
+        model = GradientBoostingRegressor(
+            n_stages=50, subsample=0.5, seed=5
+        ).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_deterministic_given_seed(self, data):
+        X, y, _ = data
+        a = GradientBoostingRegressor(n_stages=10, subsample=0.7, seed=6).fit(X, y)
+        b = GradientBoostingRegressor(n_stages=10, subsample=0.7, seed=6).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_validation(self, data):
+        X, y, _ = data
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(n_stages=0).fit(X, y)
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(learning_rate=0.0).fit(X, y)
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor(subsample=0.0).fit(X, y)
+        with pytest.raises(NotFittedError):
+            GradientBoostingRegressor().predict(X)
+        model = GradientBoostingRegressor(n_stages=3).fit(X, y)
+        with pytest.raises(ModelError):
+            model.predict(X[:, :2])
+
+    def test_grid_searchable(self, data):
+        from repro.selection import grid_search
+
+        X, y, _ = data
+        result = grid_search(
+            GradientBoostingRegressor(n_stages=15, seed=7),
+            {"learning_rate": [0.05, 0.3], "max_depth": [2, 4]},
+            X,
+            y,
+            cv=3,
+        )
+        assert result.num_evaluated == 4
+        assert result.best_score > 0.5

@@ -1,0 +1,43 @@
+"""Unit tests for repro.storage.catalog."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def catalog(people_table):
+    c = Catalog()
+    c.register("people", people_table)
+    return c
+
+
+class TestCatalog:
+    def test_register_and_get(self, catalog, people_table):
+        assert catalog.get("people") is people_table
+
+    def test_register_duplicate_raises(self, catalog, people_table):
+        with pytest.raises(StorageError, match="already registered"):
+            catalog.register("people", people_table)
+
+    def test_register_replace(self, catalog):
+        t = Table.from_columns({"x": [1]})
+        catalog.register("people", t, replace=True)
+        assert catalog.get("people") is t
+
+    def test_get_unknown_lists_names(self, catalog):
+        with pytest.raises(StorageError, match="people"):
+            catalog.get("missing")
+
+    def test_drop(self, catalog):
+        catalog.drop("people")
+        assert "people" not in catalog
+        with pytest.raises(StorageError):
+            catalog.drop("people")
+
+    def test_contains_len_iter(self, catalog, people_table):
+        catalog.register("b_table", people_table)
+        catalog.register("a_table", people_table)
+        assert len(catalog) == 3
+        assert list(catalog) == ["a_table", "b_table", "people"]

@@ -1,0 +1,75 @@
+"""Unit tests for repro.storage.csvio."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    ColumnType,
+    Schema,
+    Table,
+    read_csv,
+    read_csv_string,
+    write_csv,
+)
+
+
+class TestReadInference:
+    def test_infer_int_float_str(self):
+        t = read_csv_string("id,score,name\n1,2.5,alice\n2,3.5,bob\n")
+        assert t.schema.type_of("id") == ColumnType.INT
+        assert t.schema.type_of("score") == ColumnType.FLOAT
+        assert t.schema.type_of("name") == ColumnType.STR
+        assert t.num_rows == 2
+
+    def test_infer_bool(self):
+        t = read_csv_string("flag\ntrue\nfalse\nyes\n")
+        assert t.schema.type_of("flag") == ColumnType.BOOL
+        assert t.column("flag").tolist() == [True, False, True]
+
+    def test_numeric_zero_one_prefers_int_over_bool(self):
+        t = read_csv_string("x\n0\n1\n")
+        assert t.schema.type_of("x") == ColumnType.INT
+
+    def test_mixed_falls_back_to_str(self):
+        t = read_csv_string("x\n1\nhello\n")
+        assert t.schema.type_of("x") == ColumnType.STR
+
+    def test_empty_input_raises(self):
+        with pytest.raises(StorageError, match="empty"):
+            read_csv_string("")
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(StorageError, match="ragged"):
+            read_csv_string("a,b\n1,2\n3\n")
+
+    def test_header_only_gives_empty_table(self):
+        t = read_csv_string("a,b\n")
+        assert t.num_rows == 0
+
+
+class TestExplicitSchema:
+    def test_schema_coercion(self):
+        schema = Schema.of(id="int", ratio="float")
+        t = read_csv_string("id,ratio\n1,0.5\n", schema=schema)
+        assert t.schema == schema
+
+    def test_header_mismatch_raises(self):
+        with pytest.raises(StorageError, match="does not match"):
+            read_csv_string("a,b\n1,2\n", schema=Schema.of(x="int", y="int"))
+
+    def test_unparseable_value_raises(self):
+        with pytest.raises(StorageError, match="cannot parse"):
+            read_csv_string("id\nabc\n", schema=Schema.of(id="int"))
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, people_table):
+        path = tmp_path / "people.csv"
+        write_csv(people_table, path)
+        loaded = read_csv(path)
+        assert loaded.num_rows == people_table.num_rows
+        assert loaded.schema.names == people_table.schema.names
+        assert list(loaded.column("city")) == list(people_table.column("city"))
+        assert loaded.column("income").tolist() == people_table.column(
+            "income"
+        ).tolist()

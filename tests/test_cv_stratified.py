@@ -1,0 +1,76 @@
+"""Unit tests for stratified cross-validation and tree serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification
+from repro.errors import SelectionError
+from repro.lifecycle import dumps_model, loads_model
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.selection import StratifiedKFold
+
+
+class TestStratifiedKFold:
+    @pytest.fixture
+    def imbalanced_labels(self, rng):
+        return np.array([0] * 90 + [1] * 10)
+
+    def test_partitions_all_rows(self, imbalanced_labels):
+        folds = StratifiedKFold(5, seed=1).folds(imbalanced_labels)
+        flat = np.concatenate(folds)
+        assert sorted(flat.tolist()) == list(range(100))
+
+    def test_every_fold_has_minority_examples(self, imbalanced_labels):
+        cv = StratifiedKFold(5, seed=2)
+        for fold in cv.folds(imbalanced_labels):
+            labels = imbalanced_labels[fold]
+            assert (labels == 1).sum() == 2  # 10 minority / 5 folds
+
+    def test_proportions_preserved(self, imbalanced_labels):
+        cv = StratifiedKFold(5, seed=3)
+        for train, test in cv.split(imbalanced_labels):
+            ratio = np.mean(imbalanced_labels[test] == 1)
+            assert ratio == pytest.approx(0.1, abs=0.02)
+            assert not set(train) & set(test)
+
+    def test_too_few_minority_rows_rejected(self):
+        y = np.array([0] * 20 + [1] * 2)
+        with pytest.raises(SelectionError, match="need >="):
+            StratifiedKFold(5).folds(y)
+
+    def test_n_splits_validation(self):
+        with pytest.raises(SelectionError):
+            StratifiedKFold(1)
+
+    def test_plain_kfold_can_starve_a_fold_stratified_cannot(self):
+        from repro.selection import KFold
+
+        y = np.array([0] * 96 + [1] * 4)
+        # With 4 minority rows and 4 folds, some random seed starves a
+        # fold under plain KFold eventually; stratified never does.
+        cv = StratifiedKFold(4, seed=0)
+        for fold in cv.folds(y):
+            assert (y[fold] == 1).sum() == 1
+
+
+class TestTreeSerialization:
+    def test_classifier_roundtrip(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        restored = loads_model(dumps_model(tree))
+        assert np.array_equal(restored.predict(X), tree.predict(X))
+        assert restored.depth_ == tree.depth_
+        assert restored.describe() == tree.describe()
+
+    def test_regressor_roundtrip(self, regression_data):
+        X, y, _ = regression_data
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        restored = loads_model(dumps_model(tree))
+        assert np.allclose(restored.predict(X), tree.predict(X))
+
+    def test_hyperparameters_preserved(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=2, min_samples_leaf=7).fit(X, y)
+        restored = loads_model(dumps_model(tree))
+        assert restored.max_depth == 2
+        assert restored.min_samples_leaf == 7

@@ -1,0 +1,230 @@
+"""Unit tests for the simulated distributed execution layer."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification, make_regression
+from repro.distributed import (
+    ParameterServer,
+    SimulatedCluster,
+    partition_rows,
+    train_bsp_gd,
+    train_model_averaging,
+    train_parameter_server,
+)
+from repro.errors import ReproError
+from repro.ml.losses import LogisticLoss, SquaredLoss
+from repro.ml.optim import gradient_descent
+
+
+@pytest.fixture
+def reg_problem():
+    return make_regression(800, 8, noise=0.05, seed=71)
+
+
+class TestPartitioning:
+    def test_every_row_exactly_once(self):
+        for scheme in ("contiguous", "round_robin", "random"):
+            parts = partition_rows(103, 4, scheme=scheme, seed=1)
+            all_idx = np.concatenate([p.indices for p in parts])
+            assert sorted(all_idx.tolist()) == list(range(103))
+
+    def test_balanced_shards(self):
+        parts = partition_rows(103, 4, scheme="random", seed=2)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_contiguous_order(self):
+        parts = partition_rows(10, 2, scheme="contiguous")
+        assert parts[0].indices.tolist() == [0, 1, 2, 3, 4]
+
+    def test_round_robin_stride(self):
+        parts = partition_rows(10, 3, scheme="round_robin")
+        assert parts[1].indices.tolist() == [1, 4, 7]
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            partition_rows(5, 0)
+        with pytest.raises(ReproError):
+            partition_rows(2, 5)
+        with pytest.raises(ReproError):
+            partition_rows(10, 2, scheme="zigzag")
+
+
+class TestCluster:
+    def test_global_gradient_matches_single_node(self, reg_problem):
+        X, y, _ = reg_problem
+        cluster = SimulatedCluster(X, y, num_workers=5, seed=3)
+        w = np.random.default_rng(0).standard_normal(8)
+        assert np.allclose(
+            cluster.global_gradient(SquaredLoss(), w),
+            SquaredLoss().gradient(X, y, w),
+            atol=1e-12,
+        )
+
+    def test_global_loss_matches_single_node(self, reg_problem):
+        X, y, _ = reg_problem
+        cluster = SimulatedCluster(X, y, num_workers=3, seed=4)
+        w = np.zeros(8)
+        assert cluster.global_loss(SquaredLoss(), w) == pytest.approx(
+            SquaredLoss().value(X, y, w)
+        )
+
+    def test_communication_accounting(self, reg_problem):
+        X, y, _ = reg_problem
+        cluster = SimulatedCluster(X, y, num_workers=4, seed=5)
+        cluster.global_gradient(SquaredLoss(), np.zeros(8))
+        assert cluster.comm.rounds == 1
+        assert cluster.comm.messages == 8  # 4 down + 4 up
+        assert cluster.comm.bytes_broadcast == 4 * 8 * 8
+        assert cluster.comm.bytes_gathered == 4 * 8 * 8
+
+    def test_length_mismatch_rejected(self, reg_problem):
+        X, y, _ = reg_problem
+        with pytest.raises(ReproError):
+            SimulatedCluster(X, y[:10], num_workers=2)
+
+
+class TestBSP:
+    def test_identical_to_single_node_gd(self, reg_problem):
+        X, y, _ = reg_problem
+        cluster = SimulatedCluster(X, y, num_workers=4, seed=6)
+        bsp = train_bsp_gd(
+            cluster, SquaredLoss(), rounds=60, learning_rate=0.3
+        )
+        single = gradient_descent(
+            SquaredLoss(),
+            X,
+            y,
+            learning_rate=0.3,
+            line_search=False,
+            max_iter=60,
+            tol=0.0,
+            warn_on_cap=False,
+        )
+        assert np.allclose(bsp.weights, single.weights, atol=1e-10)
+
+    def test_worker_count_does_not_change_result(self, reg_problem):
+        X, y, _ = reg_problem
+        results = []
+        for k in (1, 4, 16):
+            cluster = SimulatedCluster(X, y, num_workers=k, seed=7)
+            results.append(
+                train_bsp_gd(cluster, SquaredLoss(), rounds=30).weights
+            )
+        assert np.allclose(results[0], results[1], atol=1e-10)
+        assert np.allclose(results[0], results[2], atol=1e-10)
+
+    def test_comm_scales_with_rounds_and_workers(self, reg_problem):
+        X, y, _ = reg_problem
+        cluster = SimulatedCluster(X, y, num_workers=4, seed=8)
+        result = train_bsp_gd(cluster, SquaredLoss(), rounds=10)
+        # 10 gradient rounds + 11 loss rounds.
+        assert result.comm.rounds == 21
+        assert result.comm.total_bytes == 21 * 2 * 4 * 8 * 8
+
+    def test_early_stop_with_tol(self, reg_problem):
+        X, y, _ = reg_problem
+        cluster = SimulatedCluster(X, y, num_workers=2, seed=9)
+        result = train_bsp_gd(
+            cluster, SquaredLoss(), rounds=500, learning_rate=0.3, tol=1e-9
+        )
+        assert len(result.loss_history) < 500
+
+
+class TestModelAveraging:
+    def test_single_round_of_communication(self, reg_problem):
+        X, y, _ = reg_problem
+        cluster = SimulatedCluster(X, y, num_workers=4, seed=10)
+        result = train_model_averaging(cluster, SquaredLoss())
+        # 1 gather round + 1 final loss round.
+        assert result.comm.rounds == 2
+
+    def test_good_on_well_posed_shards(self, reg_problem):
+        X, y, _ = reg_problem
+        cluster = SimulatedCluster(X, y, num_workers=4, seed=11)
+        result = train_model_averaging(
+            cluster, SquaredLoss(), local_iterations=300
+        )
+        assert result.final_loss < 0.01
+
+    def test_degrades_with_many_workers(self):
+        X, y, _ = make_regression(400, 40, noise=0.5, seed=72)
+        few = SimulatedCluster(X, y, num_workers=2, seed=1)
+        many = SimulatedCluster(X, y, num_workers=32, seed=1)
+        loss_few = train_model_averaging(
+            few, SquaredLoss(), local_iterations=300
+        ).final_loss
+        loss_many = train_model_averaging(
+            many, SquaredLoss(), local_iterations=300
+        ).final_loss
+        assert loss_many > loss_few * 2  # ill-posed local shards hurt
+
+
+class TestParameterServer:
+    def test_versioning_and_pull(self):
+        server = ParameterServer(dim=3)
+        server.push(np.ones(3))
+        server.push(np.ones(3))
+        assert server.version == 2
+        current, s0 = server.pull(0)
+        assert np.allclose(current, [2, 2, 2])
+        stale, s1 = server.pull(1)
+        assert np.allclose(stale, [1, 1, 1])
+        assert (s0, s1) == (0, 1)
+
+    def test_staleness_clamped_to_available_history(self):
+        server = ParameterServer(dim=2)
+        _, actual = server.pull(10)
+        assert actual == 0
+
+    def test_sequential_training_converges(self):
+        X, y = make_classification(800, 6, separation=2.5, seed=73)
+        ypm = np.where(y == 1, 1.0, -1.0)
+        cluster = SimulatedCluster(X, ypm, num_workers=4, seed=2)
+        result = train_parameter_server(
+            cluster, LogisticLoss(), total_updates=400, learning_rate=0.3,
+            max_staleness=0, seed=2,
+        )
+        assert result.final_loss < 0.45
+        assert result.updates_applied == 400
+        assert result.mean_staleness == 0.0
+
+    def test_moderate_staleness_tolerated(self):
+        X, y = make_classification(800, 6, separation=2.5, seed=74)
+        ypm = np.where(y == 1, 1.0, -1.0)
+        fresh = SimulatedCluster(X, ypm, num_workers=8, seed=3)
+        stale = SimulatedCluster(X, ypm, num_workers=8, seed=3)
+        r0 = train_parameter_server(
+            fresh, LogisticLoss(), total_updates=400, max_staleness=0, seed=3
+        )
+        r8 = train_parameter_server(
+            stale, LogisticLoss(), total_updates=400, max_staleness=8, seed=3
+        )
+        assert r8.final_loss < r0.final_loss * 1.3  # small penalty only
+
+    def test_extreme_staleness_with_large_steps_destabilizes(self):
+        X, y = make_classification(800, 6, separation=2.5, seed=75)
+        ypm = np.where(y == 1, 1.0, -1.0)
+        fresh = SimulatedCluster(X, ypm, num_workers=8, seed=4)
+        stale = SimulatedCluster(X, ypm, num_workers=8, seed=4)
+        kwargs = dict(
+            total_updates=600, learning_rate=2.0, decay=0.0, seed=4
+        )
+        r0 = train_parameter_server(
+            fresh, LogisticLoss(), max_staleness=0, **kwargs
+        )
+        r128 = train_parameter_server(
+            stale, LogisticLoss(), max_staleness=128, **kwargs
+        )
+        assert r128.final_loss > r0.final_loss * 1.3
+
+    def test_validation(self, reg_problem):
+        X, y, _ = reg_problem
+        cluster = SimulatedCluster(X, y, num_workers=2, seed=5)
+        with pytest.raises(ReproError):
+            train_parameter_server(cluster, SquaredLoss(), total_updates=0)
+        with pytest.raises(ReproError):
+            train_parameter_server(
+                cluster, SquaredLoss(), total_updates=5, max_staleness=-1
+            )

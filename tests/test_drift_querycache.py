@@ -1,0 +1,158 @@
+"""Unit tests for drift detection and the query cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.feateng import detect_drift
+from repro.storage import QueryCache, Table, VersionedCatalog
+
+
+class TestDriftDetection:
+    def _table(self, rng, shift=0.0, cats=("a", "b", "c"), n=2000):
+        return Table.from_columns(
+            {
+                "x": rng.standard_normal(n) + shift,
+                "cat": rng.choice(list(cats), n).astype(object),
+            }
+        )
+
+    def test_identical_distributions_no_drift(self, rng):
+        train = self._table(rng)
+        serve = self._table(np.random.default_rng(999))
+        report = detect_drift(train, serve)
+        assert not report.any_drift
+        assert all(c.score < 0.1 for c in report.columns)
+
+    def test_mean_shift_detected(self, rng):
+        train = self._table(rng)
+        serve = self._table(np.random.default_rng(999), shift=2.0)
+        report = detect_drift(train, serve)
+        assert "x" in report.drifted_columns
+        assert "cat" not in report.drifted_columns
+
+    def test_new_category_detected(self, rng):
+        train = self._table(rng, cats=("a", "b"))
+        serve = self._table(
+            np.random.default_rng(999), cats=("a", "b", "z", "z", "z")
+        )
+        report = detect_drift(train, serve, threshold=0.15)
+        cat = next(c for c in report.columns if c.name == "cat")
+        assert cat.drifted
+        assert "new at serving" in cat.detail
+
+    def test_missing_rate_change_contributes(self, rng):
+        train = Table.from_columns({"x": rng.standard_normal(500)})
+        serve_values = rng.standard_normal(500)
+        serve_values[:250] = np.nan
+        serve = Table.from_columns({"x": serve_values})
+        report = detect_drift(train, serve)
+        assert report.columns[0].score > 0.3
+
+    def test_entirely_missing_side_max_drift(self, rng):
+        train = Table.from_columns({"x": rng.standard_normal(100)})
+        serve = Table.from_columns({"x": np.full(100, np.nan)})
+        report = detect_drift(train, serve)
+        assert report.columns[0].score == 1.0
+        assert report.columns[0].drifted
+
+    def test_column_subset_and_missing_column(self, rng):
+        train = self._table(rng)
+        serve = self._table(np.random.default_rng(999))
+        report = detect_drift(train, serve, columns=["x"])
+        assert [c.name for c in report.columns] == ["x"]
+        with pytest.raises(SchemaError):
+            detect_drift(train, serve, columns=["ghost"])
+
+    def test_describe_orders_by_score(self, rng):
+        train = self._table(rng)
+        serve = self._table(np.random.default_rng(999), shift=3.0)
+        text = detect_drift(train, serve).describe()
+        assert text.splitlines()[0].startswith("x")
+        assert "DRIFT" in text
+
+    def test_defaults_to_common_columns(self, rng):
+        train = self._table(rng)
+        serve = Table.from_columns({"x": rng.standard_normal(100)})
+        report = detect_drift(train, serve)
+        assert [c.name for c in report.columns] == ["x"]
+
+
+class TestQueryCache:
+    @pytest.fixture
+    def setup(self, rng):
+        catalog = VersionedCatalog()
+        catalog.register(
+            "events",
+            Table.from_columns(
+                {"k": rng.integers(0, 5, 200), "v": rng.standard_normal(200)}
+            ),
+        )
+        return catalog, QueryCache(catalog, capacity=4)
+
+    QUERY = "SELECT k, COUNT(*) AS n FROM events GROUP BY k"
+
+    def test_repeat_query_served_from_cache(self, setup):
+        _, cache = setup
+        a = cache.run(self.QUERY)
+        b = cache.run(self.QUERY)
+        assert a is b
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_table_update_invalidates(self, setup, rng):
+        catalog, cache = setup
+        first = cache.run(self.QUERY)
+        catalog.register(
+            "events",
+            Table.from_columns({"k": np.array([1, 1]), "v": np.array([0.0, 0.0])}),
+            replace=True,
+        )
+        second = cache.run(self.QUERY)
+        assert second is not first
+        assert second.num_rows == 1
+        assert cache.stats.invalidations == 1
+
+    def test_unrelated_table_update_does_not_invalidate(self, setup, rng):
+        catalog, cache = setup
+        first = cache.run(self.QUERY)
+        catalog.register(
+            "other", Table.from_columns({"z": np.array([1])})
+        )
+        assert cache.run(self.QUERY) is first
+
+    def test_join_query_tracks_both_tables(self, setup, rng):
+        catalog, cache = setup
+        catalog.register(
+            "dims", Table.from_columns({"k": np.arange(5), "w": np.arange(5.0)})
+        )
+        query = (
+            "SELECT k, w FROM events JOIN dims ON k = k LIMIT 5"
+        )
+        first = cache.run(query)
+        catalog.register(
+            "dims",
+            Table.from_columns({"k": np.arange(5), "w": np.zeros(5)}),
+            replace=True,
+        )
+        second = cache.run(query)
+        assert second is not first
+
+    def test_lru_capacity(self, setup):
+        catalog, cache = setup
+        for i in range(6):
+            cache.run(f"SELECT k FROM events LIMIT {i + 1}")
+        assert len(cache) == 4
+
+    def test_requires_versioned_catalog(self):
+        from repro.storage import Catalog
+
+        with pytest.raises(StorageError):
+            QueryCache(Catalog())
+
+    def test_versions_monotone(self, setup):
+        catalog, _ = setup
+        v1 = catalog.version("events")
+        catalog.drop("events")
+        assert catalog.version("events") == v1 + 1
+        assert catalog.version("never_registered") == 0

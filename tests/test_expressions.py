@@ -1,0 +1,112 @@
+"""Unit tests for repro.storage.expressions."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Table, col, lit
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns(
+        {
+            "a": [1, 2, 3, 4],
+            "b": [10.0, 20.0, 30.0, 40.0],
+            "s": ["x", "y", "x", "z"],
+            "f": [1.0, float("nan"), 3.0, 4.0],
+        }
+    )
+
+
+class TestComparisons:
+    def test_eq(self, table):
+        assert (col("a") == 2).evaluate(table).tolist() == [False, True, False, False]
+
+    def test_ne(self, table):
+        assert (col("a") != 2).evaluate(table).sum() == 3
+
+    def test_lt_le_gt_ge(self, table):
+        assert (col("a") < 3).evaluate(table).sum() == 2
+        assert (col("a") <= 3).evaluate(table).sum() == 3
+        assert (col("a") > 3).evaluate(table).sum() == 1
+        assert (col("a") >= 3).evaluate(table).sum() == 2
+
+    def test_string_equality(self, table):
+        assert (col("s") == "x").evaluate(table).tolist() == [True, False, True, False]
+
+    def test_column_vs_column(self, table):
+        mask = (col("b") > col("a")).evaluate(table)
+        assert mask.all()
+
+
+class TestBooleanConnectives:
+    def test_and(self, table):
+        e = (col("a") > 1) & (col("a") < 4)
+        assert e.evaluate(table).tolist() == [False, True, True, False]
+
+    def test_or(self, table):
+        e = (col("a") == 1) | (col("a") == 4)
+        assert e.evaluate(table).tolist() == [True, False, False, True]
+
+    def test_invert(self, table):
+        e = ~(col("a") == 1)
+        assert e.evaluate(table).tolist() == [False, True, True, True]
+
+
+class TestArithmetic:
+    def test_add_scalar(self, table):
+        assert (col("a") + 1).evaluate(table).tolist() == [2, 3, 4, 5]
+
+    def test_radd(self, table):
+        assert (1 + col("a")).evaluate(table).tolist() == [2, 3, 4, 5]
+
+    def test_sub_and_rsub(self, table):
+        assert (col("a") - 1).evaluate(table).tolist() == [0, 1, 2, 3]
+        assert (10 - col("a")).evaluate(table).tolist() == [9, 8, 7, 6]
+
+    def test_mul_div(self, table):
+        assert (col("a") * 2).evaluate(table).tolist() == [2, 4, 6, 8]
+        assert (col("b") / 10).evaluate(table).tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_rtruediv(self, table):
+        out = (120.0 / col("b")).evaluate(table)
+        assert out.tolist() == [12.0, 6.0, 4.0, 3.0]
+
+    def test_neg(self, table):
+        assert (-col("a")).evaluate(table).tolist() == [-1, -2, -3, -4]
+
+    def test_compound_expression(self, table):
+        e = (col("a") * 2 + col("b")) > 25
+        assert e.evaluate(table).tolist() == [False, False, True, True]
+
+
+class TestConvenience:
+    def test_isin(self, table):
+        assert col("s").isin(["x", "z"]).evaluate(table).tolist() == [
+            True,
+            False,
+            True,
+            True,
+        ]
+
+    def test_is_null_floats(self, table):
+        assert col("f").is_null().evaluate(table).tolist() == [
+            False,
+            True,
+            False,
+            False,
+        ]
+
+    def test_is_null_objects(self):
+        t = Table.from_columns({"s": ["a", None, "c"]})
+        assert col("s").is_null().evaluate(t).tolist() == [False, True, False]
+
+    def test_is_null_ints_all_false(self, table):
+        assert not col("a").is_null().evaluate(table).any()
+
+    def test_lit_broadcast(self, table):
+        assert lit(5).evaluate(table).tolist() == [5, 5, 5, 5]
+
+    def test_repr_roundtrips_symbols(self):
+        assert "==" in repr(col("a") == 1)
+        assert "col('a')" in repr(col("a"))

@@ -1,0 +1,222 @@
+"""Unit tests for the extension modules: in-DB k-means, Hyperband,
+factorized k-means, and the compress-or-not decision."""
+
+import numpy as np
+import pytest
+
+from repro.compression import decide_compression
+from repro.data import (
+    make_blobs,
+    make_classification,
+    make_low_cardinality_matrix,
+    make_star_schema,
+)
+from repro.errors import CompressionError, FactorizationError, ModelError, SelectionError
+from repro.factorized import NormalizedMatrix, factorized_kmeans
+from repro.indb import assign_clusters_indb, train_kmeans_indb
+from repro.ml import KMeans, LogisticRegression
+from repro.ml.preprocessing import train_test_split
+from repro.selection import hyperband, sample_from_space
+from repro.storage import Table
+
+
+class TestInDBKMeans:
+    @pytest.fixture
+    def blob_table(self):
+        X, labels = make_blobs(300, 3, centers=4, cluster_std=0.4, seed=61)
+        table = Table.from_columns({f"x{i}": X[:, i] for i in range(3)})
+        return table, X, labels
+
+    def test_converges_to_library_quality(self, blob_table):
+        table, X, _ = blob_table
+        indb = train_kmeans_indb(table, ["x0", "x1", "x2"], 4, seed=61)
+        library = KMeans(4, n_init=1, init="random", seed=61).fit(X)
+        assert indb.inertia <= library.inertia_ * 1.5
+
+    def test_inertia_history_non_increasing(self, blob_table):
+        table, _, _ = blob_table
+        result = train_kmeans_indb(table, ["x0", "x1", "x2"], 3, seed=62)
+        assert np.all(np.diff(result.inertia_history) <= 1e-6)
+
+    def test_partitioned_equals_serial(self, blob_table):
+        table, _, _ = blob_table
+        serial = train_kmeans_indb(
+            table, ["x0", "x1", "x2"], 3, seed=63, partitions=1
+        )
+        parallel = train_kmeans_indb(
+            table, ["x0", "x1", "x2"], 3, seed=63, partitions=5
+        )
+        # Assign+accumulate is exact under merge: identical trajectories.
+        assert np.allclose(serial.centroids, parallel.centroids)
+
+    def test_assignment_scoring(self, blob_table):
+        table, X, _ = blob_table
+        result = train_kmeans_indb(table, ["x0", "x1", "x2"], 4, seed=64)
+        scored = assign_clusters_indb(
+            table, ["x0", "x1", "x2"], result.centroids
+        )
+        assert "cluster" in scored.schema
+        assert set(scored.column("cluster").tolist()) <= set(range(4))
+
+    def test_validation(self, blob_table):
+        table, _, _ = blob_table
+        with pytest.raises(ModelError):
+            train_kmeans_indb(table, [], 3)
+        with pytest.raises(ModelError):
+            train_kmeans_indb(table, ["x0"], 0)
+        with pytest.raises(ModelError):
+            train_kmeans_indb(table.head(2), ["x0"], 5)
+
+
+class TestHyperband:
+    @pytest.fixture
+    def split(self):
+        X, y = make_classification(600, 5, separation=1.5, seed=65)
+        return train_test_split(X, y, 0.3, seed=65)
+
+    def test_finds_good_config(self, split):
+        X_tr, X_val, y_tr, y_val = split
+        result = hyperband(
+            LogisticRegression(solver="gd"),
+            sample_from_space({"l2": ("loguniform", 1e-4, 10.0)}),
+            X_tr, y_tr, X_val, y_val,
+            max_budget=16, eta=2, seed=1,
+        )
+        assert result.best_score > 0.7
+        assert len(result.brackets) >= 2
+
+    def test_brackets_trade_breadth_for_budget(self, split):
+        X_tr, X_val, y_tr, y_val = split
+        result = hyperband(
+            LogisticRegression(solver="gd"),
+            sample_from_space({"l2": ("loguniform", 1e-4, 10.0)}),
+            X_tr, y_tr, X_val, y_val,
+            max_budget=16, eta=2, seed=2,
+        )
+        # Earlier brackets start more configs at smaller budgets.
+        num_configs = [b.num_configs for b in result.brackets]
+        min_budgets = [b.min_budget for b in result.brackets]
+        assert num_configs[0] >= num_configs[-1]
+        assert min_budgets[0] <= min_budgets[-1]
+
+    def test_cost_below_exhaustive(self, split):
+        X_tr, X_val, y_tr, y_val = split
+        result = hyperband(
+            LogisticRegression(solver="gd"),
+            sample_from_space({"l2": ("loguniform", 1e-4, 10.0)}),
+            X_tr, y_tr, X_val, y_val,
+            max_budget=16, eta=2, seed=3,
+        )
+        total_configs = sum(b.num_configs for b in result.brackets)
+        assert result.total_cost < total_configs * 16
+
+    def test_validation(self, split):
+        X_tr, X_val, y_tr, y_val = split
+        with pytest.raises(SelectionError):
+            hyperband(
+                LogisticRegression(),
+                sample_from_space({"l2": [0.1]}),
+                X_tr, y_tr, X_val, y_val, eta=1,
+            )
+        with pytest.raises(SelectionError):
+            hyperband(
+                LogisticRegression(),
+                sample_from_space({"l2": [0.1]}),
+                X_tr, y_tr, X_val, y_val, max_budget=0,
+            )
+
+
+class TestFactorizedMatmat:
+    @pytest.fixture
+    def nm_and_dense(self, star):
+        return NormalizedMatrix(star.S, [star.fk], [star.R]), star.materialize()
+
+    def test_matmat_matches_dense(self, nm_and_dense, rng):
+        nm, X = nm_and_dense
+        V = rng.standard_normal((X.shape[1], 5))
+        assert np.allclose(nm.matmat(V), X @ V)
+
+    def test_rmatmat_matches_dense(self, nm_and_dense, rng):
+        nm, X = nm_and_dense
+        U = rng.standard_normal((X.shape[0], 4))
+        assert np.allclose(nm.rmatmat(U), X.T @ U)
+
+    def test_sq_rowsums_matches_dense(self, nm_and_dense):
+        nm, X = nm_and_dense
+        assert np.allclose(nm.sq_rowsums(), np.einsum("ij,ij->i", X, X))
+
+    def test_matmat_shape_validation(self, nm_and_dense):
+        nm, _ = nm_and_dense
+        with pytest.raises(FactorizationError):
+            nm.matmat(np.ones((3, 2)))
+        with pytest.raises(FactorizationError):
+            nm.rmatmat(np.ones((3, 2)))
+
+    def test_1d_falls_back_to_matvec(self, nm_and_dense, rng):
+        nm, X = nm_and_dense
+        v = rng.standard_normal(X.shape[1])
+        assert np.allclose(nm.matmat(v), X @ v)
+
+
+class TestFactorizedKMeans:
+    def test_matches_dense_kmeans_quality(self):
+        star = make_star_schema(n_s=600, n_r=30, d_s=3, d_r=5, seed=66)
+        nm = NormalizedMatrix(star.S, [star.fk], [star.R])
+        X = star.materialize()
+        fact = factorized_kmeans(nm, 4, seed=66)
+        dense = KMeans(4, n_init=1, init="random", seed=66).fit(X)
+        assert fact.inertia <= dense.inertia_ * 1.5
+        assert fact.labels.shape == (600,)
+
+    def test_inertia_history_non_increasing(self, star):
+        nm = NormalizedMatrix(star.S, [star.fk], [star.R])
+        result = factorized_kmeans(nm, 3, seed=67)
+        assert np.all(np.diff(result.inertia_history) <= 1e-6)
+
+    def test_validation(self, star):
+        nm = NormalizedMatrix(star.S, [star.fk], [star.R])
+        with pytest.raises(FactorizationError):
+            factorized_kmeans(star.materialize(), 3)
+        with pytest.raises(FactorizationError):
+            factorized_kmeans(nm, 0)
+
+
+class TestCompressionDecision:
+    def test_compressible_iterative_workload(self):
+        X = make_low_cardinality_matrix(5000, 6, cardinality=6, seed=68)
+        decision = decide_compression(X, iterations=50)
+        assert decision.compress
+        assert decision.estimated_ratio > 1.2
+
+    def test_incompressible_declined(self, rng):
+        X = rng.standard_normal((5000, 6))
+        decision = decide_compression(X, iterations=50)
+        assert not decision.compress
+        assert "below threshold" in decision.reason
+
+    def test_single_pass_declined_even_if_compressible(self):
+        X = make_low_cardinality_matrix(5000, 6, cardinality=6, seed=69)
+        decision = decide_compression(X, iterations=1)
+        assert not decision.compress
+        assert "single-pass" in decision.reason
+
+    def test_memory_pressure_forces_compression(self):
+        X = make_low_cardinality_matrix(5000, 6, cardinality=6, seed=70)
+        budget = X.nbytes // 2  # dense does not fit
+        decision = decide_compression(X, memory_budget_bytes=budget, iterations=1)
+        assert decision.compress
+        assert not decision.fits_dense
+        assert decision.fits_compressed
+
+    def test_nothing_fits(self, rng):
+        X = rng.standard_normal((2000, 6))
+        decision = decide_compression(X, memory_budget_bytes=100, iterations=5)
+        assert not decision.fits_dense
+        assert not decision.fits_compressed
+        assert not decision.compress  # random data: ratio ~1
+
+    def test_validation(self, rng):
+        with pytest.raises(CompressionError):
+            decide_compression(rng.standard_normal(5), iterations=5)
+        with pytest.raises(CompressionError):
+            decide_compression(rng.standard_normal((5, 2)), iterations=0)

@@ -1,0 +1,157 @@
+"""Unit tests for feature-engineering management (Columbus, pipelines)."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_regression
+from repro.errors import ModelError, NotFittedError, SelectionError
+from repro.feateng import (
+    FeatureSubsetExplorer,
+    Pipeline,
+    solve_subset_naive,
+)
+from repro.ml import LinearRegression, LogisticRegression, StandardScaler
+from repro.ml.preprocessing import KBinsDiscretizer
+
+
+@pytest.fixture
+def reg_data():
+    return make_regression(500, 8, noise=0.2, seed=41)
+
+
+class TestFeatureSubsetExplorer:
+    def test_matches_naive_solution(self, reg_data):
+        X, y, _ = reg_data
+        explorer = FeatureSubsetExplorer(X, y)
+        for subset in ([0], [1, 3], [0, 2, 4, 6], list(range(8))):
+            fast = explorer.solve_subset(subset)
+            slow = solve_subset_naive(X, y, subset)
+            assert np.allclose(fast.coef, slow.coef, atol=1e-8)
+            assert fast.r_squared == pytest.approx(slow.r_squared, abs=1e-8)
+
+    def test_full_subset_near_perfect(self, reg_data):
+        X, y, _ = reg_data
+        fit = FeatureSubsetExplorer(X, y).solve_subset(range(8))
+        assert fit.r_squared > 0.95
+
+    def test_r_squared_monotone_in_nesting(self, reg_data):
+        X, y, _ = reg_data
+        explorer = FeatureSubsetExplorer(X, y)
+        r2 = [
+            explorer.solve_subset(range(k + 1)).r_squared for k in range(8)
+        ]
+        assert all(b >= a - 1e-10 for a, b in zip(r2, r2[1:]))
+
+    def test_duplicate_columns_deduped(self, reg_data):
+        X, y, _ = reg_data
+        explorer = FeatureSubsetExplorer(X, y)
+        assert explorer.solve_subset([0, 0, 1]).columns == (0, 1)
+
+    def test_ridge_variant(self, reg_data):
+        X, y, _ = reg_data
+        plain = FeatureSubsetExplorer(X, y).solve_subset([0, 1])
+        ridged = FeatureSubsetExplorer(X, y, l2=50.0).solve_subset([0, 1])
+        assert np.linalg.norm(ridged.coef) < np.linalg.norm(plain.coef)
+
+    def test_validation(self, reg_data):
+        X, y, _ = reg_data
+        explorer = FeatureSubsetExplorer(X, y)
+        with pytest.raises(SelectionError):
+            explorer.solve_subset([])
+        with pytest.raises(SelectionError):
+            explorer.solve_subset([99])
+        with pytest.raises(SelectionError):
+            FeatureSubsetExplorer(X, y[:10])
+
+    def test_forward_selection_improves_each_step(self, reg_data):
+        X, y, _ = reg_data
+        trail = FeatureSubsetExplorer(X, y).forward_selection(max_features=5)
+        r2s = [f.r_squared for f in trail]
+        assert len(trail) == 5
+        assert all(b > a for a, b in zip(r2s, r2s[1:]))
+        # Subsets are nested.
+        for prev, cur in zip(trail, trail[1:]):
+            assert set(prev.columns) < set(cur.columns)
+
+    def test_forward_selection_stops_on_no_gain(self, rng):
+        # Only 1 informative feature: selection should stop early.
+        X = rng.standard_normal((300, 5))
+        y = X[:, 2] * 3.0
+        trail = FeatureSubsetExplorer(X, y).forward_selection(min_gain=1e-4)
+        assert len(trail) == 1
+        assert trail[0].columns == (2,)
+
+
+class TestPipeline:
+    def test_transform_only_pipeline(self, reg_data):
+        X, _, _ = reg_data
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("bins", KBinsDiscretizer(n_bins=3))]
+        )
+        Z = pipe.fit_transform(X)
+        assert Z.shape == X.shape
+        assert Z.max() <= 2
+
+    def test_estimator_pipeline_predicts(self, reg_data):
+        X, y, _ = reg_data
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("model", LinearRegression())]
+        )
+        pipe.fit(X, y)
+        assert pipe.score(X, y) > 0.9
+        assert pipe.predict(X).shape == (500,)
+
+    def test_provenance_records_every_step(self, reg_data):
+        X, y, _ = reg_data
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("model", LinearRegression())]
+        ).fit(X, y)
+        records = pipe.provenance_.records
+        assert [r.step for r in records] == ["scale", "model"]
+        assert records[0].input_shape == (500, 8)
+        assert records[0].output_shape == (500, 8)
+        assert "StandardScaler" in pipe.provenance_.describe()
+
+    def test_transform_steps_applied_at_predict(self, reg_data):
+        X, y, _ = reg_data
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("model", LinearRegression())]
+        ).fit(X, y)
+        # Shifted inputs must be scaled with *training* statistics.
+        shifted = X + 100.0
+        direct = LinearRegression().fit(StandardScaler().fit_transform(X), y)
+        assert not np.allclose(pipe.predict(shifted), pipe.predict(X))
+
+    def test_fit_transform_rejected_with_estimator(self, reg_data):
+        X, y, _ = reg_data
+        pipe = Pipeline([("model", LogisticRegression())])
+        with pytest.raises(ModelError):
+            pipe.fit_transform(X, y)
+
+    def test_predict_requires_estimator(self, reg_data):
+        X, y, _ = reg_data
+        pipe = Pipeline([("scale", StandardScaler())]).fit(X)
+        with pytest.raises(ModelError):
+            pipe.predict(X)
+
+    def test_unfitted_raises(self, reg_data):
+        X, _, _ = reg_data
+        with pytest.raises(NotFittedError):
+            Pipeline([("scale", StandardScaler())]).transform(X)
+
+    def test_duplicate_step_names_rejected(self):
+        with pytest.raises(ModelError):
+            Pipeline([("a", StandardScaler()), ("a", StandardScaler())])
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ModelError):
+            Pipeline([])
+
+    def test_clone_unfitted(self, reg_data):
+        X, y, _ = reg_data
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("model", LinearRegression(l2=0.5))]
+        ).fit(X, y)
+        clone = pipe.clone()
+        assert not hasattr(clone, "provenance_")
+        assert clone.steps[1][1].l2 == 0.5

@@ -1,0 +1,283 @@
+"""Unit tests for in-database ML (UDA framework, IGD/BGD, SQL Naive Bayes)."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_categorical, make_classification, make_regression
+from repro.errors import ModelError, NotFittedError, StorageError
+from repro.indb import (
+    CovarianceUDA,
+    GramUDA,
+    InDBLinearRegression,
+    InDBLogisticRegression,
+    SQLNaiveBayes,
+    SumCountUDA,
+    run_uda,
+    train_bgd,
+    train_igd,
+    train_linear_svm_indb,
+)
+from repro.ml import CategoricalNB, LinearRegression
+from repro.ml.losses import LogisticLoss, SquaredLoss
+from repro.storage import Table
+
+
+@pytest.fixture
+def reg_table():
+    X, y, w = make_regression(400, 4, noise=0.05, seed=21)
+    table = Table.from_columns(
+        {f"x{i}": X[:, i] for i in range(4)} | {"y": y}
+    )
+    return table, X, y, w
+
+
+@pytest.fixture
+def clf_table():
+    X, y = make_classification(500, 4, separation=3.0, seed=22)
+    table = Table.from_columns(
+        {f"x{i}": X[:, i] for i in range(4)} | {"y": y}
+    )
+    return table, X, y
+
+
+FEATURES = ["x0", "x1", "x2", "x3"]
+
+
+class TestUDAFramework:
+    def test_sum_count(self, reg_table):
+        table, X, _, _ = reg_table
+        out = run_uda(table, SumCountUDA(), ["x0", "x1"])
+        assert np.allclose(out["mean"], X[:, :2].mean(axis=0))
+        assert out["count"] == 400
+
+    def test_partitioned_merge_equals_serial(self, reg_table):
+        table, _, _, _ = reg_table
+        serial = run_uda(table, SumCountUDA(), FEATURES, partitions=1)
+        parallel = run_uda(table, SumCountUDA(), FEATURES, partitions=7)
+        assert np.allclose(serial["sum"], parallel["sum"])
+
+    def test_covariance(self, reg_table):
+        table, X, _, _ = reg_table
+        cov = run_uda(table, CovarianceUDA(), FEATURES, partitions=3)
+        assert np.allclose(cov, np.cov(X.T, bias=True), atol=1e-8)
+
+    def test_gram(self, reg_table):
+        table, X, y, _ = reg_table
+        out = run_uda(table, GramUDA(), FEATURES + ["y"])
+        assert np.allclose(out["gram"], X.T @ X)
+        assert np.allclose(out["xty"], X.T @ y)
+
+    def test_empty_table_raises(self):
+        from repro.storage import Schema
+
+        table = Table.empty(Schema.of(x="float"))
+        with pytest.raises(StorageError, match="empty"):
+            run_uda(table, SumCountUDA(), ["x"])
+
+    def test_partitions_validation(self, reg_table):
+        table, _, _, _ = reg_table
+        with pytest.raises(StorageError):
+            run_uda(table, SumCountUDA(), ["x0"], partitions=0)
+
+    def test_row_order_applied(self, reg_table):
+        table, X, _, _ = reg_table
+
+        class FirstRowUDA(SumCountUDA):
+            def transition(self, state, row):
+                if state[0] is None:
+                    return (row.copy(), 1)
+                return state
+
+        order = np.argsort(table.column("x0"))
+        out = run_uda(table, FirstRowUDA(), ["x0"], row_order=order)
+        assert out["sum"][0] == X[:, 0].min()
+
+    def test_row_order_length_validation(self, reg_table):
+        table, _, _, _ = reg_table
+        with pytest.raises(StorageError):
+            run_uda(table, SumCountUDA(), ["x0"], row_order=np.arange(3))
+
+
+class TestIGD:
+    def test_igd_converges_linear(self, reg_table):
+        table, X, y, w_true = reg_table
+        result = train_igd(
+            table, FEATURES, "y", SquaredLoss(), epochs=30, learning_rate=0.05
+        )
+        assert np.allclose(result.weights[1:], w_true, atol=0.1)
+        assert result.final_loss < result.loss_history[0] / 50
+
+    def test_loss_history_length(self, reg_table):
+        table, _, _, _ = reg_table
+        result = train_igd(table, FEATURES, "y", SquaredLoss(), epochs=5)
+        assert len(result.loss_history) == 6
+
+    def test_shuffle_helps_on_clustered_data(self, clf_table):
+        table, X, y = clf_table
+        order = np.argsort(y)  # all class 0 rows, then all class 1 rows
+        clustered = Table.from_columns(
+            {f"x{i}": X[order, i] for i in range(4)}
+            | {"y": np.where(y[order] == 1, 1.0, -1.0)}
+        )
+        none = train_igd(
+            clustered, FEATURES, "y", LogisticLoss(), epochs=5, shuffle="none"
+        )
+        once = train_igd(
+            clustered, FEATURES, "y", LogisticLoss(), epochs=5, shuffle="once"
+        )
+        assert once.final_loss < none.final_loss
+
+    def test_shuffle_once_close_to_each(self, clf_table):
+        table, X, y = clf_table
+        t = table.with_column("ypm", np.where(y == 1, 1.0, -1.0))
+        once = train_igd(t, FEATURES, "ypm", LogisticLoss(), epochs=8, shuffle="once")
+        each = train_igd(t, FEATURES, "ypm", LogisticLoss(), epochs=8, shuffle="each")
+        assert once.final_loss == pytest.approx(each.final_loss, rel=0.25)
+
+    def test_invalid_shuffle_policy(self, reg_table):
+        table, _, _, _ = reg_table
+        with pytest.raises(ModelError):
+            train_igd(table, FEATURES, "y", SquaredLoss(), shuffle="sometimes")
+
+    def test_feature_columns_required(self, reg_table):
+        table, _, _, _ = reg_table
+        with pytest.raises(ModelError):
+            train_igd(table, [], "y", SquaredLoss())
+
+    def test_partitioned_averaging_still_converges(self, reg_table):
+        table, _, _, w_true = reg_table
+        result = train_igd(
+            table,
+            FEATURES,
+            "y",
+            SquaredLoss(),
+            epochs=30,
+            learning_rate=0.05,
+            partitions=4,
+        )
+        assert np.allclose(result.weights[1:], w_true, atol=0.15)
+
+    def test_intercept_column_name_collision_avoided(self):
+        X, y, _ = make_regression(100, 2, seed=23)
+        table = Table.from_columns(
+            {"intercept": X[:, 0], "x1": X[:, 1], "y": y}
+        )
+        result = train_igd(
+            table, ["intercept", "x1"], "y", SquaredLoss(), epochs=5
+        )
+        assert len(result.weights) == 3  # fresh intercept + 2 features
+
+
+class TestBGD:
+    def test_bgd_matches_igd_direction(self, reg_table):
+        table, _, _, w_true = reg_table
+        result = train_bgd(
+            table, FEATURES, "y", SquaredLoss(), iterations=100, learning_rate=0.3
+        )
+        assert np.allclose(result.weights[1:], w_true, atol=0.05)
+
+    def test_bgd_loss_decreases(self, reg_table):
+        table, _, _, _ = reg_table
+        result = train_bgd(table, FEATURES, "y", SquaredLoss(), iterations=20)
+        assert result.loss_history[-1] < result.loss_history[0]
+
+
+class TestInDBEstimators:
+    def test_linreg_matches_in_memory(self, reg_table):
+        table, X, y, _ = reg_table
+        indb = InDBLinearRegression().fit(table, FEATURES, "y")
+        dense = LinearRegression().fit(X, y)
+        assert np.allclose(indb.coef_, dense.coef_, atol=1e-8)
+        assert indb.intercept_ == pytest.approx(dense.intercept_, abs=1e-8)
+
+    def test_linreg_ridge_unpenalized_intercept(self, reg_table):
+        table, X, y, _ = reg_table
+        indb = InDBLinearRegression(l2=5.0).fit(table, FEATURES, "y")
+        dense = LinearRegression(l2=5.0).fit(X, y)
+        assert np.allclose(indb.coef_, dense.coef_, atol=1e-8)
+
+    def test_linreg_predict_appends_column(self, reg_table):
+        table, _, _, _ = reg_table
+        model = InDBLinearRegression().fit(table, FEATURES, "y")
+        out = model.predict(table, output_column="yhat")
+        assert "yhat" in out.schema
+        assert model.score(table, "y") > 0.99
+
+    def test_linreg_predict_before_fit(self, reg_table):
+        table, _, _, _ = reg_table
+        with pytest.raises(NotFittedError):
+            InDBLinearRegression().predict(table)
+
+    @pytest.mark.parametrize("method", ["igd", "bgd"])
+    def test_logreg_accuracy(self, method, clf_table):
+        table, _, _ = clf_table
+        model = InDBLogisticRegression(method=method, epochs=20).fit(
+            table, FEATURES, "y"
+        )
+        assert model.score(table, "y") > 0.9
+
+    def test_logreg_arbitrary_labels(self, clf_table):
+        table, X, y = clf_table
+        t = table.with_column("label", np.where(y == 1, "churn", "stay"))
+        model = InDBLogisticRegression(epochs=15).fit(t, FEATURES, "label")
+        predicted = model.predict(t)
+        assert set(predicted.column("prediction").tolist()) <= {"churn", "stay"}
+
+    def test_logreg_multiclass_rejected(self, clf_table):
+        table, _, _ = clf_table
+        t = table.with_column("y3", np.arange(table.num_rows) % 3)
+        with pytest.raises(ModelError):
+            InDBLogisticRegression().fit(t, FEATURES, "y3")
+
+    def test_invalid_method(self):
+        with pytest.raises(ModelError):
+            InDBLogisticRegression(method="lbfgs")
+
+    def test_svm_trains(self, clf_table):
+        table, X, y = clf_table
+        t = table.with_column("ypm", np.where(y == 1, 1.0, -1.0))
+        result = train_linear_svm_indb(t, FEATURES, "ypm", epochs=15)
+        margins = X @ result.weights[1:] + result.weights[0]
+        accuracy = np.mean(np.sign(margins) == np.where(y == 1, 1, -1))
+        assert accuracy > 0.9
+
+
+class TestSQLNaiveBayes:
+    @pytest.fixture
+    def nb_table(self):
+        X, y = make_categorical(400, 3, cardinality=4, signal=3.0, seed=24)
+        table = Table.from_columns(
+            {f"f{j}": X[:, j] for j in range(3)} | {"label": y}
+        )
+        return table, X, y
+
+    def test_matches_in_memory_nb(self, nb_table):
+        table, X, y = nb_table
+        sql_nb = SQLNaiveBayes(alpha=1.0).fit(table, ["f0", "f1", "f2"], "label")
+        mem_nb = CategoricalNB(alpha=1.0).fit(X, y)
+        assert np.array_equal(sql_nb.predict_labels(table), mem_nb.predict(X))
+
+    def test_accuracy(self, nb_table):
+        table, _, _ = nb_table
+        nb = SQLNaiveBayes().fit(table, ["f0", "f1", "f2"], "label")
+        assert nb.score(table) > 0.7
+
+    def test_predict_appends_column(self, nb_table):
+        table, _, _ = nb_table
+        nb = SQLNaiveBayes().fit(table, ["f0", "f1", "f2"], "label")
+        out = nb.predict(table)
+        assert "prediction" in out.schema
+
+    def test_score_before_fit(self, nb_table):
+        table, _, _ = nb_table
+        with pytest.raises(NotFittedError):
+            SQLNaiveBayes().score(table, "label")
+
+    def test_alpha_validation(self):
+        with pytest.raises(ModelError):
+            SQLNaiveBayes(alpha=-1.0)
+
+    def test_feature_columns_required(self, nb_table):
+        table, _, _ = nb_table
+        with pytest.raises(ModelError):
+            SQLNaiveBayes().fit(table, [], "label")

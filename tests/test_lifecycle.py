@@ -1,0 +1,136 @@
+"""Unit tests for the model registry and experiment tracker."""
+
+import pytest
+
+from repro.errors import LifecycleError
+from repro.lifecycle import ExperimentTracker, ModelRegistry
+
+
+class TestModelRegistry:
+    @pytest.fixture
+    def registry(self):
+        reg = ModelRegistry()
+        reg.register("churn", "model-a", params={"l2": 1.0}, metrics={"acc": 0.80})
+        reg.register(
+            "churn",
+            "model-b",
+            params={"l2": 0.1},
+            metrics={"acc": 0.85},
+            parent_version=1,
+        )
+        return reg
+
+    def test_versions_are_sequential(self, registry):
+        versions = registry.versions("churn")
+        assert [v.version for v in versions] == [1, 2]
+        assert versions[0].identifier == "churn:v1"
+
+    def test_get_latest_by_default(self, registry):
+        assert registry.get("churn").version == 2
+
+    def test_get_specific_version(self, registry):
+        assert registry.get("churn", 1).model == "model-a"
+
+    def test_get_unknown_model(self, registry):
+        with pytest.raises(LifecycleError):
+            registry.get("nope")
+
+    def test_get_unknown_version(self, registry):
+        with pytest.raises(LifecycleError):
+            registry.get("churn", 99)
+
+    def test_lineage_chain(self, registry):
+        registry.register("churn", "model-c", parent_version=2)
+        chain = registry.lineage("churn", 3)
+        assert [v.version for v in chain] == [1, 2, 3]
+
+    def test_register_with_missing_parent(self, registry):
+        with pytest.raises(LifecycleError, match="parent"):
+            registry.register("churn", "x", parent_version=42)
+
+    def test_best_by_metric(self, registry):
+        assert registry.best("churn", "acc").version == 2
+        registry.register("churn", "model-c", metrics={"loss": 0.1})
+        assert registry.best("churn", "loss", higher_is_better=False).version == 3
+
+    def test_best_missing_metric(self, registry):
+        with pytest.raises(LifecycleError):
+            registry.best("churn", "f1")
+
+    def test_deploy_and_fetch(self, registry):
+        registry.deploy("churn", 1)
+        assert registry.deployed("churn").version == 1
+        registry.deploy("churn", 2)
+        assert registry.deployed("churn").version == 2
+
+    def test_deploy_unknown_version(self, registry):
+        with pytest.raises(LifecycleError):
+            registry.deploy("churn", 7)
+
+    def test_deployed_without_deploy(self, registry):
+        with pytest.raises(LifecycleError):
+            registry.deployed("churn")
+
+    def test_names(self, registry):
+        registry.register("fraud", "m")
+        assert registry.names() == ["churn", "fraud"]
+
+
+class TestExperimentTracker:
+    @pytest.fixture
+    def tracker(self):
+        t = ExperimentTracker()
+        r1 = t.start_run("tune", params={"lr": 0.1}, tags={"baseline"})
+        r1.log_metric("auc", 0.82)
+        r1.finish()
+        r2 = t.start_run("tune", params={"lr": 0.5})
+        r2.log_metric("auc", 0.88)
+        r2.finish()
+        t.start_run("tune", params={"lr": 1.0})  # unfinished
+        return t
+
+    def test_run_ids_sequential(self, tracker):
+        assert [r.run_id for r in tracker] == [1, 2, 3]
+
+    def test_filter_by_experiment(self, tracker):
+        tracker.start_run("other")
+        assert len(tracker.runs("tune")) == 3
+        assert len(tracker.runs("other")) == 1
+
+    def test_filter_by_tag(self, tracker):
+        assert [r.run_id for r in tracker.runs(tag="baseline")] == [1]
+
+    def test_finished_only(self, tracker):
+        assert len(tracker.runs("tune", finished_only=True)) == 2
+
+    def test_best_run(self, tracker):
+        assert tracker.best_run("tune", "auc").run_id == 2
+
+    def test_best_run_requires_metric(self, tracker):
+        with pytest.raises(LifecycleError):
+            tracker.best_run("tune", "f1")
+
+    def test_finished_runs_immutable(self, tracker):
+        run = tracker.runs("tune", finished_only=True)[0]
+        with pytest.raises(LifecycleError):
+            run.log_metric("x", 1.0)
+        with pytest.raises(LifecycleError):
+            run.finish()
+
+    def test_duration_requires_finish(self, tracker):
+        open_run = tracker.runs("tune")[-1]
+        with pytest.raises(LifecycleError):
+            open_run.duration
+        finished = tracker.runs("tune", finished_only=True)[0]
+        assert finished.duration >= 0.0
+
+    def test_log_param_and_tag_on_open_run(self, tracker):
+        run = tracker.runs("tune")[-1]
+        run.log_param("batch", 32)
+        run.add_tag("wip")
+        assert run.params["batch"] == 32
+        assert "wip" in run.tags
+
+    def test_experiments_listing(self, tracker):
+        tracker.start_run("abc")
+        assert tracker.experiments() == ["abc", "tune"]

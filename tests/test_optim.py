@@ -1,0 +1,135 @@
+"""Unit tests for repro.ml.optim."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceWarning
+from repro.ml.losses import LogisticLoss, SquaredLoss
+from repro.ml.optim import gradient_descent, sgd
+
+
+@pytest.fixture
+def quadratic(rng):
+    X = rng.standard_normal((200, 4))
+    w_true = np.array([1.0, -2.0, 0.5, 3.0])
+    y = X @ w_true
+    return X, y, w_true
+
+
+class TestGradientDescent:
+    def test_recovers_exact_solution(self, quadratic):
+        X, y, w_true = quadratic
+        result = gradient_descent(SquaredLoss(), X, y, max_iter=500, tol=1e-14)
+        assert np.allclose(result.weights, w_true, atol=1e-4)
+
+    def test_loss_monotone_with_line_search(self, quadratic):
+        X, y, _ = quadratic
+        result = gradient_descent(SquaredLoss(), X, y, max_iter=50)
+        diffs = np.diff(result.loss_history)
+        assert np.all(diffs <= 1e-12)
+
+    def test_converged_flag(self, quadratic):
+        X, y, _ = quadratic
+        result = gradient_descent(SquaredLoss(), X, y, max_iter=1000, tol=1e-10)
+        assert result.converged
+        assert result.iterations < 1000
+
+    def test_warns_on_iteration_cap(self, quadratic):
+        X, y, _ = quadratic
+        with pytest.warns(ConvergenceWarning):
+            gradient_descent(SquaredLoss(), X, y, max_iter=2, tol=0.0)
+
+    def test_no_warning_when_disabled(self, quadratic):
+        X, y, _ = quadratic
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            gradient_descent(
+                SquaredLoss(), X, y, max_iter=2, tol=0.0, warn_on_cap=False
+            )
+
+    def test_l2_shrinks_weights(self, quadratic):
+        X, y, _ = quadratic
+        free = gradient_descent(SquaredLoss(), X, y, warn_on_cap=False)
+        penalized = gradient_descent(
+            SquaredLoss(), X, y, l2=10.0, warn_on_cap=False
+        )
+        assert np.linalg.norm(penalized.weights) < np.linalg.norm(free.weights)
+
+    def test_warm_start_converges_faster(self, quadratic):
+        X, y, w_true = quadratic
+        cold = gradient_descent(
+            SquaredLoss(), X, y, tol=1e-12, warn_on_cap=False
+        )
+        warm = gradient_descent(
+            SquaredLoss(),
+            X,
+            y,
+            w0=w_true + 0.001,
+            tol=1e-12,
+            warn_on_cap=False,
+        )
+        assert warm.iterations <= cold.iterations
+
+    def test_fixed_step_without_line_search(self, quadratic):
+        X, y, w_true = quadratic
+        result = gradient_descent(
+            SquaredLoss(),
+            X,
+            y,
+            learning_rate=0.1,
+            line_search=False,
+            max_iter=2000,
+            tol=1e-14,
+            warn_on_cap=False,
+        )
+        assert np.allclose(result.weights, w_true, atol=1e-3)
+
+
+class TestSGD:
+    def test_approaches_solution(self, quadratic):
+        X, y, w_true = quadratic
+        result = sgd(
+            SquaredLoss(), X, y, learning_rate=0.05, epochs=60, decay=0.05, seed=0
+        )
+        assert np.allclose(result.weights, w_true, atol=0.05)
+
+    def test_loss_history_one_entry_per_epoch(self, quadratic):
+        X, y, _ = quadratic
+        result = sgd(SquaredLoss(), X, y, epochs=7)
+        assert len(result.loss_history) == 8  # initial + 7 epochs
+
+    def test_momentum_variant_trains(self, quadratic):
+        X, y, w_true = quadratic
+        result = sgd(
+            SquaredLoss(), X, y, learning_rate=0.02, epochs=60, momentum=0.9
+        )
+        assert result.final_loss < 0.01
+
+    def test_adagrad_variant_trains(self, quadratic):
+        X, y, _ = quadratic
+        result = sgd(
+            SquaredLoss(), X, y, learning_rate=0.5, epochs=60, adagrad=True
+        )
+        assert result.final_loss < 0.05
+
+    def test_early_stop_with_tol(self, quadratic):
+        X, y, _ = quadratic
+        result = sgd(
+            SquaredLoss(), X, y, learning_rate=0.05, epochs=500, tol=1e-6
+        )
+        assert result.converged
+        assert result.iterations < 500
+
+    def test_deterministic_given_seed(self, quadratic):
+        X, y, _ = quadratic
+        a = sgd(SquaredLoss(), X, y, epochs=5, seed=42)
+        b = sgd(SquaredLoss(), X, y, epochs=5, seed=42)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_logistic_sgd_reduces_loss(self, rng):
+        X = rng.standard_normal((300, 4))
+        y = np.where(X @ np.ones(4) > 0, 1.0, -1.0)
+        result = sgd(LogisticLoss(), X, y, learning_rate=0.5, epochs=20)
+        assert result.final_loss < result.loss_history[0] / 2

@@ -1,0 +1,123 @@
+"""Unit tests for data profiling and outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.feateng import (
+    detect_outliers,
+    profile_column,
+    profile_table,
+    training_data_report,
+)
+from repro.storage import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns(
+        {
+            "age": [20, 30, 30, 40, 50],
+            "score": [1.0, 2.0, float("nan"), 4.0, 5.0],
+            "city": ["paris", "paris", None, "lyon", "paris"],
+            "constant": [7, 7, 7, 7, 7],
+        }
+    )
+
+
+class TestProfiles:
+    def test_numeric_profile(self, table):
+        p = profile_column(table, "age")
+        assert p.count == 5
+        assert p.missing == 0
+        assert p.distinct == 4
+        assert p.minimum == 20
+        assert p.maximum == 50
+        assert p.mean == pytest.approx(34.0)
+        assert p.top_value == 30
+        assert p.top_count == 2
+
+    def test_nan_counts_as_missing(self, table):
+        p = profile_column(table, "score")
+        assert p.missing == 1
+        assert p.missing_fraction == pytest.approx(0.2)
+        # Moments computed over present values only.
+        assert p.mean == pytest.approx(3.0)
+
+    def test_none_counts_as_missing_for_strings(self, table):
+        p = profile_column(table, "city")
+        assert p.missing == 1
+        assert p.distinct == 2
+        assert p.top_value == "paris"
+        assert p.minimum is None  # no numeric stats for strings
+
+    def test_constant_flag(self, table):
+        assert profile_column(table, "constant").is_constant
+        assert not profile_column(table, "age").is_constant
+
+    def test_profile_table_covers_all_columns(self, table):
+        profiles = profile_table(table)
+        assert [p.name for p in profiles] == list(table.schema.names)
+
+    def test_describe_is_readable(self, table):
+        text = profile_column(table, "age").describe()
+        assert "age" in text and "distinct=4" in text
+
+
+class TestOutliers:
+    def test_zscore_finds_planted_outlier(self, rng):
+        values = rng.standard_normal(500)
+        values[42] = 30.0
+        mask = detect_outliers(values, method="zscore")
+        assert mask[42]
+        assert mask.sum() <= 3
+
+    def test_iqr_finds_planted_outlier(self, rng):
+        values = rng.standard_normal(500)
+        values[7] = -25.0
+        mask = detect_outliers(values, method="iqr")
+        assert mask[7]
+
+    def test_constant_data_has_no_outliers(self):
+        assert not detect_outliers(np.ones(50)).any()
+
+    def test_nan_never_flagged(self):
+        values = np.array([1.0, np.nan, 100.0, 1.0, 1.0, 1.0, 1.0])
+        mask = detect_outliers(values, method="zscore", threshold=2.0)
+        assert not mask[1]
+
+    def test_threshold_tightens_detection(self, rng):
+        values = rng.standard_normal(1000)
+        loose = detect_outliers(values, "zscore", threshold=1.0).sum()
+        tight = detect_outliers(values, "zscore", threshold=3.0).sum()
+        assert loose > tight
+
+    def test_unknown_method(self):
+        with pytest.raises(ModelError):
+            detect_outliers(np.ones(5), method="magic")
+
+    def test_2d_rejected(self):
+        with pytest.raises(ModelError):
+            detect_outliers(np.ones((2, 2)))
+
+
+class TestReport:
+    def test_flags_hazards(self, table):
+        report = training_data_report(table)
+        assert "MISSING" in report
+        assert "CONSTANT" in report
+
+    def test_label_balance_warning(self):
+        t = Table.from_columns({"y": [0] * 95 + [1] * 5, "x": list(range(100))})
+        report = training_data_report(t, label_column="y")
+        assert "minority class" in report
+        assert "0=95.0%" in report
+
+    def test_balanced_labels_no_warning(self):
+        t = Table.from_columns({"y": [0, 1] * 50, "x": list(range(100))})
+        report = training_data_report(t, label_column="y")
+        assert "minority" not in report
+
+    def test_high_cardinality_flag(self):
+        t = Table.from_columns({"id": [f"u{i}" for i in range(100)]})
+        assert "HIGH-CARDINALITY" in training_data_report(t)

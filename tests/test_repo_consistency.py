@@ -1,0 +1,116 @@
+"""Repository-consistency checks: exports, docs, and experiment index."""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+import repro
+
+# .../repo/src/repro/__init__.py -> .../repo
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+
+SUBPACKAGES = [
+    "algorithms",
+    "compiler",
+    "compression",
+    "data",
+    "distributed",
+    "factorized",
+    "feateng",
+    "indb",
+    "lang",
+    "lifecycle",
+    "ml",
+    "runtime",
+    "selection",
+    "sparse",
+    "storage",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_importable(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_names_resolve(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        exported = getattr(module, "__all__", [])
+        for symbol in exported:
+            assert hasattr(module, symbol), f"repro.{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_has_docstring(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    def test_root_all_matches_subpackages(self):
+        for name in SUBPACKAGES:
+            assert name in repro.__all__
+
+    def test_public_classes_documented(self):
+        """Every class exported from a subpackage carries a docstring."""
+        undocumented = []
+        for name in SUBPACKAGES:
+            module = importlib.import_module(f"repro.{name}")
+            for symbol in getattr(module, "__all__", []):
+                obj = getattr(module, symbol)
+                if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                    undocumented.append(f"repro.{name}.{symbol}")
+        assert undocumented == []
+
+
+class TestDocsAndExperiments:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return (REPO_ROOT / "DESIGN.md").read_text()
+
+    @pytest.fixture(scope="class")
+    def experiments_md(self):
+        return (REPO_ROOT / "EXPERIMENTS.md").read_text()
+
+    def test_design_notes_paper_mismatch(self, design):
+        assert "mismatch" in design.lower()
+        assert "Round Trip" in design  # names the wrong paper explicitly
+
+    def test_every_design_bench_target_exists(self, design):
+        targets = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+        assert targets, "DESIGN.md lists no bench targets"
+        for target in targets:
+            assert (REPO_ROOT / "benchmarks" / target).exists(), target
+
+    def test_every_bench_module_is_indexed_in_design(self, design):
+        on_disk = {
+            p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+        }
+        indexed = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+        missing = on_disk - indexed
+        assert not missing, f"bench modules not in DESIGN.md: {missing}"
+
+    def test_experiment_ids_consistent(self, design, experiments_md):
+        design_ids = set(re.findall(r"\| (E\d+) \|", design))
+        measured_ids = set(re.findall(r"## (E\d+) ", experiments_md))
+        assert design_ids, "no experiment ids in DESIGN.md"
+        missing = design_ids - measured_ids
+        assert not missing, f"experiments without measured sections: {missing}"
+
+    def test_runner_covers_design_experiments(self, design):
+        runner = (REPO_ROOT / "benchmarks" / "run_experiments.py").read_text()
+        design_ids = set(re.findall(r"\| (E\d+) \|", design))
+        runner_ids = set(re.findall(r'"(E\d+)":', runner))
+        assert design_ids <= runner_ids
+
+    def test_readme_lists_every_example(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for example in (REPO_ROOT / "examples").glob("*.py"):
+            assert example.name in readme, f"{example.name} not in README"
+
+    def test_examples_have_docstrings_and_main(self):
+        for example in (REPO_ROOT / "examples").glob("*.py"):
+            text = example.read_text()
+            assert text.lstrip().startswith(('"""', "#!"))
+            assert '__name__ == "__main__"' in text

@@ -1,0 +1,149 @@
+"""Unit tests for model serialization and registry persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_blobs, make_classification, make_regression
+from repro.errors import LifecycleError
+from repro.lifecycle import (
+    ModelRegistry,
+    dumps_model,
+    load_model,
+    loads_model,
+    save_model,
+)
+from repro.ml import (
+    PCA,
+    GaussianNB,
+    KMeans,
+    LinearRegression,
+    LogisticRegression,
+    Ridge,
+    StandardScaler,
+)
+
+
+class TestModelRoundTrip:
+    def test_linear_regression(self, regression_data):
+        X, y, _ = regression_data
+        model = LinearRegression(l2=0.5).fit(X, y)
+        restored = loads_model(dumps_model(model))
+        assert np.array_equal(restored.coef_, model.coef_)
+        assert restored.intercept_ == model.intercept_
+        assert restored.l2 == 0.5
+        assert np.array_equal(restored.predict(X), model.predict(X))
+
+    def test_logistic_regression(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression(solver="newton", l2=0.1).fit(X, y)
+        restored = loads_model(dumps_model(model))
+        assert np.array_equal(restored.predict(X), model.predict(X))
+        assert np.array_equal(restored.classes_, model.classes_)
+
+    def test_kmeans(self):
+        X, _ = make_blobs(150, 3, centers=3, seed=1)
+        model = KMeans(3, seed=1).fit(X)
+        restored = loads_model(dumps_model(model))
+        assert np.array_equal(restored.cluster_centers_, model.cluster_centers_)
+        assert np.array_equal(restored.predict(X), model.predict(X))
+
+    def test_pca(self, rng):
+        X = rng.standard_normal((60, 5))
+        model = PCA(3).fit(X)
+        restored = loads_model(dumps_model(model))
+        assert np.array_equal(restored.components_, model.components_)
+        assert np.allclose(restored.transform(X), model.transform(X))
+
+    def test_gaussian_nb(self, classification_data):
+        X, y = classification_data
+        model = GaussianNB().fit(X, y)
+        restored = loads_model(dumps_model(model))
+        assert np.array_equal(restored.predict(X), model.predict(X))
+
+    def test_scaler(self, rng):
+        X = rng.standard_normal((40, 3)) * 5 + 2
+        scaler = StandardScaler().fit(X)
+        restored = loads_model(dumps_model(scaler))
+        assert np.allclose(restored.transform(X), scaler.transform(X))
+
+    def test_unfitted_model_roundtrip(self):
+        restored = loads_model(dumps_model(Ridge(l2=3.0)))
+        assert restored.l2 == 3.0
+        assert not restored.is_fitted
+
+    def test_string_classes_preserved(self, classification_data):
+        X, y = classification_data
+        labels = np.where(y == 1, "yes", "no")
+        model = LogisticRegression().fit(X, labels)
+        restored = loads_model(dumps_model(model))
+        assert set(restored.predict(X)) <= {"yes", "no"}
+
+    def test_file_roundtrip(self, tmp_path, regression_data):
+        X, y, _ = regression_data
+        model = LinearRegression().fit(X, y)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(restored.coef_, model.coef_)
+
+
+class TestSafety:
+    def test_unknown_class_rejected_at_dump(self):
+        with pytest.raises(LifecycleError, match="not a serializable"):
+            dumps_model(object())
+
+    def test_unknown_class_rejected_at_load(self):
+        with pytest.raises(LifecycleError, match="unknown model class"):
+            loads_model(
+                '{"format_version": 1, "class": "Evil", "params": {}, "state": {}}'
+            )
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(LifecycleError, match="malformed"):
+            loads_model("{not json")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(LifecycleError, match="format version"):
+            loads_model(
+                '{"format_version": 99, "class": "Ridge", "params": {}, "state": {}}'
+            )
+
+
+class TestRegistryPersistence:
+    def test_roundtrip_with_models(self, tmp_path, regression_data):
+        X, y, _ = regression_data
+        registry = ModelRegistry()
+        m1 = LinearRegression().fit(X, y)
+        m2 = Ridge(l2=1.0).fit(X, y)
+        registry.register("reg", m1, params={"l2": 0.0}, metrics={"r2": 0.99})
+        registry.register(
+            "reg", m2, params={"l2": 1.0}, metrics={"r2": 0.98},
+            parent_version=1,
+        )
+        registry.deploy("reg", 2)
+
+        path = tmp_path / "registry.json"
+        registry.save(path)
+        restored = ModelRegistry.load(path)
+
+        assert restored.names() == ["reg"]
+        assert len(restored.versions("reg")) == 2
+        assert restored.deployed("reg").version == 2
+        assert restored.get("reg", 1).metrics["r2"] == 0.99
+        assert np.array_equal(restored.get("reg", 1).model.coef_, m1.coef_)
+        lineage = restored.lineage("reg", 2)
+        assert [v.version for v in lineage] == [1, 2]
+
+    def test_unserializable_model_stored_as_metadata_only(self, tmp_path):
+        registry = ModelRegistry()
+        registry.register("thing", object(), metrics={"acc": 0.5})
+        path = tmp_path / "registry.json"
+        registry.save(path)
+        restored = ModelRegistry.load(path)
+        entry = restored.get("thing")
+        assert entry.model is None
+        assert entry.metrics["acc"] == 0.5
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(LifecycleError):
+            ModelRegistry.load(tmp_path / "missing.json")

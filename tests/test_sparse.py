@@ -1,0 +1,256 @@
+"""Unit and property tests for the sparse (CSR) substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import propagate_sparsity, sparse_aware_flops
+from repro.data import make_sparse_matrix
+from repro.lang import exp, matrix, sumall
+from repro.sparse import CSRMatrix, SparseError
+
+
+@pytest.fixture
+def dense_and_sparse(rng):
+    Xd = make_sparse_matrix(300, 20, density=0.08, seed=3)
+    return Xd, CSRMatrix.from_dense(Xd)
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, dense_and_sparse):
+        Xd, X = dense_and_sparse
+        assert np.allclose(X.to_dense(), Xd)
+        assert X.nnz == np.count_nonzero(Xd)
+
+    def test_from_dense_threshold(self):
+        Xd = np.array([[0.1, 2.0], [0.05, 0.0]])
+        X = CSRMatrix.from_dense(Xd, threshold=0.5)
+        assert X.nnz == 1
+        assert X.to_dense()[0, 1] == 2.0
+
+    def test_from_coo_basic(self):
+        X = CSRMatrix.from_coo([0, 1, 1], [2, 0, 2], [1.0, 2.0, 3.0], (2, 3))
+        dense = X.to_dense()
+        assert dense[0, 2] == 1.0
+        assert dense[1, 0] == 2.0
+        assert dense[1, 2] == 3.0
+
+    def test_from_coo_merges_duplicates(self):
+        X = CSRMatrix.from_coo([0, 0, 0], [1, 1, 2], [1.0, 4.0, 7.0], (1, 3))
+        assert X.to_dense().tolist() == [[0.0, 5.0, 7.0]]
+
+    def test_from_coo_validation(self):
+        with pytest.raises(SparseError):
+            CSRMatrix.from_coo([5], [0], [1.0], (2, 2))
+        with pytest.raises(SparseError):
+            CSRMatrix.from_coo([0, 1], [0], [1.0], (2, 2))
+
+    def test_random_density(self):
+        X = CSRMatrix.random(200, 50, density=0.1, seed=1)
+        assert X.density == pytest.approx(0.1, abs=0.001)
+
+    def test_random_density_bounds(self):
+        with pytest.raises(SparseError):
+            CSRMatrix.random(10, 10, density=1.5)
+
+    def test_invalid_structure_rejected(self):
+        with pytest.raises(SparseError):
+            CSRMatrix(np.ones(1), np.array([5]), np.array([0, 1]), (1, 3))
+        with pytest.raises(SparseError):
+            CSRMatrix(np.ones(1), np.array([0]), np.array([0, 2]), (1, 3))
+
+    def test_3d_rejected(self):
+        with pytest.raises(SparseError):
+            CSRMatrix.from_dense(np.ones((2, 2, 2)))
+
+
+class TestKernels:
+    def test_matvec(self, dense_and_sparse, rng):
+        Xd, X = dense_and_sparse
+        v = rng.standard_normal(20)
+        assert np.allclose(X.matvec(v), Xd @ v)
+
+    def test_rmatvec(self, dense_and_sparse, rng):
+        Xd, X = dense_and_sparse
+        u = rng.standard_normal(300)
+        assert np.allclose(X.rmatvec(u), Xd.T @ u)
+
+    def test_matmat(self, dense_and_sparse, rng):
+        Xd, X = dense_and_sparse
+        B = rng.standard_normal((20, 4))
+        assert np.allclose(X.matmat(B), Xd @ B)
+
+    def test_matmul_operator(self, dense_and_sparse, rng):
+        Xd, X = dense_and_sparse
+        v = rng.standard_normal(20)
+        assert np.allclose(X @ v, Xd @ v)
+
+    def test_transpose_view(self, dense_and_sparse, rng):
+        Xd, X = dense_and_sparse
+        u = rng.standard_normal(300)
+        U = rng.standard_normal((300, 3))
+        assert np.allclose(X.T @ u, Xd.T @ u)
+        assert np.allclose(X.T @ U, Xd.T @ U)
+        assert X.T.T is X
+
+    def test_materialized_transpose(self, dense_and_sparse):
+        Xd, X = dense_and_sparse
+        assert np.allclose(X.transpose().to_dense(), Xd.T)
+
+    def test_scale(self, dense_and_sparse):
+        Xd, X = dense_and_sparse
+        assert np.allclose(X.scale(2.5).to_dense(), 2.5 * Xd)
+
+    def test_multiply_dense(self, dense_and_sparse, rng):
+        Xd, X = dense_and_sparse
+        D = rng.standard_normal(Xd.shape)
+        assert np.allclose(X.multiply_dense(D).to_dense(), Xd * D)
+
+    def test_sums(self, dense_and_sparse):
+        Xd, X = dense_and_sparse
+        assert np.allclose(X.colsums(), Xd.sum(axis=0))
+        assert np.allclose(X.rowsums(), Xd.sum(axis=1))
+        assert X.sum() == pytest.approx(Xd.sum())
+
+    def test_empty_rows_handled(self):
+        Xd = np.zeros((4, 3))
+        Xd[1, 2] = 5.0
+        X = CSRMatrix.from_dense(Xd)
+        assert np.allclose(X.matvec(np.ones(3)), Xd @ np.ones(3))
+        assert np.allclose(X.rowsums(), [0.0, 5.0, 0.0, 0.0])
+
+    def test_take_rows(self, dense_and_sparse, rng):
+        Xd, X = dense_and_sparse
+        idx = rng.integers(0, 300, 40)
+        assert np.allclose(X.take_rows(idx).to_dense(), Xd[idx])
+        assert np.allclose(X[idx].to_dense(), Xd[idx])
+
+    def test_row_access(self, dense_and_sparse):
+        Xd, X = dense_and_sparse
+        assert np.allclose(X.row(7), Xd[7])
+        assert np.allclose(X[7], Xd[7])
+
+    def test_dimension_validation(self, dense_and_sparse):
+        _, X = dense_and_sparse
+        with pytest.raises(SparseError):
+            X.matvec(np.ones(3))
+        with pytest.raises(SparseError):
+            X.rmatvec(np.ones(3))
+        with pytest.raises(SparseError):
+            X.row(999)
+
+    def test_memory_advantage(self):
+        Xd = make_sparse_matrix(5000, 100, density=0.01, seed=5)
+        X = CSRMatrix.from_dense(Xd)
+        assert X.nbytes < Xd.nbytes / 10
+
+    @given(
+        n=st.integers(1, 60),
+        d=st.integers(1, 20),
+        density=st.floats(0.0, 0.5),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_kernels_match_dense(self, n, d, density, seed):
+        X = CSRMatrix.random(n, d, density, seed=seed)
+        Xd = X.to_dense()
+        rng = np.random.default_rng(seed)
+        v = rng.standard_normal(d)
+        u = rng.standard_normal(n)
+        assert np.allclose(X.matvec(v), Xd @ v, atol=1e-10)
+        assert np.allclose(X.rmatvec(u), Xd.T @ u, atol=1e-10)
+        assert np.allclose(X.colsums(), Xd.sum(axis=0), atol=1e-10)
+
+
+class TestSparseGLMTraining:
+    """The existing optimizers train on CSR designs unchanged."""
+
+    def test_gd_matches_dense_exactly(self, rng):
+        from repro.ml.losses import SquaredLoss
+        from repro.ml.optim import gradient_descent
+
+        Xd = make_sparse_matrix(800, 15, density=0.1, seed=6)
+        X = CSRMatrix.from_dense(Xd)
+        y = Xd @ rng.standard_normal(15)
+        sparse = gradient_descent(
+            SquaredLoss(), X, y, max_iter=50, warn_on_cap=False
+        )
+        dense = gradient_descent(
+            SquaredLoss(), Xd, y, max_iter=50, warn_on_cap=False
+        )
+        assert np.allclose(sparse.weights, dense.weights, atol=1e-12)
+
+    def test_sgd_on_sparse_design(self, rng):
+        from repro.ml.losses import SquaredLoss
+        from repro.ml.optim import sgd
+
+        Xd = make_sparse_matrix(600, 10, density=0.2, seed=7)
+        X = CSRMatrix.from_dense(Xd)
+        y = Xd @ rng.standard_normal(10)
+        result = sgd(SquaredLoss(), X, y, learning_rate=0.3, epochs=40, seed=0)
+        assert result.final_loss < 0.01 * (0.5 * float(y @ y) / len(y))
+
+
+class TestSparsityPropagation:
+    def test_input_default_dense(self):
+        X = matrix("X", (10, 5))
+        s = propagate_sparsity(X.node)
+        assert s[id(X.node)] == 1.0
+
+    def test_elementwise_multiply(self):
+        X = matrix("X", (10, 5))
+        Y = matrix("Y", (10, 5))
+        expr = (X * Y).node
+        s = propagate_sparsity(expr, {"X": 0.1, "Y": 0.5})
+        assert s[id(expr)] == pytest.approx(0.05)
+
+    def test_add_saturates_at_one(self):
+        X = matrix("X", (10, 5))
+        Y = matrix("Y", (10, 5))
+        expr = (X + Y).node
+        s = propagate_sparsity(expr, {"X": 0.8, "Y": 0.7})
+        assert s[id(expr)] == 1.0
+
+    def test_exp_densifies(self):
+        X = matrix("X", (10, 5))
+        expr = exp(X).node
+        s = propagate_sparsity(expr, {"X": 0.01})
+        assert s[id(expr)] == 1.0
+
+    def test_neg_preserves(self):
+        X = matrix("X", (10, 5))
+        expr = (-X).node
+        assert propagate_sparsity(expr, {"X": 0.2})[id(expr)] == 0.2
+
+    def test_matmul_formula(self):
+        X = matrix("X", (10, 100))
+        Y = matrix("Y", (100, 10))
+        expr = (X @ Y).node
+        s = propagate_sparsity(expr, {"X": 0.01, "Y": 0.01})
+        expected = 1.0 - (1.0 - 0.01 * 0.01) ** 100
+        assert s[id(expr)] == pytest.approx(expected)
+
+    def test_pow_zero_densifies(self):
+        X = matrix("X", (10, 5))
+        expr = (X ** 0.0).node
+        assert propagate_sparsity(expr, {"X": 0.1})[id(expr)] == 1.0
+
+    def test_pow_positive_preserves(self):
+        X = matrix("X", (10, 5))
+        expr = (X ** 2).node
+        assert propagate_sparsity(expr, {"X": 0.1})[id(expr)] == 0.1
+
+    def test_constant_sparsity_measured(self):
+        from repro.lang import const
+
+        c = const(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert propagate_sparsity(c.node)[id(c.node)] == 0.25
+
+    def test_sparse_flops_far_below_dense(self):
+        X = matrix("X", (1000, 500))
+        w = matrix("w", (500, 1))
+        expr = (X @ w).node
+        sparse = sparse_aware_flops(expr, {"X": 0.01})
+        dense = sparse_aware_flops(expr, {"X": 1.0})
+        assert sparse < dense / 50

@@ -1,0 +1,115 @@
+"""Property tests: random WHERE clauses through the full SQL stack.
+
+Random predicates are generated as strings, parsed, optimized (predicate
+pushdown), and executed; results must match both the unoptimized
+execution and a direct pandas-free row scan.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import Catalog, Table, run_sql
+
+COLUMNS = ["a", "b", "c"]
+
+
+@st.composite
+def predicates(draw, depth=0):
+    """A random SQL boolean expression over columns a, b, c."""
+    if depth >= 2 or draw(st.booleans()):
+        column = draw(st.sampled_from(COLUMNS))
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+        value = draw(st.integers(-5, 5))
+        return f"{column} {op} {value}"
+    left = draw(predicates(depth=depth + 1))
+    right = draw(predicates(depth=depth + 1))
+    connective = draw(st.sampled_from(["AND", "OR"]))
+    clause = f"({left} {connective} {right})"
+    if draw(st.booleans()):
+        clause = f"NOT {clause}"
+    return clause
+
+
+@st.composite
+def small_tables(draw):
+    n = draw(st.integers(1, 30))
+    data = {
+        name: draw(
+            st.lists(st.integers(-5, 5), min_size=n, max_size=n)
+        )
+        for name in COLUMNS
+    }
+    return Table.from_columns(
+        {k: np.asarray(v, dtype=np.int64) for k, v in data.items()}
+    )
+
+
+class TestRandomPredicates:
+    @given(table=small_tables(), clause=predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_optimized_equals_unoptimized(self, table, clause):
+        catalog = Catalog()
+        catalog.register("t", table)
+        query = f"SELECT a, b, c FROM t WHERE {clause}"
+        optimized = run_sql(query, catalog, optimize=True)
+        raw = run_sql(query, catalog, optimize=False)
+        assert optimized == raw
+
+    @given(table=small_tables(), clause=predicates())
+    @settings(max_examples=40, deadline=None)
+    def test_selected_rows_satisfy_predicate(self, table, clause):
+        """Every surviving row re-satisfies the clause under a row scan."""
+        catalog = Catalog()
+        catalog.register("t", table)
+        out = run_sql(f"SELECT a, b, c FROM t WHERE {clause}", catalog)
+        kept = {tuple(r) for r in out.rows()}
+        for row in table.rows():
+            satisfied = _evaluate_clause(clause, dict(zip(COLUMNS, row)))
+            if satisfied:
+                assert tuple(row) in kept
+
+    @given(table=small_tables(), clause=predicates())
+    @settings(max_examples=40, deadline=None)
+    def test_complement_partitions(self, table, clause):
+        catalog = Catalog()
+        catalog.register("t", table)
+        yes = run_sql(f"SELECT a FROM t WHERE {clause}", catalog)
+        no = run_sql(f"SELECT a FROM t WHERE NOT ({clause})", catalog)
+        assert yes.num_rows + no.num_rows == table.num_rows
+
+    @given(table=small_tables(), clause=predicates())
+    @settings(max_examples=30, deadline=None)
+    def test_join_pushdown_equivalence(self, table, clause):
+        """Pushdown through an inner self-join-like setup is lossless."""
+        catalog = Catalog()
+        catalog.register("t", table)
+        dims = Table.from_columns(
+            {"a": np.arange(-5, 6, dtype=np.int64),
+             "w": np.arange(11, dtype=np.int64)}
+        )
+        catalog.register("dims", dims)
+        query = (
+            f"SELECT b, c, w FROM t JOIN dims ON a = a WHERE {clause}"
+        )
+        assert run_sql(query, catalog, optimize=True) == run_sql(
+            query, catalog, optimize=False
+        )
+
+
+def _evaluate_clause(clause: str, row: dict) -> bool:
+    """Independent reference evaluation of the generated clause."""
+    expr = clause
+    # Translate SQL spellings to Python.
+    expr = expr.replace("AND", "and").replace("OR", "or").replace("NOT", "not")
+    # SQL '=' means equality; '!=' must survive the substitution.
+    out = []
+    i = 0
+    while i < len(expr):
+        if expr[i] == "=" and (i == 0 or expr[i - 1] not in "<>!="):
+            out.append("==")
+        else:
+            out.append(expr[i])
+        i += 1
+    return bool(eval("".join(out), {}, dict(row)))  # noqa: S307 - test oracle

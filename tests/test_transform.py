@@ -1,0 +1,166 @@
+"""Unit tests for the declarative table transform-encode layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError, SchemaError
+from repro.feateng import TableEncoder, TransformSpec
+from repro.storage import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns(
+        {
+            "city": ["paris", "lyon", "paris", "nice", "lyon", "paris"],
+            "age": [20.0, 30.0, 40.0, 50.0, 60.0, 70.0],
+            "income": [10.0, 20.0, float("nan"), 40.0, 50.0, 60.0],
+            "plan": ["a", "b", None, "a", "a", "b"],
+        }
+    )
+
+
+class TestSpecValidation:
+    def test_duplicate_encoding_rejected(self):
+        with pytest.raises(ModelError, match="multiple encodings"):
+            TransformSpec(recode=["x"], dummycode=["x"]).validate()
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ModelError, match="no columns"):
+            TransformSpec().validate()
+
+    def test_bin_count_validated(self):
+        with pytest.raises(ModelError):
+            TransformSpec(bin={"x": 1}).validate()
+
+    def test_impute_plus_encoding_allowed(self):
+        TransformSpec(standardize=["x"], impute={"x": "mean"}).validate()
+
+
+class TestRecode:
+    def test_codes_stable_and_dense(self, table):
+        enc = TableEncoder(TransformSpec(recode=["city"])).fit(table)
+        X = enc.transform(table)
+        assert X.shape == (6, 1)
+        codes = X[:, 0]
+        # Same category -> same code; 3 distinct codes.
+        assert codes[0] == codes[2] == codes[5]
+        assert len(set(codes.tolist())) == 3
+
+    def test_unknown_category_raises(self, table):
+        enc = TableEncoder(TransformSpec(recode=["city"])).fit(table)
+        other = Table.from_columns({"city": ["tokyo"]})
+        with pytest.raises(ModelError, match="unknown category"):
+            enc.transform(other)
+
+    def test_unknown_category_allowed(self, table):
+        enc = TableEncoder(
+            TransformSpec(recode=["city"]), allow_unknown=True
+        ).fit(table)
+        out = enc.transform(Table.from_columns({"city": ["tokyo"]}))
+        assert out[0, 0] == -1
+
+
+class TestDummycode:
+    def test_one_hot_block(self, table):
+        enc = TableEncoder(TransformSpec(dummycode=["city"])).fit(table)
+        X = enc.transform(table)
+        assert X.shape == (6, 3)
+        assert np.allclose(X.sum(axis=1), 1.0)
+        assert enc.feature_names_ == ["city=lyon", "city=nice", "city=paris"]
+
+    def test_unknown_gives_zero_row_when_allowed(self, table):
+        enc = TableEncoder(
+            TransformSpec(dummycode=["city"]), allow_unknown=True
+        ).fit(table)
+        out = enc.transform(Table.from_columns({"city": ["tokyo"]}))
+        assert out.sum() == 0.0
+
+
+class TestBinStandardizePassthrough:
+    def test_bins_monotone(self, table):
+        enc = TableEncoder(TransformSpec(bin={"age": 4})).fit(table)
+        codes = enc.transform(table)[:, 0]
+        assert np.all(np.diff(codes) >= 0)
+        assert codes.min() == 0
+        assert codes.max() == 3
+
+    def test_standardize_uses_train_moments(self, table):
+        enc = TableEncoder(
+            TransformSpec(standardize=["age"])
+        ).fit(table)
+        z = enc.transform(table)[:, 0]
+        assert z.mean() == pytest.approx(0.0, abs=1e-12)
+        shifted = table.with_column("age", table.column("age") + 100.0)
+        z2 = enc.transform(shifted)[:, 0]
+        assert z2.mean() > 1.0
+
+    def test_passthrough_identity(self, table):
+        enc = TableEncoder(TransformSpec(passthrough=["age"])).fit(table)
+        assert np.allclose(enc.transform(table)[:, 0], table.column("age"))
+
+
+class TestImpute:
+    def test_mean_imputation(self, table):
+        enc = TableEncoder(
+            TransformSpec(passthrough=["income"], impute={"income": "mean"})
+        ).fit(table)
+        out = enc.transform(table)[:, 0]
+        observed_mean = np.nanmean(table.column("income"))
+        assert out[2] == pytest.approx(observed_mean)
+        assert np.isfinite(out).all()
+
+    def test_median_imputation(self, table):
+        enc = TableEncoder(
+            TransformSpec(passthrough=["income"], impute={"income": "median"})
+        ).fit(table)
+        assert enc.impute_values_["income"] == pytest.approx(40.0)
+
+    def test_mode_imputation_for_categories(self, table):
+        enc = TableEncoder(
+            TransformSpec(dummycode=["plan"], impute={"plan": "mode"})
+        ).fit(table)
+        assert enc.impute_values_["plan"] == "a"
+        X = enc.transform(table)
+        assert np.allclose(X.sum(axis=1), 1.0)  # the None row got 'a'
+
+    def test_constant_imputation(self, table):
+        enc = TableEncoder(
+            TransformSpec(passthrough=["income"], impute={"income": -1.0})
+        ).fit(table)
+        assert enc.transform(table)[2, 0] == -1.0
+
+
+class TestComposition:
+    def test_full_spec_shapes_and_names(self, table):
+        spec = TransformSpec(
+            dummycode=["city"],
+            recode=["plan"],
+            bin={"age": 3},
+            standardize=["income"],
+            impute={"income": "mean", "plan": "mode"},
+        )
+        enc = TableEncoder(spec).fit(table)
+        X = enc.transform(table)
+        assert X.shape == (6, 1 + 3 + 1 + 1)
+        assert len(enc.feature_names_) == X.shape[1]
+        assert np.isfinite(X).all()
+
+    def test_matrix_feeds_models(self, table, rng):
+        spec = TransformSpec(
+            dummycode=["city"], standardize=["age"],
+            passthrough=["income"], impute={"income": "mean"},
+        )
+        X = TableEncoder(spec).fit_transform(table)
+        from repro.ml import LinearRegression
+
+        y = rng.standard_normal(6)
+        LinearRegression().fit(X, y)  # shapes and dtypes line up
+
+    def test_missing_column_rejected_at_fit(self, table):
+        with pytest.raises(SchemaError):
+            TableEncoder(TransformSpec(recode=["ghost"])).fit(table)
+
+    def test_transform_before_fit(self, table):
+        with pytest.raises(NotFittedError):
+            TableEncoder(TransformSpec(recode=["city"])).transform(table)

@@ -1,0 +1,147 @@
+"""Unit tests for CART decision trees."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification, make_regression
+from repro.errors import ModelError, NotFittedError
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestClassifier:
+    def test_axis_aligned_rule_learned_exactly(self, rng):
+        X = rng.uniform(-1, 1, (400, 3))
+        y = (X[:, 1] > 0.25).astype(int)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.score(X, y) == 1.0
+        assert tree.tree_.feature == 1
+        assert tree.tree_.threshold == pytest.approx(0.25, abs=0.05)
+
+    def test_xor_needs_depth(self, rng):
+        # XOR: no single split has gain (greedy CART's classic hard case);
+        # depth buys back what the greedy root split loses.
+        X = rng.uniform(-1, 1, (600, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert shallow.score(X, y) < 0.7
+        assert deep.score(X, y) > 0.9
+
+    def test_gaussian_data_accuracy(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.score(X, y) > 0.85
+
+    def test_arbitrary_labels(self, classification_data):
+        X, y = classification_data
+        labels = np.where(y == 1, "spam", "ham")
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, labels)
+        assert set(tree.predict(X)) <= {"spam", "ham"}
+
+    def test_multiclass(self, rng):
+        X = rng.uniform(0, 3, (300, 1))
+        y = np.floor(X[:, 0]).astype(int)  # 3 classes by interval
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.score(X, y) > 0.98
+
+    def test_pure_node_stops_early(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 0, 0])
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert tree.tree_.is_leaf
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=10, min_samples_leaf=20).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n_samples >= 20
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(tree.tree_)
+
+    def test_depth_cap(self, rng):
+        X = rng.standard_normal((200, 4))
+        y = rng.integers(0, 2, 200)  # pure noise: tree wants to overfit
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.depth_ <= 3
+
+    def test_describe_renders(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        text = tree.describe()
+        assert "if x[" in text
+        assert "leaf" in text
+
+    def test_feature_count_checked_at_predict(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ModelError):
+            tree.predict(X[:, :2])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.ones((2, 2)))
+
+    def test_hyperparameter_validation(self, classification_data):
+        X, y = classification_data
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier(max_depth=0).fit(X, y)
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier(min_samples_leaf=0).fit(X, y)
+
+    def test_clone_protocol_for_selection(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=3)
+        clone = tree.clone().set_params(max_depth=5)
+        assert tree.max_depth == 3
+        assert clone.max_depth == 5
+
+    def test_grid_searchable(self, classification_data):
+        from repro.selection import grid_search
+
+        X, y = classification_data
+        result = grid_search(
+            DecisionTreeClassifier(), {"max_depth": [1, 3, 6]}, X, y, cv=3
+        )
+        assert result.num_evaluated == 3
+        assert result.best_score > 0.7
+
+
+class TestRegressor:
+    def test_step_function_fit(self):
+        X = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = np.where(X[:, 0] > 0.5, 5.0, -5.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert tree.score(X, y) > 0.999
+
+    def test_piecewise_approximation_improves_with_depth(self):
+        X = np.linspace(0, 2 * np.pi, 400).reshape(-1, 1)
+        y = np.sin(X[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert deep.score(X, y) > shallow.score(X, y)
+
+    def test_regression_task(self, regression_data):
+        X, y, _ = regression_data
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert tree.score(X, y) > 0.5
+
+    def test_constant_target_is_single_leaf(self, rng):
+        X = rng.standard_normal((50, 3))
+        tree = DecisionTreeRegressor().fit(X, np.full(50, 7.0))
+        assert tree.tree_.is_leaf
+        assert tree.predict(X[:5]).tolist() == [7.0] * 5
+
+    def test_min_impurity_decrease_prunes(self, rng):
+        X = rng.standard_normal((200, 2))
+        y = X[:, 0] + 0.01 * rng.standard_normal(200)
+        free = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        pruned = DecisionTreeRegressor(
+            max_depth=8, min_impurity_decrease=0.5
+        ).fit(X, y)
+        assert pruned.n_nodes_ < free.n_nodes_
