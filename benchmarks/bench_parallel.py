@@ -1,0 +1,335 @@
+#!/usr/bin/env python3
+"""E18 — Cost-aware parallel execution engine.
+
+Sweeps thread counts x input sizes across the three wired hot paths —
+compressed matvec (CLA column groups), parallel UDA logistic regression
+(Bismarck partitions), and grid search (model selection) — and shows the
+cost-threshold crossover: above-threshold inputs fan out to the shared
+pool, below-threshold inputs dispatch serially (fallback counter > 0)
+with < 5% overhead.
+
+Usage::
+
+    python benchmarks/bench_parallel.py                  # full sweep
+    python benchmarks/bench_parallel.py --quick          # CI smoke run
+    python benchmarks/bench_parallel.py --out BENCH_parallel.json
+
+Speedups > 1 require actual cores: on a single-CPU machine the engine
+still dispatches (utilization is reported honestly) but wall-clock gains
+are impossible by construction. pytest collection (``pytest
+benchmarks/bench_parallel.py``) runs the correctness-parity checks only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.compression import CompressedMatrix
+from repro.data import make_classification, make_low_cardinality_matrix
+from repro.indb.gradient import train_igd
+from repro.ml import LogisticRegression
+from repro.ml.losses import LogisticLoss
+from repro.runtime.parallel import ParallelContext
+from repro.selection import grid_search
+from repro.storage import Table
+
+
+def _best_time(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def bench_compressed_matvec(threads, n, d, repeats):
+    """Compressed X @ v: per-column-group partials in parallel."""
+    X = make_low_cardinality_matrix(n, d, cardinality=8, seed=2017)
+    C = CompressedMatrix.compress(X)
+    v = np.random.default_rng(1).standard_normal(d)
+
+    t_serial, ref = _best_time(lambda: C.matvec(v), repeats)
+    rows = []
+    for workers in threads:
+        ctx = ParallelContext(max_workers=workers, cost_threshold=0)
+        C.set_parallel(ctx)
+        t_par, out = _best_time(lambda: C.matvec(v), repeats)
+        assert np.allclose(out, ref, atol=1e-9), "parallel matvec diverged"
+        rows.append(
+            {
+                "threads": workers,
+                "seconds": t_par,
+                "speedup": t_serial / t_par if t_par > 0 else float("nan"),
+                "utilization": ctx.stats.estimated_speedup,
+            }
+        )
+        C.set_parallel(False)
+        ctx.shutdown()
+    return {
+        "workload": "compressed_matvec",
+        "n_rows": n,
+        "n_cols": d,
+        "nnz_equivalent": n * d,
+        "column_groups": len(C.groups),
+        "serial_seconds": t_serial,
+        "by_threads": rows,
+    }
+
+
+def bench_uda_logistic(threads, n, d, epochs, repeats):
+    """Bismarck-style parallel IGD: partition states computed concurrently."""
+    X, y = make_classification(n, d, separation=2.0, seed=2017)
+    table = Table.from_columns(
+        {f"x{i}": X[:, i] for i in range(d)} | {"y": np.where(y > 0, 1.0, -1.0)}
+    )
+    features = [f"x{i}" for i in range(d)]
+    kwargs = dict(epochs=epochs, partitions=4, shuffle="once", seed=0)
+
+    t_serial, ref = _best_time(
+        lambda: train_igd(table, features, "y", LogisticLoss(), **kwargs),
+        repeats,
+    )
+    rows = []
+    for workers in threads:
+        ctx = ParallelContext(max_workers=workers, cost_threshold=0)
+        t_par, out = _best_time(
+            lambda: train_igd(
+                table, features, "y", LogisticLoss(), parallel=ctx, **kwargs
+            ),
+            repeats,
+        )
+        assert np.array_equal(out.weights, ref.weights), "parallel IGD diverged"
+        rows.append(
+            {
+                "threads": workers,
+                "seconds": t_par,
+                "speedup": t_serial / t_par if t_par > 0 else float("nan"),
+                "utilization": ctx.stats.estimated_speedup,
+            }
+        )
+        ctx.shutdown()
+    return {
+        "workload": "uda_logistic_igd",
+        "n_rows": n,
+        "n_cols": d,
+        "partitions": 4,
+        "epochs": epochs,
+        "serial_seconds": t_serial,
+        "by_threads": rows,
+    }
+
+
+def bench_grid_search(threads, n, d, repeats):
+    """8-configuration logistic grid search through the shared pool."""
+    X, y = make_classification(n, d, separation=2.0, seed=2017)
+    grid = {"l2": [1e-3, 1e-2, 1e-1, 1.0], "learning_rate": [0.5, 1.0]}
+    est = LogisticRegression(solver="gd", max_iter=20)
+
+    t_serial, ref = _best_time(
+        lambda: grid_search(est, grid, X, y, cv=3), repeats
+    )
+    rows = []
+    for workers in threads:
+        ctx = ParallelContext(max_workers=workers, cost_threshold=0)
+        t_par, out = _best_time(
+            lambda: grid_search(est, grid, X, y, cv=3, parallel=ctx), repeats
+        )
+        assert out.best_params == ref.best_params, "parallel search diverged"
+        rows.append(
+            {
+                "threads": workers,
+                "seconds": t_par,
+                "speedup": t_serial / t_par if t_par > 0 else float("nan"),
+                "utilization": ctx.stats.estimated_speedup,
+            }
+        )
+        ctx.shutdown()
+    return {
+        "workload": "grid_search_8_configs",
+        "n_rows": n,
+        "n_cols": d,
+        "configs": 8,
+        "serial_seconds": t_serial,
+        "by_threads": rows,
+    }
+
+
+def bench_threshold_crossover(sizes, d, repeats):
+    """The cost gate: small inputs fall back to serial dispatch.
+
+    Uses the default threshold, so tiny matvecs are recorded as serial
+    fallbacks and the parallel-path overhead stays < 5%.
+    """
+    rows = []
+    # Sub-millisecond kernels need many repeats to beat timer noise.
+    repeats = max(repeats, 100)
+    for n in sizes:
+        X = make_low_cardinality_matrix(n, d, cardinality=8, seed=7)
+        C = CompressedMatrix.compress(X)
+        v = np.random.default_rng(2).standard_normal(d)
+        t_serial, _ = _best_time(lambda: C.matvec(v), repeats)
+
+        ctx = ParallelContext(max_workers=4)  # default cost threshold
+        C.set_parallel(ctx)
+        t_gated, _ = _best_time(lambda: C.matvec(v), repeats)
+        cost_hint = 2.0 * n * d
+        rows.append(
+            {
+                "n_rows": n,
+                "cost_hint": cost_hint,
+                "above_threshold": cost_hint >= ctx.cost_threshold,
+                "serial_fallbacks": ctx.stats.serial_fallbacks,
+                "parallel_calls": ctx.stats.parallel_calls,
+                "serial_seconds": t_serial,
+                "gated_seconds": t_gated,
+                "overhead": (t_gated - t_serial) / t_serial
+                if t_serial > 0
+                else 0.0,
+            }
+        )
+        C.set_parallel(False)
+        ctx.shutdown()
+    return {"workload": "threshold_crossover", "n_cols": d, "points": rows}
+
+
+# ----------------------------------------------------------------------
+# Correctness-parity checks (collected by pytest)
+# ----------------------------------------------------------------------
+def test_parallel_matvec_parity():
+    X = make_low_cardinality_matrix(20_000, 10, cardinality=8, seed=3)
+    C = CompressedMatrix.compress(X)
+    v = np.random.default_rng(0).standard_normal(10)
+    ref = C.matvec(v)
+    with ParallelContext(max_workers=4, cost_threshold=0) as ctx:
+        C.set_parallel(ctx)
+        assert np.allclose(C.matvec(v), ref, atol=1e-9)
+        assert ctx.stats.parallel_calls >= 1
+
+
+def test_small_inputs_fall_back_serially():
+    X = make_low_cardinality_matrix(200, 6, cardinality=4, seed=4)
+    C = CompressedMatrix.compress(X)
+    v = np.ones(6)
+    with ParallelContext(max_workers=4) as ctx:  # default threshold
+        C.set_parallel(ctx)
+        C.matvec(v)
+        assert ctx.stats.serial_fallbacks >= 1
+        assert ctx.stats.parallel_calls == 0
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run(quick: bool, threads: list[int], repeats: int) -> dict:
+    if quick:
+        matvec_n, matvec_d = 60_000, 12
+        uda_n, uda_d, epochs = 4_000, 8, 1
+        grid_n, grid_d = 600, 6
+        crossover_sizes = [500, 5_000, 50_000]
+    else:
+        matvec_n, matvec_d = 500_000, 20  # 1e7 nnz-equivalent
+        uda_n, uda_d, epochs = 20_000, 10, 2
+        grid_n, grid_d = 2_000, 8
+        crossover_sizes = [500, 2_000, 10_000, 50_000, 200_000]
+
+    results = {
+        "meta": {
+            "experiment": "E18",
+            "cpu_count": os.cpu_count(),
+            "threads_swept": threads,
+            "quick": quick,
+            "default_threshold": ParallelContext().cost_threshold,
+        },
+        "results": [
+            bench_compressed_matvec(threads, matvec_n, matvec_d, repeats),
+            bench_uda_logistic(threads, uda_n, uda_d, epochs, repeats),
+            bench_grid_search(threads, grid_n, grid_d, repeats),
+            bench_threshold_crossover(crossover_sizes, 12, repeats),
+        ],
+    }
+    return results
+
+
+def report(results: dict) -> None:
+    meta = results["meta"]
+    print(
+        f"E18 — cost-aware parallel engine "
+        f"(cpus={meta['cpu_count']}, threads={meta['threads_swept']})"
+    )
+    for entry in results["results"]:
+        print(f"\n== {entry['workload']} ==")
+        if entry["workload"] == "threshold_crossover":
+            print(f"{'rows':>9} {'cost':>12} {'gate':>8} "
+                  f"{'fallbacks':>9} {'overhead':>9}")
+            for p in entry["points"]:
+                gate = "par" if p["above_threshold"] else "serial"
+                print(
+                    f"{p['n_rows']:>9} {p['cost_hint']:>12.0f} {gate:>8} "
+                    f"{p['serial_fallbacks']:>9} {p['overhead']:>8.1%}"
+                )
+            continue
+        print(f"serial: {entry['serial_seconds'] * 1e3:8.2f} ms")
+        for row in entry["by_threads"]:
+            print(
+                f"  {row['threads']} threads: {row['seconds'] * 1e3:8.2f} ms "
+                f"speedup {row['speedup']:.2f}x "
+                f"(pool utilization {row['utilization']:.2f}x)"
+            )
+
+
+def _thread_list(spec: str) -> list[int]:
+    try:
+        counts = [int(t) for t in spec.split(",") if t.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {spec!r}"
+        ) from None
+    if not counts or any(c < 1 for c in counts):
+        raise argparse.ArgumentTypeError(
+            f"worker counts must be positive integers, got {spec!r}"
+        )
+    return counts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--threads",
+        type=_thread_list,
+        default="1,2,4,8",
+        help="comma-separated worker counts to sweep",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    threads = args.threads if isinstance(args.threads, list) else _thread_list(args.threads)
+    repeats = args.repeats or (1 if args.quick else 3)
+    results = run(args.quick, threads, repeats)
+    report(results)
+    if args.out:
+        pathlib.Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table/series (E1..E17) from DESIGN.md.
+"""Regenerate every experiment table/series (E1..E18) from DESIGN.md.
 
 Usage::
 
@@ -551,6 +551,15 @@ def e17_fold_reuse():
           "(fold, lambda)")
 
 
+def e18_parallel():
+    """Delegate to the dedicated sweep (kept quick inside the runner)."""
+    import bench_parallel
+
+    _header("E18", "Cost-aware parallel execution engine")
+    results = bench_parallel.run(quick=True, threads=[1, 2, 4], repeats=1)
+    bench_parallel.report(results)
+
+
 EXPERIMENTS = {
     "E1": e1_factorized,
     "E2": e2_hamlet,
@@ -569,6 +578,7 @@ EXPERIMENTS = {
     "E15": e15_distributed,
     "E16": e16_algorithms,
     "E17": e17_fold_reuse,
+    "E18": e18_parallel,
 }
 
 

@@ -3,15 +3,40 @@
 A :class:`CompressedMatrix` behaves like a read-only dense matrix for the
 operations iterative ML needs — ``X @ v``, ``X.T @ u``, ``X.T @ X``,
 column sums — all executed directly on the compressed column groups.
+
+Kernels can execute per-column-group partials concurrently on the shared
+cost-aware worker pool (:mod:`repro.runtime.parallel`): pass
+``parallel=True`` to :meth:`CompressedMatrix.compress` / the constructor,
+or attach a context with :meth:`CompressedMatrix.set_parallel`. Small
+matrices still dispatch serially through the cost gate.
 """
 
 from __future__ import annotations
 
+import time
+from functools import partial
+
 import numpy as np
 
 from ..errors import CompressionError
+from ..runtime.parallel import ParallelContext, resolve_context
 from .colgroup import ColumnGroup
 from .planner import CompressionPlan, build_groups, plan_matrix
+
+
+def _group_matvec(v: np.ndarray, n_rows: int, group: ColumnGroup) -> np.ndarray:
+    """One group's contribution to X @ v, as a private partial vector."""
+    out = np.zeros(n_rows)
+    group.matvec_add(v, out)
+    return out
+
+
+def _group_rmatvec(u: np.ndarray, group: ColumnGroup) -> np.ndarray:
+    return group.rmatvec(u)
+
+
+def _group_colsums(group: ColumnGroup) -> np.ndarray:
+    return group.colsums()
 
 
 class CompressedMatrix:
@@ -22,10 +47,12 @@ class CompressedMatrix:
         shape: tuple[int, int],
         groups: list[ColumnGroup],
         plan: CompressionPlan | None = None,
+        parallel: bool | ParallelContext = False,
     ):
         self.shape = shape
         self.groups = groups
         self.plan = plan
+        self._parallel_ctx = resolve_context(parallel)
         covered = sorted(
             int(c) for g in groups for c in g.col_indices
         )
@@ -43,11 +70,36 @@ class CompressedMatrix:
         exact: bool = False,
         cocode: bool = True,
         seed: int = 0,
+        parallel: bool | ParallelContext = False,
     ) -> "CompressedMatrix":
         """Plan and encode a dense matrix."""
         X = np.asarray(X, dtype=np.float64)
         plan = plan_matrix(X, sample_fraction, exact, cocode, seed)
-        return cls(X.shape, build_groups(X, plan), plan)
+        return cls(X.shape, build_groups(X, plan), plan, parallel=parallel)
+
+    # ------------------------------------------------------------------
+    # Parallel dispatch
+    # ------------------------------------------------------------------
+    def set_parallel(
+        self, parallel: bool | ParallelContext = True
+    ) -> "CompressedMatrix":
+        """Enable/disable concurrent per-group kernels (chainable)."""
+        self._parallel_ctx = resolve_context(parallel)
+        return self
+
+    @property
+    def parallel_context(self) -> ParallelContext | None:
+        return self._parallel_ctx
+
+    def _kernel_cost(self) -> float:
+        """Flops-equivalents of one matvec-shaped pass: 2 * nnz-dense."""
+        return 2.0 * self.shape[0] * self.shape[1]
+
+    def _ctx_for(self, min_groups: int = 2) -> ParallelContext | None:
+        ctx = self._parallel_ctx
+        if ctx is None or len(self.groups) < min_groups:
+            return None
+        return ctx
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -76,50 +128,122 @@ class CompressedMatrix:
     # Kernels
     # ------------------------------------------------------------------
     def matvec(self, v: np.ndarray) -> np.ndarray:
-        """X @ v on the compressed representation."""
+        """X @ v on the compressed representation.
+
+        Parallel path: each group produces a private partial output
+        vector; partials reduce in group order, so the result matches
+        the serial path to float-addition reassociation (<= 1e-9).
+        """
         v = np.asarray(v, dtype=np.float64).reshape(-1)
         if len(v) != self.shape[1]:
             raise CompressionError(
                 f"vector length {len(v)} != num columns {self.shape[1]}"
             )
+        ctx = self._ctx_for()
+        if ctx is not None and ctx.should_parallelize(
+            len(self.groups), self._kernel_cost()
+        ):
+            partials = ctx.pmap(
+                partial(_group_matvec, v, self.shape[0]),
+                self.groups,
+                cost_hint=self._kernel_cost(),
+                site="cla.matvec",
+            )
+            out = np.zeros(self.shape[0])
+            for p in partials:
+                out += p
+            return out
+        # Serial kernel: accumulate in place — cheaper than the per-group
+        # partial-vector formulation the parallel path needs.
+        start = time.perf_counter() if ctx is not None else 0.0
         out = np.zeros(self.shape[0])
         for g in self.groups:
             g.matvec_add(v, out)
+        if ctx is not None:
+            ctx.note_serial(
+                "cla.matvec", len(self.groups), time.perf_counter() - start
+            )
         return out
 
     def rmatvec(self, u: np.ndarray) -> np.ndarray:
-        """X.T @ u on the compressed representation."""
+        """X.T @ u on the compressed representation.
+
+        Groups cover disjoint columns, so the parallel path scatters
+        independent per-group results and is bitwise-identical to serial.
+        """
         u = np.asarray(u, dtype=np.float64).reshape(-1)
         if len(u) != self.shape[0]:
             raise CompressionError(
                 f"vector length {len(u)} != num rows {self.shape[0]}"
             )
         out = np.zeros(self.shape[1])
+        ctx = self._ctx_for()
+        if ctx is not None:
+            partials = ctx.pmap(
+                partial(_group_rmatvec, u),
+                self.groups,
+                cost_hint=self._kernel_cost(),
+                site="cla.rmatvec",
+            )
+            for g, values in zip(self.groups, partials):
+                out[g.col_indices] = values
+            return out
         for g in self.groups:
             out[g.col_indices] = g.rmatvec(u)
         return out
 
     def colsums(self) -> np.ndarray:
         out = np.zeros(self.shape[1])
+        ctx = self._ctx_for()
+        if ctx is not None:
+            partials = ctx.pmap(
+                _group_colsums,
+                self.groups,
+                cost_hint=float(self.shape[0]) * self.shape[1],
+                site="cla.colsums",
+            )
+            for g, values in zip(self.groups, partials):
+                out[g.col_indices] = values
+            return out
         for g in self.groups:
             out[g.col_indices] = g.colsums()
         return out
 
+    def _gram_column(self, j: int) -> np.ndarray:
+        unit = np.zeros(self.shape[1])
+        unit[j] = 1.0
+        return self.rmatvec(self.matvec(unit))
+
     def gram(self) -> np.ndarray:
-        """X.T @ X via d compressed matrix-vector products.
+        """X.T @ X via d compressed matrix-vector products (TSMM).
 
         Column-at-a-time: for each column j, X.T @ X[:, j]. Exploits the
         compressed matvec for each unit vector, avoiding decompression.
+        The parallel path fans out over columns; the inner kernels nest
+        serially (the pool's re-entrancy guard), so per-column results
+        are identical to the serial path.
         """
         d = self.shape[1]
         out = np.empty((d, d))
-        unit = np.zeros(d)
-        for j in range(d):
-            unit[j] = 1.0
-            out[:, j] = self.rmatvec(self.matvec(unit))
-            unit[j] = 0.0
+        ctx = self._parallel_ctx
+        if ctx is not None and d > 1:
+            columns = ctx.pmap(
+                self._gram_column,
+                range(d),
+                cost_hint=2.0 * d * self._kernel_cost(),
+                site="cla.tsmm",
+            )
+            for j, col in enumerate(columns):
+                out[:, j] = col
+        else:
+            for j in range(d):
+                out[:, j] = self._gram_column(j)
         # Symmetrize against floating-point asymmetry.
         return (out + out.T) / 2.0
+
+    def tsmm(self) -> np.ndarray:
+        """Transpose-self matrix multiply — alias for :meth:`gram`."""
+        return self.gram()
 
     def decompress(self) -> np.ndarray:
         """Full dense reconstruction (testing / fallback only)."""

@@ -2,21 +2,36 @@
 
 Workers hold disjoint row shards and answer gradient/loss requests; the
 cluster driver implements bulk-synchronous rounds (broadcast weights,
-gather partial gradients, average). There is no actual concurrency —
-the simulation's purpose is to measure the *communication volume* and
-*convergence per round* that distinguish distributed strategies, which
-are scheduling-independent quantities.
+gather partial gradients, average). The simulation's primary purpose is
+to measure the *communication volume* and *convergence per round* that
+distinguish distributed strategies, which are scheduling-independent
+quantities — but workers can optionally execute their local compute
+concurrently on the shared worker pool (``parallel=True``), while the
+communication ledger and the reduced results stay deterministic:
+partials are always combined in worker order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from ..errors import ReproError
 from ..ml.losses import Loss
+from ..runtime.parallel import ParallelContext, resolve_context
 from .partition import Partition, partition_rows
+
+
+def _worker_gradient(
+    loss: Loss, w: np.ndarray, worker: "Worker"
+) -> tuple[np.ndarray, int]:
+    return worker.gradient_sum(loss, w)
+
+
+def _worker_loss(loss: Loss, w: np.ndarray, worker: "Worker") -> tuple[float, int]:
+    return worker.loss_sum(loss, w)
 
 BYTES_PER_FLOAT = 8
 
@@ -77,6 +92,8 @@ class SimulatedCluster:
         num_workers: int,
         scheme: str = "random",
         seed: int | None = 0,
+        parallel: bool | ParallelContext = False,
+        context: ParallelContext | None = None,
     ):
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
@@ -92,6 +109,23 @@ class SimulatedCluster:
         self.dim = X.shape[1]
         self.n_rows = len(X)
         self.comm = CommStats()
+        self._parallel_ctx = resolve_context(parallel, context)
+
+    def _worker_results(self, fn, site: str) -> list:
+        """Run one request per worker, optionally concurrently.
+
+        Results come back in worker order either way, so downstream
+        reductions are deterministic.
+        """
+        ctx = self._parallel_ctx
+        if ctx is not None and self.num_workers > 1:
+            return ctx.pmap(
+                fn,
+                self.workers,
+                cost_hint=2.0 * self.n_rows * self.dim,
+                site=site,
+            )
+        return [fn(worker) for worker in self.workers]
 
     @property
     def num_workers(self) -> int:
@@ -110,8 +144,10 @@ class SimulatedCluster:
         self._account_round()
         total = np.zeros(self.dim)
         count = 0
-        for worker in self.workers:
-            grad, n = worker.gradient_sum(loss, w)
+        results = self._worker_results(
+            partial(_worker_gradient, loss, w), site="cluster.gradient"
+        )
+        for grad, n in results:
             total += grad
             count += n
         return total / count
@@ -120,8 +156,10 @@ class SimulatedCluster:
         self._account_round()
         total = 0.0
         count = 0
-        for worker in self.workers:
-            value, n = worker.loss_sum(loss, w)
+        results = self._worker_results(
+            partial(_worker_loss, loss, w), site="cluster.loss"
+        )
+        for value, n in results:
             total += value
             count += n
         return total / count

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import ModelError, NotFittedError
 from ..ml.losses import LogisticLoss, SquaredLoss, sigmoid
+from ..runtime.parallel import ParallelContext
 from ..storage.table import Table
 from .gradient import IGDResult, train_bgd, train_igd
 from .uda import GramUDA, run_uda
@@ -36,6 +37,7 @@ class InDBLinearRegression:
         feature_columns: Sequence[str],
         label_column: str,
         partitions: int = 1,
+        parallel: bool | ParallelContext = False,
     ) -> "InDBLinearRegression":
         if not feature_columns:
             raise ModelError("need at least one feature column")
@@ -45,7 +47,11 @@ class InDBLinearRegression:
             work = table.with_column("_intercept", np.ones(table.num_rows))
             features = ["_intercept", *features]
         stats = run_uda(
-            work, GramUDA(), [*features, label_column], partitions=partitions
+            work,
+            GramUDA(),
+            [*features, label_column],
+            partitions=partitions,
+            parallel=parallel,
         )
         gram = stats["gram"]
         if self.l2 > 0:
@@ -103,6 +109,7 @@ class InDBLogisticRegression:
         shuffle: str = "once",
         partitions: int = 1,
         seed: int | None = 0,
+        parallel: bool | ParallelContext = False,
     ):
         if method not in ("igd", "bgd"):
             raise ModelError(f"method must be 'igd' or 'bgd', got {method!r}")
@@ -114,6 +121,7 @@ class InDBLogisticRegression:
         self.shuffle = shuffle
         self.partitions = partitions
         self.seed = seed
+        self.parallel = parallel
 
     def fit(
         self, table: Table, feature_columns: Sequence[str], label_column: str
@@ -139,6 +147,7 @@ class InDBLogisticRegression:
                 shuffle=self.shuffle,
                 partitions=self.partitions,
                 seed=self.seed,
+                parallel=self.parallel,
             )
         else:
             result = train_bgd(
@@ -150,6 +159,7 @@ class InDBLogisticRegression:
                 learning_rate=self.learning_rate,
                 l2=self.l2,
                 partitions=self.partitions,
+                parallel=self.parallel,
             )
         self.result_: IGDResult = result
         self.feature_columns_ = list(feature_columns)
@@ -188,6 +198,7 @@ def train_linear_svm_indb(
     shuffle: str = "once",
     partitions: int = 1,
     seed: int | None = 0,
+    parallel: bool | ParallelContext = False,
 ) -> IGDResult:
     """Linear SVM via the same IGD aggregate with the hinge loss.
 
@@ -208,6 +219,7 @@ def train_linear_svm_indb(
         shuffle=shuffle,
         partitions=partitions,
         seed=seed,
+        parallel=parallel,
     )
 
 
@@ -220,6 +232,7 @@ def train_linreg_igd_indb(
     shuffle: str = "once",
     partitions: int = 1,
     seed: int | None = 0,
+    parallel: bool | ParallelContext = False,
 ) -> IGDResult:
     """Least squares via the IGD aggregate with the squared loss."""
     return train_igd(
@@ -232,4 +245,5 @@ def train_linreg_igd_indb(
         shuffle=shuffle,
         partitions=partitions,
         seed=seed,
+        parallel=parallel,
     )

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import ModelError, StorageError
 from ..ml.losses import Loss
+from ..runtime.parallel import ParallelContext
 from ..storage.table import Table
 from .uda import UDA, run_uda
 
@@ -103,6 +104,7 @@ def train_igd(
     partitions: int = 1,
     add_intercept: bool = True,
     seed: int | None = 0,
+    parallel: bool | ParallelContext = False,
 ) -> IGDResult:
     """Train a GLM over a table with epoch-per-aggregation IGD.
 
@@ -112,6 +114,8 @@ def train_igd(
             order), or ``"each"`` (reshuffle every epoch).
         decay: per-epoch step decay, lr_t = lr / (1 + decay * t).
         partitions: simulated parallel workers (merged by averaging).
+        parallel: compute partition states concurrently on the shared
+            worker pool (identical result to the serial path).
     """
     if shuffle not in SHUFFLE_POLICIES:
         raise ModelError(
@@ -147,7 +151,12 @@ def train_igd(
         lr = learning_rate / (1.0 + decay * epoch)
         uda = IGDTransition(loss, dim, lr, l2, initial=weights)
         weights = run_uda(
-            work, uda, columns, partitions=partitions, row_order=order
+            work,
+            uda,
+            columns,
+            partitions=partitions,
+            row_order=order,
+            parallel=parallel,
         )
         history.append(loss_of(weights))
     return IGDResult(weights=weights, epochs=epochs, loss_history=history)
@@ -163,6 +172,7 @@ def train_bgd(
     l2: float = 0.0,
     partitions: int = 1,
     add_intercept: bool = True,
+    parallel: bool | ParallelContext = False,
 ) -> IGDResult:
     """Batch gradient descent: one aggregation pass per iteration.
 
@@ -208,7 +218,9 @@ def train_bgd(
             return grad / count
 
     for _ in range(iterations):
-        grad = run_uda(work, GradientUDA(weights), columns, partitions)
+        grad = run_uda(
+            work, GradientUDA(weights), columns, partitions, parallel=parallel
+        )
         if l2 > 0:
             grad = grad + l2 * weights
         weights = weights - learning_rate * grad

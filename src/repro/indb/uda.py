@@ -16,11 +16,18 @@ states combine pairwise through ``merge``.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Generic, Sequence, TypeVar
 
 import numpy as np
 
 from ..errors import StorageError
+from ..runtime.parallel import (
+    PYTHON_CALL_FLOPS,
+    ParallelContext,
+    merge_tree,
+    resolve_context,
+)
 from ..storage.table import Table
 
 State = TypeVar("State")
@@ -45,20 +52,50 @@ class UDA(Generic[State, Result]):
         return state  # type: ignore[return-value]
 
 
+def _fold_partition(
+    uda: UDA[State, Result], data: np.ndarray, span: tuple[int, int]
+) -> State:
+    """Fold one contiguous row slice through ``transition``.
+
+    Module-level so the process-pool backend can pickle it.
+    """
+    state = uda.initialize()
+    for row in data[span[0] : span[1]]:
+        state = uda.transition(state, row)
+    return state
+
+
+def estimate_uda_cost(n_rows: int, n_cols: int) -> float:
+    """Flops-equivalent cost of one UDA pass (Python transition per row)."""
+    return float(n_rows) * (PYTHON_CALL_FLOPS + 2.0 * n_cols)
+
+
 def run_uda(
     table: Table,
     uda: UDA[State, Result],
     columns: Sequence[str],
     partitions: int = 1,
     row_order: np.ndarray | None = None,
+    parallel: bool | ParallelContext = False,
+    context: ParallelContext | None = None,
 ) -> Result:
     """Execute a UDA over the selected numeric columns of a table.
+
+    Partition states always combine through a pairwise merge *tree*
+    (log-depth, the shape a partitioned engine uses), so serial and
+    parallel execution perform bitwise-identical merges. Partitions that
+    would receive zero rows (``partitions > n_rows``) are skipped rather
+    than folded through ``transition``/``merge``.
 
     Args:
         partitions: number of simulated parallel partitions; each gets a
             contiguous slice of rows and its own state, merged at the end.
         row_order: optional row permutation applied before partitioning
             (how the engine layer implements shuffling for IGD).
+        parallel: ``True`` computes partition states concurrently on the
+            shared :class:`ParallelContext` (cost-gated: small tables
+            still run serially); may also be a context instance.
+        context: explicit pool to use instead of the shared default.
     """
     if partitions < 1:
         raise StorageError("partitions must be >= 1")
@@ -72,17 +109,29 @@ def run_uda(
 
     n = len(data)
     bounds = np.linspace(0, n, partitions + 1).astype(int)
-    states = []
-    for p in range(partitions):
-        state = uda.initialize()
-        for row in data[bounds[p] : bounds[p + 1]]:
-            state = uda.transition(state, row)
-        states.append(state)
+    spans = [
+        (int(bounds[p]), int(bounds[p + 1]))
+        for p in range(partitions)
+        if bounds[p + 1] > bounds[p]
+    ]
+    if not spans:
+        # Empty table: finalize a fresh state (UDAs decide whether an
+        # empty aggregate is an error or an identity).
+        return uda.finalize(uda.initialize())
 
-    merged = states[0]
-    for state in states[1:]:
-        merged = uda.merge(merged, state)
-    return uda.finalize(merged)
+    fold = partial(_fold_partition, uda, data)
+    ctx = resolve_context(parallel, context)
+    if ctx is not None and len(spans) > 1:
+        states = ctx.pmap(
+            fold,
+            spans,
+            cost_hint=estimate_uda_cost(n, data.shape[1]),
+            site="indb.run_uda",
+        )
+    else:
+        states = [fold(span) for span in spans]
+
+    return uda.finalize(merge_tree(uda.merge, states))
 
 
 # ----------------------------------------------------------------------

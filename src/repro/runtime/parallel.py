@@ -1,0 +1,435 @@
+"""Cost-aware shared parallel execution engine.
+
+The systems the tutorial surveys all exploit intra-query parallelism:
+Bismarck's UDA contract exists so an RDBMS can run ``transition`` over
+shared-nothing partitions and combine partials with ``merge``; SystemML's
+runtime executes block operations with multi-threaded workers; model
+selection is embarrassingly parallel across configurations. This module
+provides the one engine all of those layers share:
+
+* :class:`ParallelContext` — a reusable worker pool (threads by default,
+  since numpy releases the GIL inside its kernels; an optional process
+  backend for pure-Python per-row work) behind a **cost-model gate**:
+  :meth:`ParallelContext.pmap` runs serially below a tunable
+  flops-equivalent threshold so tiny inputs never pay pool overhead, and
+  fans out above it.
+* :func:`merge_tree` — deterministic pairwise (log-depth) reduction, the
+  combine shape a partitioned engine uses for ``merge``.
+* A per-call ledger (:class:`ParallelStats`): tasks dispatched, serial
+  fallbacks, wall time versus the summed per-task time (the estimated
+  serial time), surfaced through :func:`parallel_stats`.
+
+Configuration
+-------------
+``REPRO_NUM_THREADS``
+    default worker count for new contexts (else ``os.cpu_count()``).
+``REPRO_PARALLEL_THRESHOLD``
+    default cost gate in flops-equivalents (default ``250_000``).
+
+Determinism contract: ``pmap`` preserves item order and ``merge_tree``
+uses a fixed association, so a parallel run produces the same reduction
+shape — and therefore the same result for associative merges — as the
+serial path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from ..errors import ReproError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: flops-equivalent cost of one Python-level per-row call (used by call
+#: sites whose work is a Python loop rather than a numpy kernel).
+PYTHON_CALL_FLOPS = 200.0
+
+#: default cost gate: below this many flops-equivalents, dispatch serially.
+DEFAULT_COST_THRESHOLD = 250_000.0
+
+#: thread-name prefix marking pool workers (the re-entrancy guard).
+_WORKER_PREFIX = "repro-parallel"
+
+
+def _env_positive_int(name: str) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ReproError(f"{name} must be an integer, got {raw!r}") from exc
+    if value < 1:
+        raise ReproError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def default_num_threads() -> int:
+    """Worker count: ``REPRO_NUM_THREADS`` if set, else ``os.cpu_count()``."""
+    return _env_positive_int("REPRO_NUM_THREADS") or (os.cpu_count() or 1)
+
+
+def default_cost_threshold() -> float:
+    raw = os.environ.get("REPRO_PARALLEL_THRESHOLD", "").strip()
+    if not raw:
+        return DEFAULT_COST_THRESHOLD
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ReproError(
+            f"REPRO_PARALLEL_THRESHOLD must be a number, got {raw!r}"
+        ) from exc
+    if value < 0:
+        raise ReproError(f"REPRO_PARALLEL_THRESHOLD must be >= 0, got {value}")
+    return value
+
+
+@dataclass
+class CallRecord:
+    """Ledger entry for one ``pmap`` call."""
+
+    site: str
+    tasks: int
+    parallel: bool
+    wall_time: float
+    task_time: float  # summed per-task time == estimated serial time
+
+    @property
+    def estimated_speedup(self) -> float:
+        if not self.parallel or self.wall_time <= 0:
+            return 1.0
+        return self.task_time / self.wall_time
+
+
+@dataclass
+class SiteStats:
+    """Aggregated ledger for one call site."""
+
+    calls: int = 0
+    parallel_calls: int = 0
+    serial_fallbacks: int = 0
+    tasks_dispatched: int = 0
+    wall_time: float = 0.0
+    task_time: float = 0.0
+
+
+@dataclass
+class ParallelStats:
+    """Cumulative dispatch ledger for one :class:`ParallelContext`."""
+
+    calls: int = 0
+    parallel_calls: int = 0
+    serial_fallbacks: int = 0
+    tasks_dispatched: int = 0
+    wall_time: float = 0.0
+    task_time: float = 0.0
+    by_site: dict[str, SiteStats] = field(default_factory=dict)
+    #: detailed per-call records for *parallel* dispatches; serial
+    #: fallbacks update only the counters to keep the gated path cheap.
+    records: list[CallRecord] = field(default_factory=list)
+    record_limit: int = 256
+
+    def observe(
+        self, site: str, tasks: int, parallel: bool, wall: float, work: float
+    ) -> None:
+        self.calls += 1
+        self.tasks_dispatched += tasks
+        self.wall_time += wall
+        self.task_time += work
+        site_stats = self.by_site.setdefault(site, SiteStats())
+        site_stats.calls += 1
+        site_stats.tasks_dispatched += tasks
+        site_stats.wall_time += wall
+        site_stats.task_time += work
+        if not parallel:
+            self.serial_fallbacks += 1
+            site_stats.serial_fallbacks += 1
+            return
+        self.parallel_calls += 1
+        site_stats.parallel_calls += 1
+        self.records.append(
+            CallRecord(
+                site=site,
+                tasks=tasks,
+                parallel=True,
+                wall_time=wall,
+                task_time=work,
+            )
+        )
+        if len(self.records) > self.record_limit:
+            del self.records[: len(self.records) - self.record_limit]
+
+    @property
+    def estimated_speedup(self) -> float:
+        """Summed task time over wall time across parallel calls."""
+        wall = sum(r.wall_time for r in self.records if r.parallel)
+        work = sum(r.task_time for r in self.records if r.parallel)
+        if wall <= 0:
+            return 1.0
+        return work / wall
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "parallel_calls": self.parallel_calls,
+            "serial_fallbacks": self.serial_fallbacks,
+            "tasks_dispatched": self.tasks_dispatched,
+            "wall_time": self.wall_time,
+            "task_time": self.task_time,
+            "estimated_speedup": self.estimated_speedup,
+            "by_site": {
+                name: {
+                    "calls": s.calls,
+                    "parallel_calls": s.parallel_calls,
+                    "serial_fallbacks": s.serial_fallbacks,
+                    "tasks_dispatched": s.tasks_dispatched,
+                    "wall_time": s.wall_time,
+                    "task_time": s.task_time,
+                }
+                for name, s in self.by_site.items()
+            },
+        }
+
+
+def _timed_call(fn: Callable[[T], R], item: T) -> tuple[float, R]:
+    """Run one task and report its duration (module-level: picklable)."""
+    start = time.perf_counter()
+    result = fn(item)
+    return time.perf_counter() - start, result
+
+
+def _in_worker_thread() -> bool:
+    return threading.current_thread().name.startswith(_WORKER_PREFIX)
+
+
+class ParallelContext:
+    """A reusable worker pool with cost-model-gated dispatch.
+
+    Args:
+        max_workers: pool size; defaults to ``REPRO_NUM_THREADS`` or the
+            machine's CPU count. With one worker every call runs serially
+            (and counts as a fallback).
+        cost_threshold: flops-equivalent gate; ``pmap`` calls whose
+            ``cost_hint`` falls below it run serially. ``0`` disables the
+            gate (everything eligible fans out).
+        backend: ``"thread"`` (default; numpy kernels release the GIL),
+            ``"process"`` (for pure-Python per-row work; functions and
+            items must be picklable), or ``"serial"`` (never fan out —
+            useful for A/B measurement).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cost_threshold: float | None = None,
+        backend: str = "thread",
+    ):
+        if backend not in ("thread", "process", "serial"):
+            raise ReproError(
+                f"backend must be 'thread', 'process', or 'serial', "
+                f"got {backend!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = (
+            max_workers if max_workers is not None else default_num_threads()
+        )
+        self.cost_threshold = (
+            cost_threshold
+            if cost_threshold is not None
+            else default_cost_threshold()
+        )
+        self.backend = backend
+        self.stats = ParallelStats()
+        self._executor: Executor | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _pool(self) -> Executor:
+        with self._lock:
+            if self._executor is None:
+                if self.backend == "process":
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.max_workers
+                    )
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix=_WORKER_PREFIX,
+                    )
+            return self._executor
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def __enter__(self) -> "ParallelContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def should_parallelize(
+        self, num_tasks: int, cost_hint: float | None
+    ) -> bool:
+        """The cost-model gate, exposed for planners and tests."""
+        if self.backend == "serial" or self.max_workers < 2 or num_tasks < 2:
+            return False
+        if _in_worker_thread():
+            # Re-entrant pmap from inside a pool task: running it on the
+            # same bounded pool could deadlock, so nest serially.
+            return False
+        if cost_hint is not None and cost_hint < self.cost_threshold:
+            return False
+        return True
+
+    def pmap(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        cost_hint: float | None = None,
+        site: str = "pmap",
+    ) -> list[R]:
+        """Order-preserving map with cost-gated fan-out.
+
+        Args:
+            cost_hint: estimated total flops-equivalents for the whole
+                call; below the context threshold the map runs serially
+                (recorded as a serial fallback). ``None`` means "assume
+                expensive" and bypasses the gate.
+            site: label for the per-call ledger.
+        """
+        tasks = list(items)
+        start = time.perf_counter()
+        if not self.should_parallelize(len(tasks), cost_hint):
+            results = []
+            for item in tasks:
+                results.append(fn(item))
+            wall = time.perf_counter() - start
+            self._record(site, len(tasks), False, wall, wall)
+            return results
+
+        pool = self._pool()
+        futures = [pool.submit(_timed_call, fn, item) for item in tasks]
+        timed = [f.result() for f in futures]
+        wall = time.perf_counter() - start
+        task_time = sum(dt for dt, _ in timed)
+        self._record(site, len(tasks), True, wall, task_time)
+        return [result for _, result in timed]
+
+    def note_serial(self, site: str, tasks: int, wall_time: float) -> None:
+        """Record a serial fallback executed outside ``pmap``.
+
+        Call sites whose serial kernel has a different (cheaper) shape
+        than the per-task parallel formulation run it directly after
+        consulting :meth:`should_parallelize`, and log the decision here
+        so the ledger still reflects every dispatch.
+        """
+        self._record(site, tasks, False, wall_time, wall_time)
+
+    def _record(
+        self, site: str, tasks: int, parallel: bool, wall: float, work: float
+    ) -> None:
+        with self._lock:
+            self.stats.observe(site, tasks, parallel, wall, work)
+
+
+# ----------------------------------------------------------------------
+# Deterministic reductions
+# ----------------------------------------------------------------------
+def merge_tree(merge: Callable[[T, T], T], items: Sequence[T]) -> T:
+    """Pairwise log-depth reduction with a fixed association.
+
+    ``merge_tree(m, [a, b, c, d])`` computes ``m(m(a, b), m(c, d))`` —
+    the combine shape of a partitioned engine. Requires an associative
+    ``merge``; item order is never permuted, so non-commutative merges
+    are safe too.
+    """
+    level = list(items)
+    if not level:
+        raise ReproError("merge_tree needs at least one item")
+    while len(level) > 1:
+        paired = [
+            merge(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]
+
+
+# ----------------------------------------------------------------------
+# Shared default context
+# ----------------------------------------------------------------------
+_default_context: ParallelContext | None = None
+_default_lock = threading.Lock()
+
+
+def get_default_context() -> ParallelContext:
+    """The process-wide shared pool (created lazily)."""
+    global _default_context
+    with _default_lock:
+        if _default_context is None:
+            _default_context = ParallelContext()
+        return _default_context
+
+
+def set_default_context(context: ParallelContext | None) -> None:
+    """Replace the shared pool (``None`` resets to lazy re-creation)."""
+    global _default_context
+    with _default_lock:
+        old, _default_context = _default_context, context
+    if old is not None and old is not context:
+        old.shutdown()
+
+
+def resolve_context(
+    parallel: "bool | ParallelContext | None",
+    context: ParallelContext | None = None,
+) -> ParallelContext | None:
+    """Normalize the ``parallel=`` argument call sites accept.
+
+    ``False``/``None`` -> no context (serial); ``True`` -> the shared
+    default context; a :class:`ParallelContext` -> itself. An explicit
+    ``context`` wins over ``parallel=True``.
+    """
+    if isinstance(parallel, ParallelContext):
+        return parallel
+    if context is not None:
+        return context
+    if parallel:
+        return get_default_context()
+    return None
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    cost_hint: float | None = None,
+    site: str = "pmap",
+) -> list[R]:
+    """``pmap`` on the shared default context."""
+    return get_default_context().pmap(fn, items, cost_hint=cost_hint, site=site)
+
+
+def parallel_stats() -> dict[str, Any]:
+    """Snapshot of the shared context's dispatch ledger."""
+    return get_default_context().stats.as_dict()
+
+
+def reset_parallel_stats() -> None:
+    """Clear the shared context's ledger (benchmark hygiene)."""
+    get_default_context().stats = ParallelStats()

@@ -11,13 +11,41 @@ model-selection management (experiment E7).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Sequence
 
 import numpy as np
 
 from ..errors import SelectionError
 from ..ml.base import Estimator
+from ..runtime.parallel import (
+    PYTHON_CALL_FLOPS,
+    ParallelContext,
+    resolve_context,
+)
 from .search import Evaluation, SearchResult
+
+
+def _fit_scored(
+    estimator: Estimator,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    budget_param: str,
+    budget: int,
+    params: "dict[str, Any]",
+) -> tuple[float, dict[str, Any], dict[str, Any]]:
+    """Train one configuration at one budget; returns (score, params, full)."""
+    full = dict(params)
+    full[budget_param] = budget
+    model = estimator.clone().set_params(**full)
+    model.fit(X_train, y_train)
+    return model.score(X_val, y_val), params, full
+
+
+def _rung_cost_hint(X_train: np.ndarray, budget: int, n_configs: int) -> float:
+    return float(X_train.size) * budget * n_configs * PYTHON_CALL_FLOPS
 
 
 @dataclass
@@ -47,6 +75,8 @@ def successive_halving(
     max_budget: int = 64,
     eta: int = 2,
     budget_param: str = "max_iter",
+    parallel: bool | ParallelContext = False,
+    context: ParallelContext | None = None,
 ) -> HalvingResult:
     """Run successive halving over explicit configurations.
 
@@ -54,6 +84,9 @@ def successive_halving(
         budget_param: the estimator hyperparameter that caps training
             iterations (``max_iter`` for the GLMs here). The cost of one
             evaluation equals the budget it was trained with.
+        parallel: evaluate each rung's survivors concurrently on the
+            shared cost-gated pool. Rung boundaries are synchronization
+            points, scores and survivor sets are identical to serial.
     """
     if eta < 2:
         raise SelectionError("eta must be >= 2")
@@ -65,18 +98,33 @@ def successive_halving(
     if not configs:
         raise SelectionError("need at least one configuration")
 
+    ctx = resolve_context(parallel, context)
     evaluations: list[Evaluation] = []
     rungs: list[Rung] = []
     survivors = configs
     budget = min_budget
     while True:
+        fit = partial(
+            _fit_scored,
+            estimator,
+            X_train,
+            y_train,
+            X_val,
+            y_val,
+            budget_param,
+            budget,
+        )
+        if ctx is not None and len(survivors) > 1:
+            results = ctx.pmap(
+                fit,
+                survivors,
+                cost_hint=_rung_cost_hint(X_train, budget, len(survivors)),
+                site="selection.halving",
+            )
+        else:
+            results = [fit(params) for params in survivors]
         scored: list[tuple[float, dict[str, Any]]] = []
-        for params in survivors:
-            full = dict(params)
-            full[budget_param] = budget
-            model = estimator.clone().set_params(**full)
-            model.fit(X_train, y_train)
-            score = model.score(X_val, y_val)
+        for score, params, full in results:
             scored.append((score, params))
             evaluations.append(
                 Evaluation(params=full, score=score, cost=float(budget))
@@ -107,19 +155,34 @@ def full_budget_baseline(
     y_val: np.ndarray,
     budget: int = 64,
     budget_param: str = "max_iter",
+    parallel: bool | ParallelContext = False,
+    context: ParallelContext | None = None,
 ) -> SearchResult:
     """Train every configuration at full budget (the naive comparator)."""
-    evaluations = []
-    for params in configs:
-        full = dict(params)
-        full[budget_param] = budget
-        model = estimator.clone().set_params(**full)
-        model.fit(X_train, y_train)
-        evaluations.append(
-            Evaluation(
-                params=full,
-                score=model.score(X_val, y_val),
-                cost=float(budget),
-            )
+    ctx = resolve_context(parallel, context)
+    fit = partial(
+        _fit_scored,
+        estimator,
+        X_train,
+        y_train,
+        X_val,
+        y_val,
+        budget_param,
+        budget,
+    )
+    configs = [dict(c) for c in configs]
+    if ctx is not None and len(configs) > 1:
+        results = ctx.pmap(
+            fit,
+            configs,
+            cost_hint=_rung_cost_hint(X_train, budget, len(configs)),
+            site="selection.full_budget",
         )
-    return SearchResult(evaluations)
+    else:
+        results = [fit(params) for params in configs]
+    return SearchResult(
+        [
+            Evaluation(params=full, score=score, cost=float(budget))
+            for score, _, full in results
+        ]
+    )

@@ -11,12 +11,18 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Sequence
 
 import numpy as np
 
 from ..errors import SelectionError
 from ..ml.base import Estimator
+from ..runtime.parallel import (
+    PYTHON_CALL_FLOPS,
+    ParallelContext,
+    resolve_context,
+)
 from .cv import KFold
 
 
@@ -104,21 +110,67 @@ def _evaluate(
     )
 
 
+def search_cost_hint(X: np.ndarray, cv: KFold, n_configs: int = 1) -> float:
+    """Flops-equivalent estimate for CV-evaluating configurations."""
+    return float(X.size) * cv.n_splits * n_configs * PYTHON_CALL_FLOPS
+
+
+def _evaluate_configs(
+    estimator: Estimator,
+    configs: list[dict[str, Any]],
+    X: np.ndarray,
+    y: np.ndarray,
+    cv: KFold,
+    ctx: ParallelContext | None,
+    site: str,
+) -> list[Evaluation]:
+    """Evaluate configurations, optionally through the shared pool.
+
+    Order is preserved and each configuration's cost accounting is
+    computed inside its own task, so serial and parallel runs produce
+    identical evaluation lists (and therefore identical best configs).
+    """
+    if ctx is None or len(configs) < 2:
+        return [_evaluate(estimator, p, X, y, cv) for p in configs]
+    # Materialize folds once up front: every task then reads the cached
+    # plan instead of racing to build it.
+    cv.folds(len(X))
+    return ctx.pmap(
+        partial(_evaluate, estimator, X=X, y=y, cv=cv),
+        configs,
+        cost_hint=search_cost_hint(X, cv, len(configs)),
+        site=site,
+    )
+
+
 def grid_search(
     estimator: Estimator,
     grid: dict[str, Sequence[Any]],
     X: np.ndarray,
     y: np.ndarray,
     cv: KFold | int = 3,
+    parallel: bool | ParallelContext = False,
+    context: ParallelContext | None = None,
 ) -> SearchResult:
-    """Exhaustive cross-validated search over a parameter grid."""
+    """Exhaustive cross-validated search over a parameter grid.
+
+    ``parallel=True`` evaluates configurations concurrently on the
+    shared cost-gated worker pool; selection and cost accounting are
+    identical to the serial path.
+    """
     if isinstance(cv, int):
         cv = KFold(cv)
     X = np.asarray(X)
     y = np.asarray(y)
-    evaluations = [
-        _evaluate(estimator, params, X, y, cv) for params in expand_grid(grid)
-    ]
+    evaluations = _evaluate_configs(
+        estimator,
+        expand_grid(grid),
+        X,
+        y,
+        cv,
+        resolve_context(parallel, context),
+        site="selection.grid_search",
+    )
     return SearchResult(evaluations)
 
 
@@ -130,6 +182,8 @@ def random_search(
     n_samples: int = 20,
     cv: KFold | int = 3,
     seed: int | None = 0,
+    parallel: bool | ParallelContext = False,
+    context: ParallelContext | None = None,
 ) -> SearchResult:
     """Randomized search.
 
@@ -137,6 +191,9 @@ def random_search(
       * a list/tuple of discrete choices,
       * ``("uniform", low, high)`` for continuous uniform,
       * ``("loguniform", low, high)`` for log-scale continuous.
+
+    All draws happen up front from the seeded generator, so parallel and
+    serial runs evaluate the same configurations in the same order.
     """
     if isinstance(cv, int):
         cv = KFold(cv)
@@ -146,10 +203,19 @@ def random_search(
     X = np.asarray(X)
     y = np.asarray(y)
 
-    evaluations = []
-    for _ in range(n_samples):
-        params = {name: _draw(rng, spec) for name, spec in space.items()}
-        evaluations.append(_evaluate(estimator, params, X, y, cv))
+    configs = [
+        {name: _draw(rng, spec) for name, spec in space.items()}
+        for _ in range(n_samples)
+    ]
+    evaluations = _evaluate_configs(
+        estimator,
+        configs,
+        X,
+        y,
+        cv,
+        resolve_context(parallel, context),
+        site="selection.random_search",
+    )
     return SearchResult(evaluations)
 
 
