@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
 import sys
 import time
@@ -249,13 +248,13 @@ def run(quick: bool, threads: list[int], repeats: int) -> dict:
         grid_n, grid_d = 2_000, 8
         crossover_sizes = [500, 2_000, 10_000, 50_000, 200_000]
 
+    from conftest import bench_metadata
+
     results = {
         "meta": {
-            "experiment": "E18",
-            "cpu_count": os.cpu_count(),
+            **bench_metadata("E18"),
             "threads_swept": threads,
             "quick": quick,
-            "default_threshold": ParallelContext().cost_threshold,
         },
         "results": [
             bench_compressed_matvec(threads, matvec_n, matvec_d, repeats),

@@ -1,0 +1,360 @@
+#!/usr/bin/env python3
+"""E19 — Representation-aware execution of DSL iteration loops.
+
+Runs DSL logistic gradient descent and k-means end-to-end over operands
+that arrive compressed (CLA column groups), sparse (CSR), or factorized
+(Morpheus normalized matrix), and compares against the
+materialize-then-dense baseline: densify the operand once, then run the
+identical dense loop. The representation path executes every iteration
+on native kernels — the benchmark asserts parity within 1e-9 and that
+no operator fell back to densification — and reports the iteration-loop
+speedup plus the peak bytes held in operand + intermediates.
+
+Usage::
+
+    python benchmarks/bench_repr_exec.py             # full sizes
+    python benchmarks/bench_repr_exec.py --quick     # CI smoke run
+    python benchmarks/bench_repr_exec.py --out BENCH_repr_exec.json
+
+pytest collection (``pytest benchmarks/bench_repr_exec.py``) runs the
+parity/fallback checks only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.algorithms import kmeans_dsl, logreg_gd
+from repro.compiler import compile_expr, plan_representations
+from repro.compression import CompressedMatrix
+from repro.data import (
+    make_low_cardinality_matrix,
+    make_sparse_matrix,
+    make_star_schema,
+)
+from repro.factorized import NormalizedMatrix
+from repro.lang import matrix, rowsums, sigmoid
+from repro.runtime import execute
+from repro.runtime.repops import densify, operand_bytes
+
+
+def _best_time(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# The two iteration-loop programs (mirrors of the algorithm scripts),
+# compiled here so per-iteration ExecutionStats can be captured.
+# ----------------------------------------------------------------------
+def _logreg_grad_plan(n, d):
+    Xm = matrix("X", (n, d))
+    wm = matrix("w", (d, 1))
+    ym = matrix("y", (n, 1))
+    return compile_expr(Xm.T @ (sigmoid(Xm @ wm) - ym) / n)
+
+
+def _kmeans_dist_plan(n, d, k):
+    Xm = matrix("X", (n, d))
+    Cm = matrix("C", (k, d))
+    return compile_expr(
+        rowsums(Xm**2) - 2.0 * (Xm @ Cm.T) + rowsums(Cm**2).T
+    )
+
+
+def _iteration_stats(plan, rep_bindings, dense_bindings):
+    """Per-iteration byte/fallback accounting for both paths."""
+    _, rep_stats = execute(plan, rep_bindings, collect_stats=True)
+    _, dense_stats = execute(plan, dense_bindings, collect_stats=True)
+    return rep_stats, dense_stats
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def bench_logreg(name, X_rep, y, iters, repeats):
+    """DSL logistic GD: native-representation loop vs materialize+dense."""
+    n, d = X_rep.shape
+
+    t_rep, fit_rep = _best_time(
+        lambda: logreg_gd(X_rep, y, max_iter=iters, tol=0.0), repeats
+    )
+
+    def materialize_then_dense():
+        X_dense = densify(X_rep)
+        return X_dense, logreg_gd(X_dense, y, max_iter=iters, tol=0.0)
+
+    t_dense_total, (X_dense, fit_dense) = _best_time(
+        materialize_then_dense, repeats
+    )
+    t_dense_loop, _ = _best_time(
+        lambda: logreg_gd(X_dense, y, max_iter=iters, tol=0.0), repeats
+    )
+
+    err = float(np.max(np.abs(fit_rep.weights - fit_dense.weights)))
+    assert err <= 1e-9, f"{name}: logreg parity {err} > 1e-9"
+
+    plan = _logreg_grad_plan(n, d)
+    w0 = np.zeros((d, 1))
+    y_col = np.asarray(y, dtype=np.float64).reshape(-1, 1)
+    rep_stats, dense_stats = _iteration_stats(
+        plan,
+        {"X": X_rep, "w": w0, "y": y_col},
+        {"X": X_dense, "w": w0, "y": y_col},
+    )
+    assert rep_stats.fallback_count == 0, (
+        f"{name}: densify fallbacks {rep_stats.densify_fallbacks}"
+    )
+    rep_peak = operand_bytes(X_rep) + rep_stats.intermediate_bytes
+    dense_peak = X_dense.nbytes + dense_stats.intermediate_bytes
+    return {
+        "workload": f"logreg_gd/{name}",
+        "n_rows": n,
+        "n_cols": d,
+        "iterations": iters,
+        "max_weight_error": err,
+        "rep_seconds": t_rep,
+        "dense_total_seconds": t_dense_total,
+        "dense_loop_seconds": t_dense_loop,
+        "end_to_end_speedup": t_dense_total / t_rep,
+        "loop_speedup": t_dense_loop / t_rep,
+        "rep_peak_bytes": rep_peak,
+        "dense_peak_bytes": dense_peak,
+        "densify_fallbacks": rep_stats.fallback_count,
+        "native_ops": dict(rep_stats.native_repr_ops),
+    }
+
+
+def bench_kmeans(name, X_rep, k, iters, repeats):
+    """DSL k-means: native-representation loop vs materialize+dense."""
+    n, d = X_rep.shape
+
+    t_rep, fit_rep = _best_time(
+        lambda: kmeans_dsl(X_rep, k, max_iter=iters, tol=0.0, seed=5),
+        repeats,
+    )
+
+    def materialize_then_dense():
+        X_dense = densify(X_rep)
+        return X_dense, kmeans_dsl(X_dense, k, max_iter=iters, tol=0.0, seed=5)
+
+    t_dense_total, (X_dense, fit_dense) = _best_time(
+        materialize_then_dense, repeats
+    )
+    t_dense_loop, _ = _best_time(
+        lambda: kmeans_dsl(X_dense, k, max_iter=iters, tol=0.0, seed=5),
+        repeats,
+    )
+
+    err = abs(fit_rep.inertia - fit_dense.inertia) / max(
+        abs(fit_dense.inertia), 1.0
+    )
+    assert err <= 1e-9, f"{name}: kmeans inertia parity {err} > 1e-9"
+
+    plan = _kmeans_dist_plan(n, d, k)
+    centers = fit_dense.centers
+    rep_stats, dense_stats = _iteration_stats(
+        plan,
+        {"X": X_rep, "C": centers},
+        {"X": X_dense, "C": centers},
+    )
+    assert rep_stats.fallback_count == 0, (
+        f"{name}: densify fallbacks {rep_stats.densify_fallbacks}"
+    )
+    rep_peak = operand_bytes(X_rep) + rep_stats.intermediate_bytes
+    dense_peak = X_dense.nbytes + dense_stats.intermediate_bytes
+    return {
+        "workload": f"kmeans/{name}",
+        "n_rows": n,
+        "n_cols": d,
+        "clusters": k,
+        "iterations": iters,
+        "inertia_rel_error": err,
+        "rep_seconds": t_rep,
+        "dense_total_seconds": t_dense_total,
+        "dense_loop_seconds": t_dense_loop,
+        "end_to_end_speedup": t_dense_total / t_rep,
+        "loop_speedup": t_dense_loop / t_rep,
+        "rep_peak_bytes": rep_peak,
+        "dense_peak_bytes": dense_peak,
+        "densify_fallbacks": rep_stats.fallback_count,
+        "native_ops": dict(rep_stats.native_repr_ops),
+    }
+
+
+# ----------------------------------------------------------------------
+# Inputs: one per compact-representation regime
+# ----------------------------------------------------------------------
+def make_inputs(quick: bool):
+    rng = np.random.default_rng(2017)
+    if quick:
+        n_cla, d_cla = 12_000, 12
+        n_csr, d_csr = 20_000, 40
+        n_r, tuple_ratio, d_s, d_r = 800, 25, 4, 100
+        n_km, d_km = 6_000, 10
+    else:
+        n_cla, d_cla = 60_000, 16
+        n_csr, d_csr = 60_000, 60
+        n_r, tuple_ratio, d_s, d_r = 1_000, 40, 4, 150
+        n_km, d_km = 20_000, 12
+
+    X_lowcard = make_low_cardinality_matrix(n_cla, d_cla, cardinality=8, seed=1)
+    y_cla = rng.integers(0, 2, size=n_cla).astype(np.float64)
+
+    X_sparse = make_sparse_matrix(n_csr, d_csr, density=0.01, seed=2)
+    y_csr = rng.integers(0, 2, size=n_csr).astype(np.float64)
+
+    star = make_star_schema(
+        n_s=n_r * tuple_ratio, n_r=n_r, d_s=d_s, d_r=d_r,
+        task="classification", seed=3,
+    )
+    nm = NormalizedMatrix(star.S, [star.fk], [star.R])
+
+    X_km = make_low_cardinality_matrix(n_km, d_km, cardinality=6, seed=4)
+
+    return {
+        "cla": (CompressedMatrix.compress(X_lowcard), y_cla),
+        "csr": (repro_csr(X_sparse), y_csr),
+        "factorized": (nm, np.asarray(star.y, dtype=np.float64)),
+        "kmeans_cla": CompressedMatrix.compress(X_km),
+        "kmeans_factorized": nm,
+        "tuple_ratio": tuple_ratio,
+    }
+
+
+def repro_csr(X):
+    from repro.sparse import CSRMatrix
+
+    return CSRMatrix.from_dense(X)
+
+
+# ----------------------------------------------------------------------
+# Correctness checks (collected by pytest)
+# ----------------------------------------------------------------------
+def test_logreg_parity_all_representations():
+    inputs = make_inputs(quick=True)
+    for name in ("cla", "csr", "factorized"):
+        X_rep, y = inputs[name]
+        result = bench_logreg(name, X_rep, y, iters=3, repeats=1)
+        assert result["max_weight_error"] <= 1e-9
+        assert result["densify_fallbacks"] == 0
+        assert result["rep_peak_bytes"] < result["dense_peak_bytes"]
+
+
+def test_kmeans_parity_and_zero_fallbacks():
+    inputs = make_inputs(quick=True)
+    result = bench_kmeans("cla", inputs["kmeans_cla"], k=4, iters=3, repeats=1)
+    assert result["inertia_rel_error"] <= 1e-9
+    assert result["densify_fallbacks"] == 0
+    assert result["rep_peak_bytes"] < result["dense_peak_bytes"]
+
+
+def test_planner_explains_choices():
+    X = make_low_cardinality_matrix(8_000, 10, cardinality=4, seed=9)
+    plan = _logreg_grad_plan(*X.shape)
+    rplan = plan_representations(
+        plan,
+        {"X": X, "w": np.zeros((X.shape[1], 1)), "y": np.zeros((len(X), 1))},
+    )
+    text = rplan.explain()
+    assert "repr   : X -> cla" in text
+    assert "convert[cla](X)" in text
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run(quick: bool, repeats: int) -> dict:
+    from conftest import bench_metadata
+
+    inputs = make_inputs(quick)
+    iters = 5 if quick else 10
+    km_iters = 4 if quick else 8
+    k = 4 if quick else 6
+
+    results = []
+    for name in ("cla", "csr", "factorized"):
+        X_rep, y = inputs[name]
+        results.append(bench_logreg(name, X_rep, y, iters, repeats))
+    results.append(
+        bench_kmeans("cla", inputs["kmeans_cla"], k, km_iters, repeats)
+    )
+    results.append(
+        bench_kmeans(
+            "factorized", inputs["kmeans_factorized"], k, km_iters, repeats
+        )
+    )
+
+    # Acceptance: compact operands must beat materialize-then-dense on
+    # bytes (CLA + star schema strictly), and on wall-clock somewhere.
+    for entry in results:
+        if entry["workload"].split("/")[1] in ("cla", "factorized"):
+            assert entry["rep_peak_bytes"] < entry["dense_peak_bytes"], (
+                f"{entry['workload']}: peak bytes not reduced"
+            )
+    best = max(e["end_to_end_speedup"] for e in results)
+    assert best >= 1.5, f"no config reached 1.5x (best {best:.2f}x)"
+
+    return {
+        "meta": {
+            **bench_metadata("E19"),
+            "quick": quick,
+            "star_tuple_ratio": inputs["tuple_ratio"],
+        },
+        "results": results,
+    }
+
+
+def report(results: dict) -> None:
+    meta = results["meta"]
+    print(
+        f"E19 — representation-aware execution "
+        f"(cpus={meta['cpu_count']}, tuple_ratio={meta['star_tuple_ratio']})"
+    )
+    print(
+        f"\n{'workload':<22} {'loop':>7} {'e2e':>7} "
+        f"{'rep peak':>12} {'dense peak':>12} {'fallbacks':>9}"
+    )
+    for e in results["results"]:
+        print(
+            f"{e['workload']:<22} {e['loop_speedup']:>6.2f}x "
+            f"{e['end_to_end_speedup']:>6.2f}x "
+            f"{e['rep_peak_bytes']:>11,}B {e['dense_peak_bytes']:>11,}B "
+            f"{e['densify_fallbacks']:>9}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.quick else 3)
+    results = run(args.quick, repeats)
+    report(results)
+    if args.out:
+        pathlib.Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,37 @@ For the full printed experiment tables (the rows EXPERIMENTS.md records),
 run ``python benchmarks/run_experiments.py``.
 """
 
+import os
+import platform
+
 import pytest
+
+
+def bench_metadata(experiment: str) -> dict:
+    """Shared environment block every ``BENCH_*.json`` meta must embed.
+
+    Records the knobs that make two benchmark captures comparable:
+    hardware parallelism, the ``REPRO_NUM_THREADS`` override (if any),
+    the parallel backend defaults, and interpreter/library versions.
+    """
+    import numpy as np
+
+    from repro.runtime.parallel import (
+        ParallelContext,
+        default_cost_threshold,
+        default_num_threads,
+    )
+
+    return {
+        "experiment": experiment,
+        "cpu_count": os.cpu_count(),
+        "repro_num_threads": os.environ.get("REPRO_NUM_THREADS"),
+        "effective_workers": default_num_threads(),
+        "backend": ParallelContext().backend,
+        "default_threshold": default_cost_threshold(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
 
 
 @pytest.fixture(scope="session")

@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table/series (E1..E18) from DESIGN.md.
+"""Regenerate every experiment table/series from DESIGN.md.
 
 Usage::
 
     python benchmarks/run_experiments.py            # all experiments
     python benchmarks/run_experiments.py E1 E3      # a subset
+    python benchmarks/run_experiments.py --list     # registry with titles
 
-Each experiment prints the rows the surveyed system's paper reports
-(speedup vs. a parameter sweep, compression ratios per data regime,
-cost-vs-quality of search strategies, ...). EXPERIMENTS.md records a
-captured run of this script next to the surveyed papers' claims.
+Each experiment registers itself with the :func:`experiment` decorator;
+the tag list and ``--list`` output derive from that registry, so adding
+an experiment is one decorated function. Each prints the rows the
+surveyed system's paper reports (speedup vs. a parameter sweep,
+compression ratios per data regime, cost-vs-quality of search
+strategies, ...). EXPERIMENTS.md records a captured run of this script
+next to the surveyed papers' claims.
 """
 
 from __future__ import annotations
@@ -18,6 +22,19 @@ import sys
 import time
 
 import numpy as np
+
+#: tag -> (runner, one-line title); populated by @experiment
+EXPERIMENTS: dict[str, tuple] = {}
+
+
+def experiment(tag: str, title: str):
+    """Register an experiment runner under its DESIGN.md tag."""
+
+    def register(fn):
+        EXPERIMENTS[tag] = (fn, title)
+        return fn
+
+    return register
 
 
 def _timer(fn, repeats=3):
@@ -35,6 +52,7 @@ def _header(tag: str, title: str) -> None:
 
 
 # ----------------------------------------------------------------------
+@experiment("E1", "Factorized vs materialized linear regression (Orion/Morpheus)")
 def e1_factorized():
     from repro.data import make_star_schema
     from repro.factorized import FactorizedLinearRegression, NormalizedMatrix
@@ -68,6 +86,7 @@ def e1_factorized():
         )
 
 
+@experiment("E2", "Join avoidance accuracy vs tuple ratio (Hamlet)")
 def e2_hamlet():
     from repro.data import make_star_schema
     from repro.factorized import evaluate_join_avoidance
@@ -89,6 +108,7 @@ def e2_hamlet():
         )
 
 
+@experiment("E3", "Compression ratios and kernel times (CLA)")
 def e3_compression():
     from repro.compression import CompressedMatrix
     from repro.data import (
@@ -120,6 +140,7 @@ def e3_compression():
         )
 
 
+@experiment("E4", "Algebraic rewrites + mmchain (SystemML compiler)")
 def e4_rewrites():
     from repro.compiler import compile_expr
     from repro.lang import matrix, trace
@@ -164,6 +185,7 @@ def e4_rewrites():
         )
 
 
+@experiment("E5", "Operator fusion: runtime and intermediate memory")
 def e5_fusion():
     from repro.compiler import compile_expr, estimate
     from repro.lang import matrix, sumall
@@ -198,6 +220,7 @@ def e5_fusion():
         )
 
 
+@experiment("E6", "In-DB IGD: epochs-to-loss per shuffle policy (Bismarck)")
 def e6_indb():
     from repro.data import make_classification
     from repro.indb import train_igd
@@ -230,6 +253,7 @@ def e6_indb():
         )
 
 
+@experiment("E7", "Successive halving vs full grid (MSMS/TuPAQ)")
 def e7_selection():
     from repro.data import make_classification
     from repro.ml import LogisticRegression
@@ -262,6 +286,7 @@ def e7_selection():
           " -> ".join(f"{r.budget}:{len(r.survivors)}" for r in halving.rungs))
 
 
+@experiment("E8", "Feature-subset exploration: statistics reuse (Columbus)")
 def e8_columbus():
     from repro.data import make_regression
     from repro.feateng import FeatureSubsetExplorer, solve_subset_naive
@@ -285,6 +310,7 @@ def e8_columbus():
         )
 
 
+@experiment("E9", "Buffer pool: hit ratio vs pool size over 5 epochs")
 def e9_bufferpool():
     from repro.runtime import BlockedMatrix, BlockStore, BufferPool
 
@@ -310,6 +336,7 @@ def e9_bufferpool():
     print(f"(matrix = {num_blocks} blocks; epochs hit once the pool holds all)")
 
 
+@experiment("E10", "Sampling-based compression planning accuracy")
 def e10_cla_planner():
     from repro.compression import plan_matrix
     from repro.data import (
@@ -347,6 +374,7 @@ def e10_cla_planner():
               f"{s.estimated_ratio:>9.1f}x")
 
 
+@experiment("E11", "Warm vs cold starts on an L2 path")
 def e11_warmstart():
     from repro.data import make_classification
     from repro.selection import fit_logistic_path
@@ -364,6 +392,7 @@ def e11_warmstart():
           f"({cold.total_iterations / warm.total_iterations:.2f}x fewer warm)")
 
 
+@experiment("E12", "CSE: executed operators and runtime")
 def e12_cse():
     from repro.compiler import compile_expr, count_tree_ops, count_unique_ops
     from repro.lang import matrix, sumall
@@ -400,6 +429,7 @@ def e12_cse():
     print(f"speedup: {t_no / t_yes:.2f}x")
 
 
+@experiment("E13", "Sparsity exploitation: CSR vs dense by density")
 def e13_sparse():
     from repro.data import make_sparse_matrix
     from repro.sparse import CSRMatrix
@@ -423,6 +453,7 @@ def e13_sparse():
         )
 
 
+@experiment("E14", "Compiler-pass ablation on the GLM gradient")
 def e14_ablation():
     from repro.compiler import compile_expr
     from repro.lang import matrix
@@ -459,6 +490,7 @@ def e14_ablation():
         print(f"{name:<14} {t:>9.4f} {plan.cost_after.flops:>14,}")
 
 
+@experiment("E15", "Distributed strategies: accuracy vs communication")
 def e15_distributed():
     from repro.data import make_classification, make_regression
     from repro.distributed import (
@@ -505,6 +537,7 @@ def e15_distributed():
         print(f"{s:>14} {r.final_loss:>11.4f}")
 
 
+@experiment("E16", "Declarative algorithm scripts vs library implementations")
 def e16_algorithms():
     from repro.algorithms import kmeans_dsl, linreg_cg, linreg_direct
     from repro.data import make_blobs, make_regression
@@ -530,6 +563,7 @@ def e16_algorithms():
     assert np.allclose(linreg_direct(X, y).weights, reference.coef_, atol=1e-6)
 
 
+@experiment("E17", "CV with shared fold statistics vs per-config refits")
 def e17_fold_reuse():
     from repro.data import make_regression
     from repro.selection import ridge_cv_naive, ridge_cv_shared
@@ -551,6 +585,7 @@ def e17_fold_reuse():
           "(fold, lambda)")
 
 
+@experiment("E18", "Cost-aware parallel execution engine")
 def e18_parallel():
     """Delegate to the dedicated sweep (kept quick inside the runner)."""
     import bench_parallel
@@ -560,36 +595,32 @@ def e18_parallel():
     bench_parallel.report(results)
 
 
-EXPERIMENTS = {
-    "E1": e1_factorized,
-    "E2": e2_hamlet,
-    "E3": e3_compression,
-    "E4": e4_rewrites,
-    "E5": e5_fusion,
-    "E6": e6_indb,
-    "E7": e7_selection,
-    "E8": e8_columbus,
-    "E9": e9_bufferpool,
-    "E10": e10_cla_planner,
-    "E11": e11_warmstart,
-    "E12": e12_cse,
-    "E13": e13_sparse,
-    "E14": e14_ablation,
-    "E15": e15_distributed,
-    "E16": e16_algorithms,
-    "E17": e17_fold_reuse,
-    "E18": e18_parallel,
-}
+@experiment("E19", "Representation-aware execution of DSL iteration loops")
+def e19_repr_exec():
+    """Delegate to the dedicated benchmark (kept quick inside the runner)."""
+    import bench_repr_exec
+
+    _header("E19", "Representation-aware execution of DSL iteration loops")
+    results = bench_repr_exec.run(quick=True, repeats=1)
+    bench_repr_exec.report(results)
+
+
+def _registry_lines() -> list[str]:
+    return [f"{tag:>5}  {title}" for tag, (_, title) in EXPERIMENTS.items()]
 
 
 def main(argv: list[str]) -> int:
+    if any(a in ("--list", "-l") for a in argv):
+        print("\n".join(_registry_lines()))
+        return 0
     requested = [a.upper() for a in argv] or list(EXPERIMENTS)
     unknown = [r for r in requested if r not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
+        print(f"unknown experiments: {unknown}; known:")
+        print("\n".join(_registry_lines()))
         return 2
     for tag in requested:
-        EXPERIMENTS[tag]()
+        EXPERIMENTS[tag][0]()
     print()
     return 0
 

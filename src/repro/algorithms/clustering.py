@@ -28,6 +28,20 @@ class KMeansResult:
     flops_executed: int = 0
 
 
+def _gather_rows(X, rows: np.ndarray) -> np.ndarray:
+    """Rows of a representation operand via one-hot t(X) %*% E."""
+    picker = np.zeros((X.shape[0], len(rows)))
+    picker[rows, np.arange(len(rows))] = 1.0
+    return np.asarray(X.rmatmat(picker), dtype=np.float64).T
+
+
+def _cluster_sums(X, labels: np.ndarray, n_clusters: int) -> np.ndarray:
+    """Per-cluster row sums via a one-hot membership indicator."""
+    member = np.zeros((X.shape[0], n_clusters))
+    member[np.arange(len(labels)), labels] = 1.0
+    return np.asarray(X.rmatmat(member), dtype=np.float64).T
+
+
 def kmeans_dsl(
     X: np.ndarray,
     n_clusters: int,
@@ -35,10 +49,19 @@ def kmeans_dsl(
     tol: float = 1e-7,
     seed: int | None = 0,
 ) -> KMeansResult:
-    """Lloyd's algorithm with compiled distance evaluation."""
-    X = np.asarray(X, dtype=np.float64)
-    if X.ndim != 2:
-        raise ModelError(f"X must be 2-D, got shape {X.shape}")
+    """Lloyd's algorithm with compiled distance evaluation.
+
+    ``X`` may be dense or any storage representation; the rep path
+    gathers rows and centroid sums through ``rmatmat`` with one-hot
+    indicators so the data never materializes.
+    """
+    from ..runtime import repops
+
+    is_rep = repops.is_representation(X)
+    if not is_rep:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError(f"X must be 2-D, got shape {X.shape}")
     n, d = X.shape
     if not 1 <= n_clusters <= n:
         raise ModelError(f"n_clusters must be in [1, {n}], got {n_clusters}")
@@ -50,7 +73,11 @@ def kmeans_dsl(
     dist_plan = compile_expr(dist_expr)
 
     rng = np.random.default_rng(seed)
-    centers = X[rng.choice(n, size=n_clusters, replace=False)].copy()
+    seed_rows = rng.choice(n, size=n_clusters, replace=False)
+    if is_rep:
+        centers = _gather_rows(X, seed_rows)
+    else:
+        centers = X[seed_rows].copy()
 
     labels = np.zeros(n, dtype=np.int64)
     history: list[float] = []
@@ -66,10 +93,18 @@ def kmeans_dsl(
         history.append(inertia)
 
         new_centers = centers.copy()
-        for k in range(n_clusters):
-            members = X[labels == k]
-            if len(members):
-                new_centers[k] = members.mean(axis=0)
+        if is_rep:
+            counts = np.bincount(labels, minlength=n_clusters)
+            sums = _cluster_sums(X, labels, n_clusters)
+            nonempty = counts > 0
+            new_centers[nonempty] = (
+                sums[nonempty] / counts[nonempty, None]
+            )
+        else:
+            for k in range(n_clusters):
+                members = X[labels == k]
+                if len(members):
+                    new_centers[k] = members.mean(axis=0)
         shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
         centers = new_centers
         if shift <= tol:

@@ -5,6 +5,12 @@ once as DSL expressions, compiled once (rewrites, mmchain, fusion, CSE),
 then iterated by a thin driver that only rebinds inputs. The compiler —
 not the algorithm author — decides evaluation order and fused kernels,
 which is the core promise of declarative ML systems.
+
+``X`` may be a dense array or any storage representation
+(:class:`~repro.compression.CompressedMatrix`,
+:class:`~repro.sparse.CSRMatrix`,
+:class:`~repro.factorized.NormalizedMatrix`): the iteration loop then
+runs on the representation's native kernels without materializing.
 """
 
 from __future__ import annotations
@@ -39,13 +45,22 @@ def _as_column(v: np.ndarray) -> np.ndarray:
     return np.asarray(v, dtype=np.float64).reshape(-1)
 
 
+def _prepare_design(X):
+    """Pass representation operands through; coerce the rest to dense."""
+    from ..runtime import repops
+
+    if repops.is_representation(X):
+        return X
+    return np.asarray(X, dtype=np.float64)
+
+
 def linreg_direct(X: np.ndarray, y: np.ndarray, l2: float = 0.0) -> AlgorithmResult:
     """Least squares via the closed form, with the Gram matrix compiled.
 
     The ``t(X) %*% X`` product compiles to the fused tsmm kernel; the
     small d x d solve runs in the driver.
     """
-    X = np.asarray(X, dtype=np.float64)
+    X = _prepare_design(X)
     y = _as_column(y)
     n, d = X.shape
     Xm = matrix("X", (n, d))
@@ -86,7 +101,7 @@ def linreg_cg(
     ``t(X) %*% (X %*% p) + l2 p`` is one compiled plan whose mvchain
     fusion keeps the cost at O(n d) per iteration.
     """
-    X = np.asarray(X, dtype=np.float64)
+    X = _prepare_design(X)
     y = _as_column(y)
     n, d = X.shape
     if max_iter is None:
@@ -151,7 +166,7 @@ def logreg_gd(
     program compiled once; the driver loop only rebinds ``w``.
     Uses the probability form: grad = t(X) %*% (sigmoid(Xw) - y) / n.
     """
-    X = np.asarray(X, dtype=np.float64)
+    X = _prepare_design(X)
     y = _as_column(y)
     if not set(np.unique(y)) <= {0.0, 1.0}:
         raise ModelError("logreg_gd expects labels in {0, 1}")

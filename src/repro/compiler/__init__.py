@@ -26,6 +26,11 @@ from .fusion import apply_fusion, fused_kinds
 from .mmchain import chain_cost, optimize_mmchains
 from .planner import CompiledPlan, compile_expr
 from .program import ProgramPlan, compile_program, execute_program
+from .reprplan import (
+    ReprChoice,
+    RepresentationPlan,
+    plan_representations,
+)
 from .rewrites import apply_rewrites
 from .sparsity import propagate_sparsity, sparse_aware_flops
 
@@ -37,6 +42,9 @@ __all__ = [
     "compile_expr_cached",
     "default_plan_cache",
     "CostEstimate",
+    "ReprChoice",
+    "RepresentationPlan",
+    "plan_representations",
     "apply_fusion",
     "apply_rewrites",
     "chain_cost",

@@ -14,6 +14,7 @@ from ..lang.ast import (
     Aggregate,
     Binary,
     Constant,
+    Convert,
     Data,
     Fused,
     MatMul,
@@ -41,6 +42,9 @@ def node_flops(node: Node) -> int:
     if isinstance(node, (Binary, Unary)):
         return _cells(node.shape) if isinstance(node, Unary) else _cells(node.shape)
     if isinstance(node, Transpose):
+        return _cells(node.shape)
+    if isinstance(node, Convert):
+        # One pass over the operand; free once bindings are pre-converted.
         return _cells(node.shape)
     if isinstance(node, Aggregate):
         return _cells(node.child.shape)

@@ -28,6 +28,8 @@ class CompiledPlan:
     passes: list[str] = field(default_factory=list)
     cost_before: CostEstimate | None = None
     cost_after: CostEstimate | None = None
+    #: set by repro.compiler.reprplan.plan_representations
+    repr_plan: object | None = None
 
     @property
     def output_shape(self) -> tuple[int, int]:
@@ -47,6 +49,8 @@ class CompiledPlan:
             lines.append(f"before : {self.cost_before}")
         if self.cost_after is not None:
             lines.append(f"after  : {self.cost_after}")
+        if self.repr_plan is not None:
+            lines.extend(self.repr_plan.describe().splitlines())
         lines.append(f"plan   : {pretty(self.root)}")
         return "\n".join(lines)
 

@@ -151,17 +151,21 @@ def execute_program(
     Returns a dict of results (scalars as floats); with
     ``collect_stats``, also the combined :class:`ExecutionStats`.
     """
+    from ..runtime import repops
     from ..runtime.executor import ExecutionStats, _eval, _prepare_bindings
 
     # Reuse the single-output binding validation via a shim plan.
     shim = _BindingShim(plan.inputs)
-    prepared = _prepare_bindings(shim, bindings)
+    prepared = _prepare_bindings(shim, bindings, force_dense=False)
 
     stats = ExecutionStats()
     memo: dict[int, np.ndarray] = {}
+    dense_cache: dict[int, np.ndarray] = {}
     results = {}
     for name, root in plan.outputs.items():
-        value = _eval(root, prepared, memo, stats)
+        value = _eval(root, prepared, memo, stats, dense_cache, False)
+        if repops.is_representation(value):
+            value = repops.densify(value)
         results[name] = float(value[0, 0]) if root.is_scalar else value
     if collect_stats:
         return results, stats

@@ -1,0 +1,454 @@
+"""Compile-time representation planning (the ``reprplan`` pass).
+
+Given a compiled plan and the operands it will run over, decide the
+cheapest physical representation for each Data input — dense, CSR, CLA
+column groups, or stay-factorized — the way SystemML's compression
+planner and Morpheus's operator rewriter do: estimate how many FLOPs the
+program spends touching each input, scale that by what the candidate
+representation would actually execute (nnz for CSR, dictionary-sized
+work for CLA, attribute-table-sized work for factorized), and disqualify
+candidates the program would force to densify. Decisions are surfaced in
+``explain`` and materialized as :class:`~repro.lang.ast.Convert` nodes
+wrapping the Data inputs, so the physical plan names every conversion.
+
+Sizing uses the sampling estimators already in
+:mod:`repro.compression.estimators` (via ``plan_matrix``) and the FLOP
+model in :mod:`repro.compiler.cost`; the runtime side lives in
+:mod:`repro.runtime.repops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import CompilerError
+from ..lang.ast import (
+    Aggregate,
+    Binary,
+    Constant,
+    Convert,
+    Data,
+    Fused,
+    MatMul,
+    Node,
+    Transpose,
+    Unary,
+)
+from ..lang.dsl import MExpr
+from .cost import node_flops
+from .planner import CompiledPlan, compile_expr
+
+#: inputs smaller than this (or vectors) are not worth re-representing
+MIN_PLANNING_CELLS = 4096
+#: CLA must promise at least this compression ratio to leave dense
+MIN_CLA_RATIO = 1.2
+#: a non-dense candidate must beat dense by at least 5% predicted flops
+DENSE_ADVANTAGE = 0.95
+#: index-chasing multiplier on CSR's nnz-proportional work
+CSR_OVERHEAD = 2.0
+#: floor on CLA's work fraction (gather cost never fully vanishes)
+CLA_MIN_WORK_FRACTION = 0.05
+
+_ZERO_PRESERVING_UNARY = {"neg", "sqrt", "abs", "sign", "round"}
+_REP_KINDS = ("csr", "cla", "factorized")
+
+
+@dataclass
+class ReprChoice:
+    """The planner's decision for one Data input."""
+
+    input: str
+    representation: str
+    current: str
+    reason: str
+    est_flops: dict[str, float] = field(default_factory=dict)
+    est_bytes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def needs_convert(self) -> bool:
+        return self.representation != self.current
+
+
+@dataclass
+class RepresentationPlan:
+    """All per-input decisions for one compiled plan."""
+
+    choices: dict[str, ReprChoice]
+    sample_fraction: float = 0.05
+
+    def convert_bindings(self, bindings: dict) -> dict:
+        """One-time conversion of bindings to their planned forms.
+
+        Drivers call this before an iteration loop so the Convert nodes
+        in the plan become per-iteration no-ops.
+        """
+        from ..runtime import repops
+
+        out = dict(bindings)
+        for name, choice in self.choices.items():
+            value = out.get(name)
+            if value is None:
+                continue
+            if repops.kind_of(value) != choice.representation:
+                out[name] = repops.convert_value(
+                    value, choice.representation, self.sample_fraction
+                )
+        return out
+
+    def describe(self) -> str:
+        lines = []
+        for name in sorted(self.choices):
+            c = self.choices[name]
+            lines.append(
+                f"repr   : {name} -> {c.representation} ({c.reason})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _Profile:
+    """How the program touches one input, from the compiled DAG."""
+
+    touch_flops: float = 0.0
+    unsupported: dict[str, set] = field(
+        default_factory=lambda: {k: set() for k in _REP_KINDS}
+    )
+
+    def mark(self, label: str, *kinds: str) -> None:
+        for kind in kinds:
+            self.unsupported[kind].add(label)
+
+
+def plan_representations(
+    plan: CompiledPlan | MExpr | Node,
+    bindings: dict,
+    force: str | dict[str, str] | None = None,
+    sample_fraction: float = 0.05,
+) -> CompiledPlan:
+    """Annotate a plan with per-input representation decisions.
+
+    Args:
+        plan: a compiled plan (raw expressions are compiled first).
+        bindings: the operands the plan will execute over — shapes,
+            sparsity, and compressibility are estimated from them.
+        force: ``"dense"`` pins every input dense (the materialize-
+            then-dense baseline); a dict pins individual inputs.
+        sample_fraction: row fraction for the compression estimators.
+
+    Returns:
+        A new :class:`CompiledPlan` with Convert nodes wrapping inputs
+        whose planned form differs from their bound form, and
+        ``repr_plan`` carrying the :class:`RepresentationPlan`.
+    """
+    from ..runtime import repops
+
+    if isinstance(plan, (MExpr, Node)):
+        plan = compile_expr(plan)
+    if isinstance(force, str) and force != "dense":
+        raise CompilerError(
+            f"force must be 'dense' or a per-input dict, got {force!r}"
+        )
+
+    profiles = _profile_inputs(plan.root)
+    choices: dict[str, ReprChoice] = {}
+    for name, shape in plan.inputs.items():
+        if name not in bindings:
+            raise CompilerError(
+                f"cannot plan representations without a binding for {name!r}"
+            )
+        value = bindings[name]
+        current = repops.kind_of(value)
+        pinned = force if isinstance(force, str) else (force or {}).get(name)
+        choices[name] = _choose(
+            name,
+            shape,
+            value,
+            current,
+            profiles.get(name, _Profile()),
+            pinned,
+            sample_fraction,
+        )
+
+    targets = {
+        name: c.representation
+        for name, c in choices.items()
+        if c.needs_convert
+    }
+    root = _wrap_converts(plan.root, targets)
+    rp = RepresentationPlan(choices=choices, sample_fraction=sample_fraction)
+    return replace(
+        plan,
+        root=root,
+        passes=[*plan.passes, "reprplan"],
+        repr_plan=rp,
+    )
+
+
+# ----------------------------------------------------------------------
+# DAG profiling: per-input touch flops + native-servability per kind
+# ----------------------------------------------------------------------
+def _unwrap(node: Node) -> Node:
+    while isinstance(node, (Transpose, Convert)):
+        node = node.children[0]
+    return node
+
+
+def _direct_data(node: Node) -> Data | None:
+    target = _unwrap(node)
+    return target if isinstance(target, Data) else None
+
+
+def _scalar_const(node: Node) -> float | None:
+    if isinstance(node, Constant) and node.is_scalar:
+        return node.scalar_value
+    return None
+
+
+def _profile_inputs(root: Node) -> dict[str, _Profile]:
+    profiles: dict[str, _Profile] = {}
+    seen: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.extend(node.children)
+        _profile_node(node, profiles)
+    return profiles
+
+
+def _touch(profiles: dict[str, _Profile], name: str) -> _Profile:
+    profile = profiles.get(name)
+    if profile is None:
+        profile = profiles[name] = _Profile()
+    return profile
+
+
+def _profile_node(node: Node, profiles: dict[str, _Profile]) -> None:
+    flops = float(node_flops(node))
+    if isinstance(node, MatMul):
+        for side in (node.left, node.right):
+            data = _direct_data(side)
+            if data is not None:
+                _touch(profiles, data.name).touch_flops += flops
+        return
+    if isinstance(node, Fused):
+        for child in node.children:
+            data = _direct_data(child)
+            if data is None:
+                continue
+            profile = _touch(profiles, data.name)
+            profile.touch_flops += flops
+            if node.kind == "dot_sum":
+                profile.mark(f"fused:{node.kind}", "cla", "factorized")
+            elif node.kind == "diff_sq_sum":
+                profile.mark(f"fused:{node.kind}", *_REP_KINDS)
+        return
+    if isinstance(node, Binary):
+        for side, other in (
+            (node.left, node.right),
+            (node.right, node.left),
+        ):
+            data = _direct_data(side)
+            if data is None:
+                continue
+            profile = _touch(profiles, data.name)
+            profile.touch_flops += flops
+            scalar = _scalar_const(other)
+            label = f"binary:{node.op}"
+            if scalar is not None:
+                if not _zero_preserving_scalar(
+                    node.op, scalar, side is node.left
+                ):
+                    profile.mark(label, "csr")
+            elif node.op == "*":
+                profile.mark(label, "cla", "factorized")
+            else:
+                profile.mark(label, *_REP_KINDS)
+        return
+    if isinstance(node, Unary):
+        data = _direct_data(node.child)
+        if data is not None:
+            profile = _touch(profiles, data.name)
+            profile.touch_flops += flops
+            if node.op not in _ZERO_PRESERVING_UNARY:
+                profile.mark(f"unary:{node.op}", "csr")
+        return
+    if isinstance(node, Aggregate):
+        data = _direct_data(node.child)
+        if data is not None:
+            profile = _touch(profiles, data.name)
+            profile.touch_flops += flops
+            if node.op not in ("sum", "mean"):
+                profile.mark(f"agg:{node.op}", *_REP_KINDS)
+
+
+def _zero_preserving_scalar(op: str, scalar: float, data_is_left: bool) -> bool:
+    from ..runtime.ops import apply_binary
+
+    with np.errstate(all="ignore"):
+        zero = np.zeros(1)
+        out = (
+            apply_binary(op, zero, scalar)
+            if data_is_left
+            else apply_binary(op, scalar, zero)
+        )
+    return bool(np.all(out == 0.0))
+
+
+# ----------------------------------------------------------------------
+# Per-input decision
+# ----------------------------------------------------------------------
+def _choose(
+    name: str,
+    shape: tuple[int, int],
+    value,
+    current: str,
+    profile: _Profile,
+    pinned: str | None,
+    sample_fraction: float,
+) -> ReprChoice:
+    cells = shape[0] * shape[1]
+    dense_bytes = cells * 8
+    est_flops = {"dense": profile.touch_flops}
+    est_bytes = {"dense": dense_bytes}
+
+    if pinned is not None:
+        return ReprChoice(
+            name, pinned, current, "forced", est_flops, est_bytes
+        )
+    if min(shape) == 1 or cells < MIN_PLANNING_CELLS:
+        return ReprChoice(
+            name,
+            current,
+            current,
+            "below planning threshold",
+            est_flops,
+            est_bytes,
+        )
+
+    candidates: dict[str, str] = {}  # representation -> reason
+
+    if current == "factorized":
+        ratio = float(value.redundancy_ratio)
+        est_flops["factorized"] = profile.touch_flops / max(ratio, 1.0)
+        est_bytes["factorized"] = int(value.memory_bytes)
+        if not profile.unsupported["factorized"]:
+            candidates["factorized"] = (
+                f"stay factorized, redundancy {ratio:.1f}x"
+            )
+    elif current == "csr":
+        density = float(value.density)
+        est_flops["csr"] = profile.touch_flops * min(
+            1.0, density * CSR_OVERHEAD
+        )
+        est_bytes["csr"] = int(value.memory_bytes)
+        if not profile.unsupported["csr"]:
+            candidates["csr"] = f"stay sparse, density {density:.3f}"
+    elif current == "cla":
+        ratio = float(value.compression_ratio)
+        est_flops["cla"] = profile.touch_flops * max(
+            CLA_MIN_WORK_FRACTION, 1.0 / max(ratio, 1e-9)
+        )
+        est_bytes["cla"] = int(value.memory_bytes)
+        if ratio >= MIN_CLA_RATIO and not profile.unsupported["cla"]:
+            candidates["cla"] = f"stay compressed, ratio {ratio:.1f}x"
+    else:  # dense binding: consider CSR and CLA
+        arr = np.asarray(value, dtype=np.float64)
+        density = _estimate_density(arr)
+        est_flops["csr"] = profile.touch_flops * min(
+            1.0, density * CSR_OVERHEAD
+        )
+        est_bytes["csr"] = int(
+            round(cells * density * 16 + (shape[0] + 1) * 8)
+        )
+        if not profile.unsupported["csr"]:
+            candidates["csr"] = f"sparse, est density {density:.3f}"
+        ratio = _estimate_cla_ratio(arr, sample_fraction)
+        est_flops["cla"] = profile.touch_flops * max(
+            CLA_MIN_WORK_FRACTION, 1.0 / max(ratio, 1e-9)
+        )
+        est_bytes["cla"] = int(round(dense_bytes / max(ratio, 1e-9)))
+        if ratio >= MIN_CLA_RATIO and not profile.unsupported["cla"]:
+            candidates["cla"] = f"compressible, est ratio {ratio:.1f}x"
+
+    best_rep, best_reason = None, ""
+    for rep, reason in candidates.items():
+        if est_flops[rep] >= DENSE_ADVANTAGE * est_flops["dense"]:
+            continue
+        if best_rep is None or est_flops[rep] < est_flops[best_rep]:
+            best_rep, best_reason = rep, reason
+    if best_rep is None:
+        blocked = sorted(
+            op
+            for kind in _REP_KINDS
+            for op in profile.unsupported[kind]
+            if kind in est_flops
+        )
+        reason = (
+            f"dense; non-dense blocked by {', '.join(blocked)}"
+            if blocked
+            else "dense is cheapest"
+        )
+        return ReprChoice(name, "dense", current, reason, est_flops, est_bytes)
+    return ReprChoice(
+        name,
+        best_rep,
+        current,
+        f"{best_reason}; est flops "
+        f"{est_flops[best_rep]:.2e} vs dense {est_flops['dense']:.2e}",
+        est_flops,
+        est_bytes,
+    )
+
+
+def _estimate_density(arr: np.ndarray, max_sample_rows: int = 65536) -> float:
+    n = arr.shape[0]
+    if n <= max_sample_rows:
+        sample = arr
+    else:
+        step = max(1, n // max_sample_rows)
+        sample = arr[::step]
+    cells = sample.size or 1
+    return float(np.count_nonzero(sample)) / cells
+
+
+def _estimate_cla_ratio(arr: np.ndarray, sample_fraction: float) -> float:
+    from ..compression.planner import plan_matrix
+
+    plan = plan_matrix(arr, sample_fraction=sample_fraction)
+    est = sum(c.estimated_bytes for c in plan.columns)
+    dense = sum(c.dense_bytes for c in plan.columns)
+    return dense / max(est, 1)
+
+
+# ----------------------------------------------------------------------
+# Convert insertion (preserves DAG sharing)
+# ----------------------------------------------------------------------
+def _wrap_converts(root: Node, targets: dict[str, str]) -> Node:
+    if not targets:
+        return root
+    memo: dict[int, Node] = {}
+
+    def visit(node: Node) -> Node:
+        hit = memo.get(id(node))
+        if hit is not None:
+            return hit
+        if isinstance(node, Data):
+            target = targets.get(node.name)
+            new = Convert(node, target) if target else node
+        elif node.children:
+            new_children = [visit(c) for c in node.children]
+            if any(a is not b for a, b in zip(new_children, node.children)):
+                new = node.with_children(new_children)
+            else:
+                new = node
+        else:
+            new = node
+        memo[id(node)] = new
+        return new
+
+    return visit(root)

@@ -132,6 +132,12 @@ def _rewrite_transpose(node: Transpose) -> Node | None:
     # t(scalar) -> scalar
     if node.child.is_scalar:
         return node.child
+    # t(c * X) -> c * t(X): hoist scalars through transpose so matmul
+    # scalar pull-out (and tsmm fusion) can see through it.
+    if isinstance(node.child, Binary) and node.child.op == "*":
+        scalar, mat = _split_scalar_product(node.child)
+        if scalar is not None and mat.shape == node.child.shape:
+            return Binary("*", scalar, Transpose(mat))
     return None
 
 

@@ -15,6 +15,7 @@ from ..lang.ast import (
     Aggregate,
     Binary,
     Constant,
+    Convert,
     Data,
     Fused,
     MatMul,
@@ -60,6 +61,8 @@ def _rule(node: Node, child_s: list[float], inputs: dict[str, float]) -> float:
         return float(np.count_nonzero(node.value)) / cells
     if isinstance(node, Transpose):
         return child_s[0]
+    if isinstance(node, Convert):
+        return child_s[0]  # physical-only: the logical value is unchanged
     if isinstance(node, Unary):
         if node.op in _ZERO_PRESERVING_UNARY:
             return child_s[0]

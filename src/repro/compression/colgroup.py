@@ -49,6 +49,16 @@ class ColumnGroup:
         """Dense (num_rows, num_cols) array for the covered columns."""
         raise NotImplementedError
 
+    def map_values(self, fn) -> "ColumnGroup":
+        """New group with ``fn`` applied to every logical cell.
+
+        ``fn`` must be a vectorized elementwise map (numpy ufunc or
+        equivalent). Dictionary-coded schemes apply it to the dictionary
+        (cardinality-sized work) instead of the n-row panel, which is
+        what makes scalar ops on compressed matrices cheap.
+        """
+        raise NotImplementedError
+
     def compressed_bytes(self) -> int:
         """Actual storage footprint of the encoded representation."""
         raise NotImplementedError
@@ -90,6 +100,9 @@ class UncompressedGroup(ColumnGroup):
 
     def decompress(self) -> np.ndarray:
         return self.values
+
+    def map_values(self, fn) -> "UncompressedGroup":
+        return UncompressedGroup(self.col_indices, fn(self.values))
 
     def compressed_bytes(self) -> int:
         return self.values.nbytes

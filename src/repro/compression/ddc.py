@@ -59,6 +59,11 @@ class DDCGroup(ColumnGroup):
     def decompress(self) -> np.ndarray:
         return self.dictionary[self.codes]
 
+    def map_values(self, fn) -> "DDCGroup":
+        # Codes cover every row, so mapping the dictionary is exact for
+        # any elementwise fn — cardinality-sized work.
+        return DDCGroup(self.col_indices, fn(self.dictionary), self.codes)
+
     def compressed_bytes(self) -> int:
         return self.dictionary.nbytes + self.codes.nbytes
 

@@ -117,12 +117,45 @@ class CompressedMatrix:
         """Dense size over compressed size (higher is better)."""
         return self.dense_bytes / max(self.compressed_bytes, 1)
 
+    @property
+    def memory_bytes(self) -> int:
+        """Uniform operand-protocol alias for :attr:`compressed_bytes`."""
+        return self.compressed_bytes
+
     def schemes(self) -> dict[str, int]:
         """Count of groups per encoding scheme."""
         out: dict[str, int] = {}
         for g in self.groups:
             out[g.scheme] = out.get(g.scheme, 0) + 1
         return out
+
+    # ------------------------------------------------------------------
+    # Elementwise value rewrites (no decompression)
+    # ------------------------------------------------------------------
+    def map_values(self, fn) -> "CompressedMatrix":
+        """New compressed matrix with ``fn`` applied to every cell.
+
+        Dictionary-coded groups rewrite their dictionaries (and, for
+        OLE, the default tuple), so the work is proportional to the
+        compressed size, not n x d. ``fn`` must be a vectorized
+        elementwise map.
+        """
+        return CompressedMatrix(
+            self.shape,
+            [g.map_values(fn) for g in self.groups],
+            self.plan,
+            parallel=self._parallel_ctx or False,
+        )
+
+    def scale(self, alpha: float) -> "CompressedMatrix":
+        """alpha * X by rewriting column-group values."""
+        alpha = float(alpha)
+        return self.map_values(lambda values: values * alpha)
+
+    def add_scalar(self, c: float) -> "CompressedMatrix":
+        """X + c by rewriting column-group values."""
+        c = float(c)
+        return self.map_values(lambda values: values + c)
 
     # ------------------------------------------------------------------
     # Kernels
@@ -245,9 +278,49 @@ class CompressedMatrix:
         """Transpose-self matrix multiply — alias for :meth:`gram`."""
         return self.gram()
 
+    def matmat(self, B: np.ndarray) -> np.ndarray:
+        """X @ B for a dense (d, k) right operand, one matvec per column."""
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim == 1:
+            return self.matvec(B)
+        out = np.empty((self.shape[0], B.shape[1]))
+        for j in range(B.shape[1]):
+            out[:, j] = self.matvec(B[:, j])
+        return out
+
+    def rmatmat(self, U: np.ndarray) -> np.ndarray:
+        """X.T @ U for a dense (n, k) left-transposed operand."""
+        U = np.asarray(U, dtype=np.float64)
+        if U.ndim == 1:
+            return self.rmatvec(U)
+        out = np.empty((self.shape[1], U.shape[1]))
+        for j in range(U.shape[1]):
+            out[:, j] = self.rmatvec(U[:, j])
+        return out
+
+    def rowsums(self) -> np.ndarray:
+        """Row sums, computed as X @ ones on the compressed form."""
+        return self.matvec(np.ones(self.shape[1]))
+
+    def sum(self) -> float:
+        """Sum of every cell."""
+        return float(self.colsums().sum())
+
+    def sq_sum(self) -> float:
+        """Sum of squared cells (dictionary-sized rewrite + colsums)."""
+        return float(self.map_values(np.square).colsums().sum())
+
+    def __matmul__(self, other):
+        other = np.asarray(other, dtype=np.float64)
+        return self.matvec(other) if other.ndim == 1 else self.matmat(other)
+
     def decompress(self) -> np.ndarray:
         """Full dense reconstruction (testing / fallback only)."""
         out = np.empty(self.shape)
         for g in self.groups:
             out[:, g.col_indices] = g.decompress()
         return out
+
+    def to_dense(self) -> np.ndarray:
+        """Uniform operand-protocol alias for :meth:`decompress`."""
+        return self.decompress()

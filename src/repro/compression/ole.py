@@ -1,9 +1,13 @@
 """Offset-List Encoding (OLE).
 
 For each distinct value-tuple, store the sorted list of row offsets where
-it occurs. Zero tuples need no list at all, so OLE excels on sparse
-columns. Kernels iterate per dictionary entry: scatter-add for
-matrix-vector, gather-sum for vector-matrix.
+it occurs. Rows absent from every offset list carry the group's
+``default`` tuple (all-zero after encoding, so sparse columns need no
+lists at all). Kernels iterate per dictionary entry: scatter-add for
+matrix-vector, gather-sum for vector-matrix, with a closed-form default
+contribution covering the unlisted rows. Keeping the default explicit is
+what lets elementwise maps like ``X + c`` rewrite the dictionary and the
+default in O(cardinality) instead of decompressing.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ class OLEGroup(ColumnGroup):
         num_rows: int,
         dictionary: np.ndarray,
         offset_lists: list[np.ndarray],
+        default: np.ndarray | None = None,
     ):
         super().__init__(col_indices, num_rows)
         self.dictionary = np.asarray(dictionary, dtype=np.float64)
@@ -34,6 +39,14 @@ class OLEGroup(ColumnGroup):
         ]
         if len(self.offset_lists) != len(self.dictionary):
             raise ValueError("one offset list required per dictionary entry")
+        if default is None:
+            default = np.zeros(self.num_cols)
+        self.default = np.asarray(default, dtype=np.float64).reshape(-1)
+        if len(self.default) != self.num_cols:
+            raise ValueError(
+                f"default tuple has {len(self.default)} values for "
+                f"{self.num_cols} columns"
+            )
 
     @classmethod
     def encode(cls, col_indices: np.ndarray, panel: np.ndarray) -> "OLEGroup":
@@ -51,30 +64,54 @@ class OLEGroup(ColumnGroup):
 
     def matvec_add(self, v: np.ndarray, out: np.ndarray) -> None:
         v_part = v[self.col_indices]
+        base = float(self.default @ v_part)
+        if base != 0.0:
+            out += base
         for entry, offsets in zip(self.dictionary, self.offset_lists):
-            out[offsets] += float(entry @ v_part)
+            out[offsets] += float(entry @ v_part) - base
 
     def rmatvec(self, u: np.ndarray) -> np.ndarray:
         result = np.zeros(self.num_cols)
+        if np.any(self.default != 0.0):
+            result += float(u.sum()) * self.default
         for entry, offsets in zip(self.dictionary, self.offset_lists):
-            result += u[offsets].sum() * entry
+            result += u[offsets].sum() * (entry - self.default)
         return result
 
     def colsums(self) -> np.ndarray:
-        result = np.zeros(self.num_cols)
+        result = self.num_rows * self.default.copy()
         for entry, offsets in zip(self.dictionary, self.offset_lists):
-            result += len(offsets) * entry
+            result += len(offsets) * (entry - self.default)
         return result
 
     def decompress(self) -> np.ndarray:
-        out = np.zeros((self.num_rows, self.num_cols))
+        out = np.broadcast_to(self.default, (self.num_rows, self.num_cols))
+        out = np.array(out)
         for entry, offsets in zip(self.dictionary, self.offset_lists):
             out[offsets] = entry
         return out
 
+    def map_values(self, fn) -> "OLEGroup":
+        new_dict = (
+            fn(self.dictionary)
+            if self.num_distinct
+            else self.dictionary.copy()
+        )
+        return OLEGroup(
+            self.col_indices,
+            self.num_rows,
+            new_dict,
+            self.offset_lists,
+            default=fn(self.default),
+        )
+
     def compressed_bytes(self) -> int:
         offsets = sum(len(o) for o in self.offset_lists)
-        return self.dictionary.nbytes + offsets * _OFFSET_BYTES
+        return (
+            self.dictionary.nbytes
+            + self.default.nbytes
+            + offsets * _OFFSET_BYTES
+        )
 
 
 def estimated_ole_bytes(

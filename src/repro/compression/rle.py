@@ -92,6 +92,18 @@ class RLEGroup(ColumnGroup):
             out[start : start + length] = self.dictionary[code]
         return out
 
+    def map_values(self, fn) -> "RLEGroup":
+        # Runs cover every row, so mapping the dictionary is exact for
+        # any elementwise fn — cardinality-sized work.
+        return RLEGroup(
+            self.col_indices,
+            self.num_rows,
+            fn(self.dictionary),
+            self.starts,
+            self.lengths,
+            self.run_codes,
+        )
+
     def compressed_bytes(self) -> int:
         per_run = _RUN_FIXED_BYTES + code_bytes_for(self.num_distinct)
         return self.dictionary.nbytes + self.num_runs * per_run

@@ -240,6 +240,52 @@ class NormalizedMatrix:
             parts.append(counts @ R)
         return np.concatenate(parts)
 
+    def rowsums(self) -> np.ndarray:
+        """Row sums of the logical design matrix, computed factorized."""
+        out = np.zeros(self.n_rows)
+        if self.S is not None:
+            out += self.S.sum(axis=1)
+        for fk, R in zip(self.fks, self.Rs):
+            out += R.sum(axis=1)[fk]
+        return out
+
+    def sum(self) -> float:
+        """Sum of every logical cell."""
+        return float(self.colsums().sum())
+
+    def sq_sum(self) -> float:
+        """Sum of squared logical cells (via per-table norms + counts)."""
+        total = 0.0
+        if self.S is not None:
+            total += float(np.einsum("ij,ij->", self.S, self.S))
+        for fk, R in zip(self.fks, self.Rs):
+            counts = np.bincount(fk, minlength=len(R)).astype(np.float64)
+            total += float(counts @ np.einsum("ij,ij->i", R, R))
+        return total
+
+    # ------------------------------------------------------------------
+    # Elementwise value rewrites (no join)
+    # ------------------------------------------------------------------
+    def map_values(self, fn) -> "NormalizedMatrix":
+        """New normalized matrix with ``fn`` applied to every logical cell.
+
+        Elementwise maps commute with the fk gather, so applying ``fn``
+        to S and each R_i once is exact — n_r-sized work instead of
+        n_s-sized. ``fn`` must be a vectorized elementwise map.
+        """
+        S = fn(self.S) if self.S is not None else None
+        return NormalizedMatrix(S, self.fks, [fn(R) for R in self.Rs])
+
+    def scale(self, alpha: float) -> "NormalizedMatrix":
+        """alpha * X on the factorized form."""
+        alpha = float(alpha)
+        return self.map_values(lambda values: values * alpha)
+
+    def add_scalar(self, c: float) -> "NormalizedMatrix":
+        """X + c on the factorized form."""
+        c = float(c)
+        return self.map_values(lambda values: values + c)
+
     def materialize(self) -> np.ndarray:
         """The denormalized design matrix (what the join would produce)."""
         parts = []
@@ -248,6 +294,14 @@ class NormalizedMatrix:
         for fk, R in zip(self.fks, self.Rs):
             parts.append(R[fk])
         return np.hstack(parts)
+
+    def to_dense(self) -> np.ndarray:
+        """Uniform operand-protocol alias for :meth:`materialize`."""
+        return self.materialize()
+
+    def __matmul__(self, other):
+        other = np.asarray(other, dtype=np.float64)
+        return self.matvec(other) if other.ndim == 1 else self.matmat(other)
 
     # ------------------------------------------------------------------
     # Cost accounting (used by benchmarks and the crossover analysis)
@@ -262,6 +316,14 @@ class NormalizedMatrix:
 
     def materialized_matvec_flops(self) -> int:
         return 2 * self.n_rows * self.shape[1]
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes held by the factorized tables + foreign-key vectors."""
+        total = self.S.nbytes if self.S is not None else 0
+        for fk, R in zip(self.fks, self.Rs):
+            total += fk.nbytes + R.nbytes
+        return total
 
     @property
     def redundancy_ratio(self) -> float:

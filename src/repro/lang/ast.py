@@ -207,6 +207,39 @@ class Aggregate(Node):
         return Aggregate(self.op, child, self.axis)
 
 
+#: physical storage representations a Convert node can target
+REPRESENTATIONS = {"dense", "csr", "cla", "factorized"}
+
+
+class Convert(Node):
+    """Representation-conversion marker inserted by the reprplan pass.
+
+    Semantically the identity: the logical value is unchanged, only the
+    physical storage of the operand below it is (re)targeted. The
+    executor converts the child's value to ``target`` unless it is
+    already stored that way, so pre-converted bindings make this a
+    no-op per iteration.
+    """
+
+    def __init__(self, child: Node, target: str):
+        if target not in REPRESENTATIONS:
+            raise CompilerError(
+                f"unknown representation {target!r}; "
+                f"expected one of {sorted(REPRESENTATIONS)}"
+            )
+        self.child = child
+        self.target = target
+        self.children = (child,)
+        self.shape = child.shape
+
+    def key(self):
+        return ("convert", self.target, self.child.key())
+
+    def with_children(self, children):
+        (child,) = children
+        return Convert(child, self.target)
+
+
 class Fused(Node):
     """A fused physical operator produced by the fusion pass.
 
@@ -268,6 +301,8 @@ def pretty(node: Node, max_depth: int = 12) -> str:
     if isinstance(node, Aggregate):
         axis = "" if node.axis is None else f", axis={node.axis}"
         return f"{node.op}({pretty(node.child, max_depth - 1)}{axis})"
+    if isinstance(node, Convert):
+        return f"convert[{node.target}]({pretty(node.child, max_depth - 1)})"
     if isinstance(node, Fused):
         inner = ", ".join(pretty(c, max_depth - 1) for c in node.children)
         return f"fused:{node.kind}({inner})"

@@ -1,9 +1,19 @@
 """Plan interpreter.
 
-Evaluates a compiled DAG over numpy arrays, memoizing on node identity so
-CSE-shared subexpressions run once. Collects :class:`ExecutionStats`
-(per-op counts, FLOP estimate, intermediate-byte high-water mark) that the
+Evaluates a compiled DAG, memoizing on node identity so CSE-shared
+subexpressions run once. Collects :class:`ExecutionStats` (per-op
+counts, FLOP estimate, intermediate-byte high-water mark) that the
 benchmark suite uses to attribute optimizer wins.
+
+Bindings may be dense numpy arrays or any of the storage
+representations — :class:`~repro.compression.CompressedMatrix` (CLA),
+:class:`~repro.sparse.CSRMatrix`, or
+:class:`~repro.factorized.NormalizedMatrix`. Non-dense operands are
+dispatched to their native kernels via :mod:`repro.runtime.repops`;
+operators a representation cannot serve densify it once per execution
+and record the fallback in :attr:`ExecutionStats.densify_fallbacks`.
+Passing ``representation="dense"`` densifies every binding up front and
+ignores Convert targets, reproducing the dense-only interpreter exactly.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from ..lang.ast import (
     Aggregate,
     Binary,
     Constant,
+    Convert,
     Data,
     Fused,
     MatMul,
@@ -27,7 +38,9 @@ from ..lang.ast import (
     Unary,
 )
 from ..lang.dsl import MExpr
+from . import repops
 from .ops import apply_aggregate, apply_binary, apply_fused, apply_unary
+from .parallel import ParallelContext, resolve_context
 
 
 @dataclass
@@ -37,42 +50,106 @@ class ExecutionStats:
     op_counts: dict[str, int] = field(default_factory=dict)
     flops: int = 0
     intermediate_bytes: int = 0
+    #: ops served by a representation's native kernel, e.g. "matmul[cla]"
+    native_repr_ops: dict[str, int] = field(default_factory=dict)
+    #: ops that had to densify a non-dense operand, keyed by op label
+    densify_fallbacks: dict[str, int] = field(default_factory=dict)
+    #: representation conversions performed by Convert nodes, e.g. "dense->cla"
+    converts: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_ops(self) -> int:
         return sum(self.op_counts.values())
 
-    def record(self, label: str, node: Node) -> None:
+    @property
+    def fallback_count(self) -> int:
+        return sum(self.densify_fallbacks.values())
+
+    def record(
+        self, label: str, node: Node, result_bytes: int | None = None
+    ) -> None:
         self.op_counts[label] = self.op_counts.get(label, 0) + 1
         self.flops += node_flops(node)
-        self.intermediate_bytes += node_output_bytes(node)
+        self.intermediate_bytes += (
+            node_output_bytes(node) if result_bytes is None else result_bytes
+        )
+
+    def note_native(self, label: str) -> None:
+        self.native_repr_ops[label] = self.native_repr_ops.get(label, 0) + 1
+
+    def note_fallback(self, label: str) -> None:
+        self.densify_fallbacks[label] = (
+            self.densify_fallbacks.get(label, 0) + 1
+        )
+
+    def note_convert(self, desc: str, nbytes: int) -> None:
+        self.converts[desc] = self.converts.get(desc, 0) + 1
+        self.intermediate_bytes += nbytes
 
 
 def execute(
     plan: CompiledPlan | MExpr | Node,
-    bindings: dict[str, np.ndarray] | None = None,
+    bindings: dict[str, object] | None = None,
     collect_stats: bool = False,
+    representation: str | None = None,
+    parallel: bool | ParallelContext | None = None,
 ):
     """Run a plan (or compile-and-run a raw expression).
 
     Args:
-        bindings: name -> array for every Data input. Vectors may be 1-D;
-            they are reshaped to columns. Shapes must match declarations.
+        bindings: name -> operand for every Data input: a numpy array
+            (vectors may be 1-D; they are reshaped to columns) or a
+            CompressedMatrix / CSRMatrix / NormalizedMatrix, executed on
+            its native kernels. Shapes must match declarations.
         collect_stats: also return :class:`ExecutionStats`.
+        representation: ``None`` executes operands in their bound form;
+            ``"dense"`` densifies every binding up front and disables
+            Convert nodes — exactly the dense-only interpreter.
+        parallel: optional :class:`ParallelContext` (or ``True`` for the
+            shared default) attached for this call to bound operands
+            whose kernels support cost-gated parallel dispatch.
 
     Returns:
         The result array (scalars as Python floats), or
         ``(result, stats)`` when ``collect_stats`` is set.
     """
+    if representation not in (None, "dense"):
+        raise ExecutionError(
+            f"representation must be None or 'dense', got {representation!r}; "
+            "use repro.compiler.plan_representations to target others"
+        )
     if isinstance(plan, (MExpr, Node)):
         plan = compile_expr(plan)
     bindings = bindings or {}
-    prepared = _prepare_bindings(plan, bindings)
+    force_dense = representation == "dense"
+    prepared = _prepare_bindings(plan, bindings, force_dense)
+
+    ctx = resolve_context(parallel)
+    attached = []
+    if ctx is not None:
+        for value in prepared.values():
+            set_parallel = getattr(value, "set_parallel", None)
+            if (
+                set_parallel is not None
+                and getattr(value, "parallel_context", None) is None
+            ):
+                set_parallel(ctx)
+                attached.append(value)
 
     stats = ExecutionStats()
-    memo: dict[int, np.ndarray] = {}
-    result = _eval(plan.root, prepared, memo, stats)
+    memo: dict[int, object] = {}
+    dense_cache: dict[int, np.ndarray] = {}
+    try:
+        result = _eval(
+            plan.root, prepared, memo, stats, dense_cache, force_dense
+        )
+    finally:
+        for value in attached:
+            value.set_parallel(False)
 
+    if repops.is_representation(result):
+        stats.note_convert(f"{repops.kind_of(result)}->dense(output)", 0)
+        result = repops.densify(result)
     if plan.root.is_scalar:
         out = float(result[0, 0])
     else:
@@ -83,8 +160,8 @@ def execute(
 
 
 def _prepare_bindings(
-    plan: CompiledPlan, bindings: dict[str, np.ndarray]
-) -> dict[str, np.ndarray]:
+    plan: CompiledPlan, bindings: dict[str, object], force_dense: bool
+) -> dict[str, object]:
     prepared = {}
     for name, shape in plan.inputs.items():
         if name not in bindings:
@@ -92,7 +169,18 @@ def _prepare_bindings(
                 f"missing binding for input {name!r}; "
                 f"required: {sorted(plan.inputs)}"
             )
-        arr = np.asarray(bindings[name], dtype=np.float64)
+        value = bindings[name]
+        if repops.is_representation(value):
+            if force_dense:
+                value = repops.densify(value)
+            elif tuple(value.shape) != shape:
+                raise ExecutionError(
+                    f"input {name!r} declared {shape} but bound "
+                    f"{tuple(value.shape)}"
+                )
+            prepared[name] = value
+            continue
+        arr = np.asarray(value, dtype=np.float64)
         if arr.ndim == 0:
             arr = arr.reshape(1, 1)
         elif arr.ndim == 1:
@@ -107,10 +195,12 @@ def _prepare_bindings(
 
 def _eval(
     node: Node,
-    bindings: dict[str, np.ndarray],
-    memo: dict[int, np.ndarray],
+    bindings: dict[str, object],
+    memo: dict[int, object],
     stats: ExecutionStats,
-) -> np.ndarray:
+    dense_cache: dict[int, np.ndarray],
+    force_dense: bool,
+):
     cached = memo.get(id(node))
     if cached is not None:
         return cached
@@ -119,32 +209,91 @@ def _eval(
         result = bindings[node.name]
     elif isinstance(node, Constant):
         result = node.value
+    elif isinstance(node, Convert):
+        child = _eval(
+            node.child, bindings, memo, stats, dense_cache, force_dense
+        )
+        result = _eval_convert(node, child, stats, force_dense)
     else:
-        children = [_eval(c, bindings, memo, stats) for c in node.children]
-        if isinstance(node, Binary):
-            result = apply_binary(node.op, children[0], children[1])
-            stats.record(f"binary:{node.op}", node)
-        elif isinstance(node, Unary):
-            result = apply_unary(node.op, children[0])
-            stats.record(f"unary:{node.op}", node)
-        elif isinstance(node, MatMul):
-            result = children[0] @ children[1]
-            stats.record("matmul", node)
-        elif isinstance(node, Transpose):
-            result = children[0].T
-            stats.record("transpose", node)
-        elif isinstance(node, Aggregate):
-            result = apply_aggregate(node.op, children[0], node.axis)
-            stats.record(f"agg:{node.op}", node)
-        elif isinstance(node, Fused):
-            result = apply_fused(node.kind, children)
-            stats.record(f"fused:{node.kind}", node)
+        children = [
+            _eval(c, bindings, memo, stats, dense_cache, force_dense)
+            for c in node.children
+        ]
+        if any(repops.is_representation(c) for c in children):
+            result = repops.eval_node(node, children, stats, dense_cache)
+            if repops.is_representation(result):
+                if tuple(result.shape) != node.shape:
+                    raise ExecutionError(
+                        f"representation kernel produced shape "
+                        f"{tuple(result.shape)} for node of shape {node.shape}"
+                    )
+                stats.record(
+                    _node_label(node), node, repops.operand_bytes(result)
+                )
+            else:
+                result = np.asarray(result, dtype=np.float64)
+                if result.shape != node.shape:
+                    result = np.broadcast_to(result, node.shape).copy()
+                stats.record(_node_label(node), node, result.nbytes)
         else:
-            raise ExecutionError(f"cannot execute node type {type(node).__name__}")
-        result = np.asarray(result, dtype=np.float64)
-        if result.shape != node.shape:
-            # Broadcasting of (1,1) scalars can shrink shapes; normalize.
-            result = np.broadcast_to(result, node.shape).copy()
+            if isinstance(node, Binary):
+                result = apply_binary(node.op, children[0], children[1])
+                stats.record(f"binary:{node.op}", node)
+            elif isinstance(node, Unary):
+                result = apply_unary(node.op, children[0])
+                stats.record(f"unary:{node.op}", node)
+            elif isinstance(node, MatMul):
+                result = children[0] @ children[1]
+                stats.record("matmul", node)
+            elif isinstance(node, Transpose):
+                result = children[0].T
+                stats.record("transpose", node)
+            elif isinstance(node, Aggregate):
+                result = apply_aggregate(node.op, children[0], node.axis)
+                stats.record(f"agg:{node.op}", node)
+            elif isinstance(node, Fused):
+                result = apply_fused(node.kind, children)
+                stats.record(f"fused:{node.kind}", node)
+            else:
+                raise ExecutionError(
+                    f"cannot execute node type {type(node).__name__}"
+                )
+            result = np.asarray(result, dtype=np.float64)
+            if result.shape != node.shape:
+                # Broadcasting of (1,1) scalars can shrink shapes; normalize.
+                result = np.broadcast_to(result, node.shape).copy()
 
     memo[id(node)] = result
     return result
+
+
+def _eval_convert(
+    node: Convert, child, stats: ExecutionStats, force_dense: bool
+):
+    """Retarget an operand's physical representation (identity if done)."""
+    if force_dense:
+        return repops.densify(child)
+    current = repops.kind_of(child)
+    if current == node.target:
+        return child
+    converted = repops.convert_value(child, node.target)
+    stats.note_convert(
+        f"{current}->{node.target}", repops.operand_bytes(converted)
+    )
+    return converted
+
+
+def _node_label(node: Node) -> str:
+    if isinstance(node, Binary):
+        return f"binary:{node.op}"
+    if isinstance(node, Unary):
+        return f"unary:{node.op}"
+    if isinstance(node, MatMul):
+        return "matmul"
+    if isinstance(node, Transpose):
+        return "transpose"
+    if isinstance(node, Aggregate):
+        return f"agg:{node.op}"
+    if isinstance(node, Fused):
+        return f"fused:{node.kind}"
+    return type(node).__name__.lower()

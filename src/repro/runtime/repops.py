@@ -1,0 +1,349 @@
+"""Representation-aware physical operators for the plan interpreter.
+
+The executor evaluates DAG nodes bottom-up; when a child value is a
+:class:`~repro.compression.CompressedMatrix` (CLA),
+:class:`~repro.sparse.CSRMatrix`, or
+:class:`~repro.factorized.NormalizedMatrix`, dispatch lands here instead
+of the dense kernels in :mod:`repro.runtime.ops`. Each physical operator
+(matmul, transpose-matmul, aggregates, elementwise with scalar
+broadcast, the fused kernels) is routed to the representation's native
+kernel; ops a representation genuinely cannot serve densify the operand
+once (memoized per execution) and record the fallback on the stats
+object so benchmarks can attribute it.
+
+Representation classes are imported lazily: ``repro.compression`` and
+``repro.sparse`` import :mod:`repro.runtime.parallel`, so a module-level
+import here would create a cycle through ``repro.runtime``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..lang.ast import Aggregate, Binary, Fused, MatMul, Node, Transpose, Unary
+from .ops import apply_aggregate, apply_binary, apply_fused, apply_unary
+
+_REP_CLASSES: tuple[type, ...] | None = None
+
+
+def _rep_classes() -> tuple[type, ...]:
+    global _REP_CLASSES
+    if _REP_CLASSES is None:
+        from ..compression.matrix import CompressedMatrix
+        from ..factorized.normalized import NormalizedMatrix
+        from ..sparse.csr import CSRMatrix
+
+        _REP_CLASSES = (CompressedMatrix, CSRMatrix, NormalizedMatrix)
+    return _REP_CLASSES
+
+
+class TransposedOperand:
+    """Zero-copy transpose view over any representation operand.
+
+    Produced by Transpose nodes so downstream matmuls keep running on
+    the native kernels (``matmat`` <-> ``rmatmat``, ``colsums`` <->
+    ``rowsums``) instead of densifying.
+    """
+
+    def __init__(self, base):
+        self.base = base
+        self.shape = (base.shape[1], base.shape[0])
+
+    def matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.base.rmatmat(B)
+
+    def rmatmat(self, U: np.ndarray) -> np.ndarray:
+        return self.base.matmat(U)
+
+    def colsums(self) -> np.ndarray:
+        return self.base.rowsums()
+
+    def rowsums(self) -> np.ndarray:
+        return self.base.colsums()
+
+    def sum(self) -> float:
+        return self.base.sum()
+
+    def sq_sum(self) -> float:
+        return self.base.sq_sum()
+
+    def to_dense(self) -> np.ndarray:
+        return _densify_base(self.base).T
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.base.memory_bytes
+
+
+def kind_of(value) -> str:
+    """Storage kind tag: 'dense', 'csr', 'cla', or 'factorized'."""
+    if isinstance(value, TransposedOperand):
+        return kind_of(value.base)
+    compressed, csr, normalized = _rep_classes()
+    if isinstance(value, compressed):
+        return "cla"
+    if isinstance(value, csr):
+        return "csr"
+    if isinstance(value, normalized):
+        return "factorized"
+    return "dense"
+
+
+def is_representation(value) -> bool:
+    """True for non-dense operands the executor must dispatch on."""
+    if isinstance(value, (np.ndarray, float, int)):
+        return False
+    return isinstance(value, _rep_classes() + (TransposedOperand,))
+
+
+def _densify_base(value) -> np.ndarray:
+    out = value.to_dense()
+    return np.asarray(out, dtype=np.float64)
+
+
+def densify(value) -> np.ndarray:
+    """Dense float64 array for any operand (identity for ndarrays)."""
+    if isinstance(value, TransposedOperand):
+        return value.to_dense()
+    if is_representation(value):
+        return _densify_base(value)
+    return np.asarray(value, dtype=np.float64)
+
+
+def operand_bytes(value) -> int:
+    """Actual storage footprint of an operand in its current form."""
+    if is_representation(value):
+        return int(value.memory_bytes)
+    return int(np.asarray(value).nbytes)
+
+
+def convert_value(value, target: str, sample_fraction: float = 0.05):
+    """Convert an operand to the target representation (idempotent).
+
+    Converting *to* 'factorized' requires the operand to already be a
+    NormalizedMatrix — a schema cannot be invented from a dense array.
+    """
+    current = kind_of(value)
+    if current == target:
+        return value
+    if target == "dense":
+        return densify(value)
+    if target == "csr":
+        from ..sparse.csr import CSRMatrix
+
+        return CSRMatrix.from_dense(densify(value))
+    if target == "cla":
+        from ..compression.matrix import CompressedMatrix
+
+        return CompressedMatrix.compress(
+            densify(value), sample_fraction=sample_fraction
+        )
+    if target == "factorized":
+        raise ExecutionError(
+            f"cannot convert a {current} operand to 'factorized': "
+            "the star-schema structure is not recoverable from values"
+        )
+    raise ExecutionError(f"unknown representation target {target!r}")
+
+
+# ----------------------------------------------------------------------
+# Elementwise map capability
+# ----------------------------------------------------------------------
+def _scalar_of(value) -> float | None:
+    """The scalar payload if ``value`` is a (1, 1) dense operand."""
+    if isinstance(value, np.ndarray) and value.shape == (1, 1):
+        return float(value[0, 0])
+    return None
+
+
+def _is_zero_preserving(fn) -> bool:
+    with np.errstate(all="ignore"):
+        out = fn(np.zeros(1))
+    return bool(np.all(out == 0.0))
+
+
+def _map_rep(value, fn, zero_preserving: bool):
+    """Apply an elementwise map natively, or return None if unsupported."""
+    if isinstance(value, TransposedOperand):
+        mapped = _map_rep(value.base, fn, zero_preserving)
+        return None if mapped is None else TransposedOperand(mapped)
+    kind = kind_of(value)
+    if kind == "csr":
+        # Implicit zeros stay implicit only for zero-preserving maps.
+        return value.map_nonzeros(fn) if zero_preserving else None
+    if kind in ("cla", "factorized"):
+        # Dictionary / per-table rewrites are exact for any map.
+        return value.map_values(fn)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Node dispatch
+# ----------------------------------------------------------------------
+def eval_node(node: Node, children: list, stats, dense_cache: dict):
+    """Evaluate one node with at least one representation child.
+
+    Returns the result (ndarray, representation operand, or
+    TransposedOperand). Native dispatches and densification fallbacks
+    are tallied on ``stats`` (``note_native`` / ``note_fallback``).
+    """
+    if isinstance(node, MatMul):
+        return _eval_matmul(node, children, stats, dense_cache)
+    if isinstance(node, Transpose):
+        (x,) = children
+        stats.note_native(f"transpose[{kind_of(x)}]")
+        return x.base if isinstance(x, TransposedOperand) else TransposedOperand(x)
+    if isinstance(node, Binary):
+        return _eval_binary(node, children, stats, dense_cache)
+    if isinstance(node, Unary):
+        return _eval_unary(node, children, stats, dense_cache)
+    if isinstance(node, Aggregate):
+        return _eval_aggregate(node, children, stats, dense_cache)
+    if isinstance(node, Fused):
+        return _eval_fused(node, children, stats, dense_cache)
+    raise ExecutionError(
+        f"cannot execute node type {type(node).__name__} over "
+        f"representation operands"
+    )
+
+
+def _fallback_dense(value, label: str, stats, dense_cache: dict):
+    """One-time densification of an operand (memoized per execution)."""
+    if not is_representation(value):
+        return value
+    cached = dense_cache.get(id(value))
+    if cached is None:
+        cached = densify(value)
+        dense_cache[id(value)] = cached
+    stats.note_fallback(label)
+    return cached
+
+
+def _eval_matmul(node: MatMul, children: list, stats, dense_cache):
+    left, right = children
+    left_rep = is_representation(left)
+    right_rep = is_representation(right)
+    if left_rep and right_rep:
+        # Gram pattern E.T @ E over one shared operand: the memoized DAG
+        # hands us TransposedOperand(E) on the left and E itself on the
+        # right, and every representation ships a native gram kernel.
+        if (
+            isinstance(left, TransposedOperand)
+            and left.base is right
+            and hasattr(right, "gram")
+        ):
+            stats.note_native(f"matmul[{kind_of(right)}]")
+            return np.asarray(right.gram(), dtype=np.float64)
+        right = _fallback_dense(right, "matmul", stats, dense_cache)
+        right_rep = False
+    if left_rep:
+        stats.note_native(f"matmul[{kind_of(left)}]")
+        out = left.matmat(np.asarray(right, dtype=np.float64))
+        return out
+    # dense @ rep: (A @ B) == (B.T @ A.T).T, which is B.rmatmat(A.T).T.
+    stats.note_native(f"matmul[{kind_of(right)}]")
+    return right.rmatmat(np.asarray(left, dtype=np.float64).T).T
+
+
+def _eval_binary(node: Binary, children: list, stats, dense_cache):
+    left, right = children
+    label = f"binary:{node.op}"
+    for rep, other, rep_is_left in (
+        (left, right, True),
+        (right, left, False),
+    ):
+        if not is_representation(rep):
+            continue
+        if is_representation(other):
+            break  # rep-rep elementwise: fall back below
+        scalar = _scalar_of(other)
+        if scalar is not None:
+            if rep_is_left:
+                fn = lambda vals: apply_binary(node.op, vals, scalar)  # noqa: E731
+            else:
+                fn = lambda vals: apply_binary(node.op, scalar, vals)  # noqa: E731
+            mapped = _map_rep(rep, fn, _is_zero_preserving(fn))
+            if mapped is not None:
+                stats.note_native(f"{label}[{kind_of(rep)}]")
+                return mapped
+        elif node.op == "*" and kind_of(rep) == "csr" and not isinstance(
+            rep, TransposedOperand
+        ):
+            # Sparse * dense (incl. row/column broadcast) stays sparse.
+            other_arr = np.broadcast_to(
+                np.asarray(other, dtype=np.float64), rep.shape
+            )
+            stats.note_native(f"{label}[csr]")
+            return rep.multiply_dense(np.ascontiguousarray(other_arr))
+        break
+    left = _fallback_dense(left, label, stats, dense_cache)
+    right = _fallback_dense(right, label, stats, dense_cache)
+    return apply_binary(node.op, left, right)
+
+
+def _eval_unary(node: Unary, children: list, stats, dense_cache):
+    (x,) = children
+    label = f"unary:{node.op}"
+    fn = lambda vals: apply_unary(node.op, vals)  # noqa: E731
+    mapped = _map_rep(x, fn, _is_zero_preserving(fn))
+    if mapped is not None:
+        stats.note_native(f"{label}[{kind_of(x)}]")
+        return mapped
+    return apply_unary(node.op, _fallback_dense(x, label, stats, dense_cache))
+
+
+def _eval_aggregate(node: Aggregate, children: list, stats, dense_cache):
+    (x,) = children
+    label = f"agg:{node.op}"
+    if node.op in ("sum", "mean"):
+        stats.note_native(f"{label}[{kind_of(x)}]")
+        if node.axis is None:
+            total = x.sum()
+            cells = x.shape[0] * x.shape[1]
+            return np.array([[total / cells if node.op == "mean" else total]])
+        if node.axis == 0:
+            out = np.asarray(x.colsums(), dtype=np.float64).reshape(1, -1)
+            return out / x.shape[0] if node.op == "mean" else out
+        out = np.asarray(x.rowsums(), dtype=np.float64).reshape(-1, 1)
+        return out / x.shape[1] if node.op == "mean" else out
+    # min/max/trace need every cell in position: densify once.
+    dense = _fallback_dense(x, label, stats, dense_cache)
+    return apply_aggregate(node.op, dense, node.axis)
+
+
+def _eval_fused(node: Fused, children: list, stats, dense_cache):
+    label = f"fused:{node.kind}"
+    if node.kind == "tsmm":
+        (x,) = children
+        if not isinstance(x, TransposedOperand) and hasattr(x, "gram"):
+            stats.note_native(f"{label}[{kind_of(x)}]")
+            return np.asarray(x.gram(), dtype=np.float64)
+    elif node.kind == "mvchain":
+        x, v = children
+        if is_representation(x) and not is_representation(v):
+            stats.note_native(f"{label}[{kind_of(x)}]")
+            v = np.asarray(v, dtype=np.float64)
+            return x.rmatmat(x.matmat(v))
+    elif node.kind == "sq_sum":
+        (x,) = children
+        stats.note_native(f"{label}[{kind_of(x)}]")
+        return np.array([[x.sq_sum()]])
+    elif node.kind == "dot_sum":
+        x, y = children
+        for rep, other in ((x, y), (y, x)):
+            if (
+                kind_of(rep) == "csr"
+                and not isinstance(rep, TransposedOperand)
+                and not is_representation(other)
+                and np.asarray(other).shape == rep.shape
+            ):
+                stats.note_native(f"{label}[csr]")
+                product = rep.multiply_dense(
+                    np.asarray(other, dtype=np.float64)
+                )
+                return np.array([[product.sum()]])
+    dense_children = [
+        _fallback_dense(c, label, stats, dense_cache) for c in children
+    ]
+    return apply_fused(node.kind, dense_children)

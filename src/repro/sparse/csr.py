@@ -18,13 +18,48 @@ inputs unchanged.
 
 from __future__ import annotations
 
+import time
+from functools import partial
+
 import numpy as np
 
 from ..errors import ReproError
+from ..runtime.parallel import ParallelContext, resolve_context
 
 
 class SparseError(ReproError):
     """A sparse-matrix operation failed."""
+
+
+def _rowblock_matvec(csr: "CSRMatrix", v: np.ndarray, bounds) -> np.ndarray:
+    """X[lo:hi] @ v for one row block (private partial)."""
+    lo, hi = bounds
+    s = slice(csr.indptr[lo], csr.indptr[hi])
+    products = csr.data[s] * v[csr.indices[s]]
+    out = np.zeros(hi - lo)
+    local_ptr = csr.indptr[lo:hi] - csr.indptr[lo]
+    nonempty = np.diff(csr.indptr[lo : hi + 1]) > 0
+    if products.size:
+        out[nonempty] = np.add.reduceat(products, local_ptr[nonempty])
+    return out
+
+
+def _rowblock_rmatvec(csr: "CSRMatrix", u: np.ndarray, bounds) -> np.ndarray:
+    """X[lo:hi].T @ u[lo:hi] for one row block (private partial)."""
+    lo, hi = bounds
+    s = slice(csr.indptr[lo], csr.indptr[hi])
+    row_of = np.repeat(
+        np.arange(lo, hi), np.diff(csr.indptr[lo : hi + 1])
+    )
+    return np.bincount(
+        csr.indices[s],
+        weights=csr.data[s] * u[row_of],
+        minlength=csr.shape[1],
+    )
+
+
+def _column_matvec(csr: "CSRMatrix", B: np.ndarray, j: int) -> np.ndarray:
+    return csr.matvec(B[:, j])
 
 
 class CSRMatrix:
@@ -41,6 +76,7 @@ class CSRMatrix:
         self.indices = np.asarray(indices, dtype=np.int64)
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.shape = (int(shape[0]), int(shape[1]))
+        self._parallel_ctx: ParallelContext | None = None
         self._validate()
 
     def _validate(self) -> None:
@@ -146,6 +182,38 @@ class CSRMatrix:
     def nbytes(self) -> int:
         return self.data.nbytes + self.indices.nbytes + self.indptr.nbytes
 
+    @property
+    def memory_bytes(self) -> int:
+        """Uniform operand-protocol alias for :attr:`nbytes`."""
+        return self.nbytes
+
+    # ------------------------------------------------------------------
+    # Parallel dispatch (cost-gated, shared pool)
+    # ------------------------------------------------------------------
+    def set_parallel(
+        self, parallel: bool | ParallelContext = True
+    ) -> "CSRMatrix":
+        """Enable/disable cost-gated row-block parallel kernels."""
+        self._parallel_ctx = resolve_context(parallel)
+        return self
+
+    @property
+    def parallel_context(self) -> ParallelContext | None:
+        return self._parallel_ctx
+
+    def _kernel_cost(self) -> float:
+        """Flops-equivalents of one matvec-shaped pass: 2 * nnz."""
+        return 2.0 * self.nnz
+
+    def _row_blocks(self, ctx: ParallelContext) -> list[tuple[int, int]]:
+        workers = max(ctx.max_workers, 1)
+        bounds = np.linspace(0, self.shape[0], workers + 1).astype(np.int64)
+        return [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+
     def __repr__(self) -> str:
         return (
             f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
@@ -165,6 +233,22 @@ class CSRMatrix:
             raise SparseError(
                 f"vector length {len(v)} != num columns {self.shape[1]}"
             )
+        ctx = self._parallel_ctx
+        if ctx is not None and ctx.should_parallelize(
+            ctx.max_workers, self._kernel_cost()
+        ):
+            blocks = self._row_blocks(ctx)
+            if len(blocks) > 1:
+                # Row blocks are disjoint, so per-row segment sums are
+                # bitwise-identical to the serial reduceat path.
+                partials = ctx.pmap(
+                    partial(_rowblock_matvec, self, v),
+                    blocks,
+                    cost_hint=self._kernel_cost(),
+                    site="csr.matvec",
+                )
+                return np.concatenate(partials)
+        start = time.perf_counter() if ctx is not None else 0.0
         products = self.data * v[self.indices]
         out = np.zeros(self.shape[0])
         # Segment-sum per row via reduceat (empty rows handled below).
@@ -172,6 +256,8 @@ class CSRMatrix:
         if products.size:
             sums = np.add.reduceat(products, self.indptr[:-1][nonempty])
             out[nonempty] = sums
+        if ctx is not None:
+            ctx.note_serial("csr.matvec", 1, time.perf_counter() - start)
         return out
 
     def rmatvec(self, u: np.ndarray) -> np.ndarray:
@@ -181,12 +267,34 @@ class CSRMatrix:
             raise SparseError(
                 f"vector length {len(u)} != num rows {self.shape[0]}"
             )
+        ctx = self._parallel_ctx
+        if ctx is not None and ctx.should_parallelize(
+            ctx.max_workers, self._kernel_cost()
+        ):
+            blocks = self._row_blocks(ctx)
+            if len(blocks) > 1:
+                # Partials reduce in block order: matches serial up to
+                # float-addition reassociation (<= 1e-9).
+                partials = ctx.pmap(
+                    partial(_rowblock_rmatvec, self, u),
+                    blocks,
+                    cost_hint=self._kernel_cost(),
+                    site="csr.rmatvec",
+                )
+                out = np.zeros(self.shape[1])
+                for p in partials:
+                    out += p
+                return out
+        start = time.perf_counter() if ctx is not None else 0.0
         row_of = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
-        return np.bincount(
+        out = np.bincount(
             self.indices,
             weights=self.data * u[row_of],
             minlength=self.shape[1],
         )
+        if ctx is not None:
+            ctx.note_serial("csr.rmatvec", 1, time.perf_counter() - start)
+        return out
 
     def matmat(self, B: np.ndarray) -> np.ndarray:
         """X @ B for dense B, column by column."""
@@ -196,13 +304,70 @@ class CSRMatrix:
         if B.shape[0] != self.shape[1]:
             raise SparseError(f"shape mismatch: {self.shape} @ {B.shape}")
         out = np.empty((self.shape[0], B.shape[1]))
+        ctx = self._parallel_ctx
+        if (
+            ctx is not None
+            and B.shape[1] > 1
+            and ctx.should_parallelize(
+                B.shape[1], self._kernel_cost() * B.shape[1]
+            )
+        ):
+            columns = ctx.pmap(
+                partial(_column_matvec, self, B),
+                range(B.shape[1]),
+                cost_hint=self._kernel_cost() * B.shape[1],
+                site="csr.matmat",
+            )
+            for j, col in enumerate(columns):
+                out[:, j] = col
+            return out
         for j in range(B.shape[1]):
             out[:, j] = self.matvec(B[:, j])
+        return out
+
+    def rmatmat(self, U: np.ndarray) -> np.ndarray:
+        """X.T @ U for dense U, column by column."""
+        U = np.asarray(U, dtype=np.float64)
+        if U.ndim == 1:
+            return self.rmatvec(U)
+        if U.shape[0] != self.shape[0]:
+            raise SparseError(
+                f"shape mismatch: X.T ({self.shape[1]}, {self.shape[0]}) "
+                f"@ {U.shape}"
+            )
+        out = np.empty((self.shape[1], U.shape[1]))
+        for j in range(U.shape[1]):
+            out[:, j] = self.rmatvec(U[:, j])
+        return out
+
+    def gram(self) -> np.ndarray:
+        """X.T @ X from per-row outer products, O(sum of row_nnz^2)."""
+        d = self.shape[1]
+        out = np.zeros((d, d))
+        for i in range(self.shape[0]):
+            s = slice(self.indptr[i], self.indptr[i + 1])
+            idx = self.indices[s]
+            if idx.size:
+                vals = self.data[s]
+                out[np.ix_(idx, idx)] += np.outer(vals, vals)
         return out
 
     def scale(self, alpha: float) -> "CSRMatrix":
         """alpha * X (sparsity preserved)."""
         return CSRMatrix(self.data * alpha, self.indices, self.indptr, self.shape)
+
+    def map_nonzeros(self, fn) -> "CSRMatrix":
+        """New CSR with ``fn`` applied to the stored nonzeros.
+
+        Only valid for zero-preserving maps (fn(0) == 0): implicit zeros
+        stay implicit. Callers (the representation-aware executor) check
+        that property before dispatching here.
+        """
+        return CSRMatrix(fn(self.data), self.indices, self.indptr, self.shape)
+
+    def sq_sum(self) -> float:
+        """Sum of squared cells in O(nnz)."""
+        return float(np.dot(self.data, self.data))
 
     def multiply_dense(self, D: np.ndarray) -> "CSRMatrix":
         """Element-wise X * D for dense D (result stays sparse)."""

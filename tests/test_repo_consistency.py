@@ -101,7 +101,7 @@ class TestDocsAndExperiments:
     def test_runner_covers_design_experiments(self, design):
         runner = (REPO_ROOT / "benchmarks" / "run_experiments.py").read_text()
         design_ids = set(re.findall(r"\| (E\d+) \|", design))
-        runner_ids = set(re.findall(r'"(E\d+)":', runner))
+        runner_ids = set(re.findall(r'@experiment\(\s*"(E\d+)"', runner))
         assert design_ids <= runner_ids
 
     def test_readme_lists_every_example(self):
