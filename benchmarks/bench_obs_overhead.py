@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""E20 — Observability overhead: the disabled path is (nearly) free.
+
+The observability layer must not tax production runs: spans are gated by
+``REPRO_TRACE`` and metrics publication is a handful of dict updates per
+*aggregate* event (per execute call, per pmap dispatch, per block
+access), never per element. This benchmark bounds the cost on the E19
+quick logistic-regression workload (compressed CLA operand, the same
+sizes ``bench_repr_exec --quick`` uses) two ways:
+
+1. **First-principles bound** (the asserted one): run the workload once
+   with tracing *enabled* to count every span the instrumentation would
+   open, and read the registry's update counter for every metric write.
+   Separately measure the per-call cost of a *disabled* ``span()`` and
+   of one metric update. The disabled-path overhead versus a
+   hypothetical uninstrumented build is then at most
+   ``spans * span_cost + updates * update_cost`` — asserted to be
+   < 3% of the disabled-mode wall time. This bound is deterministic
+   (event counts are exact, unit costs are microbenchmarked over 2e5
+   calls), so it gates in CI without wall-clock flakiness.
+2. **Direct A/B** (reported, not asserted): wall time with tracing
+   enabled vs disabled, which additionally prices the enabled path.
+
+Usage::
+
+    python benchmarks/bench_obs_overhead.py            # full sizes
+    python benchmarks/bench_obs_overhead.py --quick    # CI smoke run
+
+pytest collection runs the bound check at reduced sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+try:
+    from repro import obs
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+    from repro import obs
+
+from repro.algorithms import logreg_gd
+from repro.compression import CompressedMatrix
+from repro.data import make_low_cardinality_matrix
+
+#: the acceptance bound: disabled-path overhead below this fraction.
+MAX_DISABLED_OVERHEAD = 0.03
+
+UNIT_CALLS = 200_000
+
+
+def _best_time(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _make_workload(n: int, d: int, iters: int):
+    """The E19-quick logreg/cla loop, operand compressed up front."""
+    X = make_low_cardinality_matrix(n, d, cardinality=8, seed=1)
+    C = CompressedMatrix.compress(X)
+    y = np.random.default_rng(2017).integers(0, 2, size=n).astype(np.float64)
+    return lambda: logreg_gd(C, y, max_iter=iters, tol=0.0)
+
+
+def _count_span_nodes(span_dicts) -> int:
+    total = 0
+    stack = list(span_dicts)
+    while stack:
+        node = stack.pop()
+        total += 1
+        stack.extend(node.get("children", ()))
+    return total
+
+
+def measure_unit_costs() -> dict:
+    """Per-call cost of the disabled-path primitives."""
+    obs.set_tracing(False)
+    try:
+        noop = None
+        start = time.perf_counter()
+        for _ in range(UNIT_CALLS):
+            with obs.span("e20.unit"):
+                noop = None
+        span_cost = (time.perf_counter() - start) / UNIT_CALLS
+        del noop
+
+        registry = obs.get_registry()
+        start = time.perf_counter()
+        for _ in range(UNIT_CALLS):
+            registry.inc("e20.unit_counter")
+        update_cost = (time.perf_counter() - start) / UNIT_CALLS
+    finally:
+        obs.set_tracing(None)
+    return {"span_call_s": span_cost, "metric_update_s": update_cost}
+
+
+def count_events(workload) -> dict:
+    """Exact span + metric-update counts for one workload run."""
+    obs.reset()
+    obs.set_tracing(True)
+    try:
+        workload()
+    finally:
+        obs.set_tracing(None)
+    doc = obs.report()
+    spans = _count_span_nodes(doc["spans"]) + doc["dropped_spans"]
+    updates = obs.get_registry().total_updates()
+    obs.reset()
+    return {"spans": spans, "metric_updates": updates}
+
+
+def run(quick: bool, repeats: int) -> dict:
+    from conftest import bench_metadata
+
+    if quick:
+        n, d, iters = 12_000, 12, 5
+    else:
+        n, d, iters = 60_000, 16, 10
+    workload = _make_workload(n, d, iters)
+
+    obs.reset()
+    obs.set_tracing(False)
+    try:
+        disabled_wall, _ = _best_time(workload, repeats)
+    finally:
+        obs.set_tracing(None)
+
+    obs.set_tracing(True)
+    try:
+        enabled_wall, _ = _best_time(workload, repeats)
+    finally:
+        obs.set_tracing(None)
+    obs.reset()
+
+    events = count_events(workload)
+    units = measure_unit_costs()
+    instrumented_cost = (
+        events["spans"] * units["span_call_s"]
+        + events["metric_updates"] * units["metric_update_s"]
+    )
+    disabled_overhead = instrumented_cost / disabled_wall
+
+    results = {
+        "meta": {**bench_metadata("E20"), "quick": quick},
+        "workload": {
+            "name": "logreg_gd/cla (E19 quick loop)",
+            "n_rows": n,
+            "n_cols": d,
+            "iterations": iters,
+        },
+        "disabled_wall_s": disabled_wall,
+        "enabled_wall_s": enabled_wall,
+        "enabled_overhead_pct": 100.0 * (enabled_wall / disabled_wall - 1.0),
+        "events": events,
+        "unit_costs": units,
+        "estimated_disabled_cost_s": instrumented_cost,
+        "estimated_disabled_overhead_pct": 100.0 * disabled_overhead,
+        "bound_pct": 100.0 * MAX_DISABLED_OVERHEAD,
+    }
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled-path overhead {disabled_overhead:.2%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} "
+        f"({events['spans']} spans, {events['metric_updates']} updates)"
+    )
+    return results
+
+
+def report(results: dict) -> None:
+    w = results["workload"]
+    print(
+        f"E20 — observability overhead on {w['name']} "
+        f"({w['n_rows']}x{w['n_cols']}, {w['iterations']} iters)"
+    )
+    print(f"  wall (tracing off): {results['disabled_wall_s'] * 1e3:8.2f} ms")
+    print(
+        f"  wall (tracing on):  {results['enabled_wall_s'] * 1e3:8.2f} ms "
+        f"({results['enabled_overhead_pct']:+.1f}%)"
+    )
+    e, u = results["events"], results["unit_costs"]
+    print(
+        f"  events/run: {e['spans']} spans, {e['metric_updates']} metric "
+        f"updates"
+    )
+    print(
+        f"  unit costs: span(off) {u['span_call_s'] * 1e9:.0f} ns, "
+        f"metric update {u['metric_update_s'] * 1e9:.0f} ns"
+    )
+    print(
+        f"  disabled-path bound: {results['estimated_disabled_overhead_pct']:.3f}% "
+        f"of wall (limit {results['bound_pct']:.0f}%)  -> PASS"
+    )
+
+
+# ----------------------------------------------------------------------
+# Correctness checks (collected by pytest)
+# ----------------------------------------------------------------------
+def test_disabled_overhead_bound():
+    workload = _make_workload(6_000, 10, 3)
+    obs.set_tracing(False)
+    try:
+        wall, _ = _best_time(workload, repeats=2)
+    finally:
+        obs.set_tracing(None)
+    events = count_events(workload)
+    units = measure_unit_costs()
+    cost = (
+        events["spans"] * units["span_call_s"]
+        + events["metric_updates"] * units["metric_update_s"]
+    )
+    assert cost / wall < MAX_DISABLED_OVERHEAD
+    assert events["spans"] > 0  # enabled run actually traced something
+
+
+def test_tracing_toggle_restores_env_default():
+    before = obs.tracing_enabled()
+    obs.set_tracing(True)
+    assert obs.tracing_enabled()
+    obs.set_tracing(None)
+    assert obs.tracing_enabled() == before
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (2 if args.quick else 3)
+    results = run(args.quick, repeats)
+    report(results)
+    if args.out:
+        pathlib.Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""CI regression gate: compare a fresh benchmark JSON against a baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py candidate.json baseline.json \
+        [--tolerance 0.25]
+
+Both files are ``--out`` captures of the same benchmark (``meta.experiment``
+must match). Two classes of checks:
+
+* **Behavior gates** — machine-independent invariants that must hold on
+  any host: zero densify fallbacks, parity errors within 1e-9, compact
+  representations beating dense on peak bytes, the cost gate falling
+  back to serial below threshold and fanning out above it, byte totals
+  tracking the baseline. These always run.
+* **Wall-clock gates** — speedup comparisons against the baseline.
+  Wall-clock is only comparable between machines with the same hardware
+  parallelism, so these are **skipped automatically when
+  ``meta.cpu_count`` differs** between candidate and baseline (the
+  committed baselines were captured on a 1-CPU builder; CI runners
+  usually have more cores). Even on matching hardware, quick-mode
+  timings of ratio metrics are noisy, so the default gate is
+  *categorical*: a baseline win (speedup >= 1.25) must stay a win
+  (>= 1.0); baselines that never claimed a win are informational.
+  ``--strict`` switches to ratio comparison within ``--tolerance``.
+
+Exit status: 0 when every applicable check passes, 1 otherwise (the CI
+job fails). Every check prints one line, so the workflow log is the
+regression report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+PARITY_BOUND = 1e-9
+
+#: a baseline speedup at/above this is a claimed win the gate protects.
+WIN_THRESHOLD = 1.25
+
+
+class Gate:
+    """Collects check results and renders the pass/fail report."""
+
+    def __init__(self) -> None:
+        self.failures: list[str] = []
+        self.passed = 0
+        self.skipped = 0
+
+    def check(self, ok: bool, label: str) -> None:
+        if ok:
+            self.passed += 1
+            print(f"  ok    {label}")
+        else:
+            self.failures.append(label)
+            print(f"  FAIL  {label}")
+
+    def skip(self, label: str) -> None:
+        self.skipped += 1
+        print(f"  skip  {label}")
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _by_workload(results: list[dict]) -> dict[str, dict]:
+    return {entry["workload"]: entry for entry in results}
+
+
+def _close(candidate: float, baseline: float, tol: float) -> bool:
+    """candidate within (1 +/- tol) of baseline; degenerate values fail."""
+    if not (math.isfinite(candidate) and math.isfinite(baseline)):
+        return False
+    if baseline == 0:
+        return candidate == 0
+    return abs(candidate / baseline - 1.0) <= tol
+
+
+def _no_worse(candidate: float, baseline: float, tol: float) -> bool:
+    """Speedup-style metric: candidate may exceed the baseline freely."""
+    if not (math.isfinite(candidate) and math.isfinite(baseline)):
+        return False
+    return candidate >= baseline * (1.0 - tol)
+
+
+def _wall_gate(
+    g: Gate,
+    label: str,
+    candidate: float,
+    baseline: float,
+    tol: float,
+    wall: bool,
+    strict: bool,
+) -> None:
+    """One wall-clock speedup comparison under the gating policy."""
+    if not wall:
+        g.skip(label + " (cpu_count differs)")
+        return
+    if strict:
+        g.check(_no_worse(candidate, baseline, tol), label)
+        return
+    if baseline >= WIN_THRESHOLD:
+        g.check(candidate >= 1.0, label + " (baseline win preserved)")
+    else:
+        g.skip(label + " (baseline not a win; informational)")
+
+
+# ----------------------------------------------------------------------
+# E18 — cost-aware parallel engine
+# ----------------------------------------------------------------------
+def check_e18(
+    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
+) -> None:
+    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
+    g.check(
+        set(cw) == set(bw),
+        f"workload set matches baseline ({sorted(cw)})",
+    )
+    cross = cw.get("threshold_crossover")
+    base_cross = bw.get("threshold_crossover")
+    if cross and base_cross:
+        base_points = {p["n_rows"]: p for p in base_cross["points"]}
+        for p in cross["points"]:
+            bp = base_points.get(p["n_rows"])
+            if bp is None:
+                g.check(False, f"crossover point n={p['n_rows']} in baseline")
+                continue
+            g.check(
+                p["above_threshold"] == bp["above_threshold"],
+                f"cost-gate decision unchanged at n={p['n_rows']} "
+                f"({'parallel' if p['above_threshold'] else 'serial'})",
+            )
+            if p["above_threshold"]:
+                g.check(
+                    p["parallel_calls"] >= 1,
+                    f"above-threshold n={p['n_rows']} dispatched in parallel",
+                )
+            else:
+                g.check(
+                    p["serial_fallbacks"] >= 1 and p["parallel_calls"] == 0,
+                    f"below-threshold n={p['n_rows']} stayed serial",
+                )
+    for name in sorted(set(cw) & set(bw) - {"threshold_crossover"}):
+        rows = {r["threads"]: r for r in cw[name].get("by_threads", [])}
+        base_rows = {r["threads"]: r for r in bw[name].get("by_threads", [])}
+        for threads in sorted(set(rows) & set(base_rows)):
+            _wall_gate(
+                g,
+                f"{name}@{threads}t speedup "
+                f"{rows[threads]['speedup']:.2f} vs baseline "
+                f"{base_rows[threads]['speedup']:.2f}",
+                rows[threads]["speedup"],
+                base_rows[threads]["speedup"],
+                tol,
+                wall,
+                strict,
+            )
+
+
+# ----------------------------------------------------------------------
+# E19 — representation-aware execution
+# ----------------------------------------------------------------------
+def check_e19(
+    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
+) -> None:
+    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
+    g.check(
+        set(cw) == set(bw),
+        f"workload set matches baseline ({sorted(cw)})",
+    )
+    for name in sorted(cw):
+        entry = cw[name]
+        g.check(
+            entry.get("densify_fallbacks", -1) == 0,
+            f"{name}: zero densify fallbacks",
+        )
+        if "max_weight_error" in entry:
+            g.check(
+                entry["max_weight_error"] <= PARITY_BOUND,
+                f"{name}: weight parity {entry['max_weight_error']:.1e} "
+                f"<= {PARITY_BOUND:.0e}",
+            )
+        if "inertia_rel_error" in entry:
+            g.check(
+                entry["inertia_rel_error"] <= PARITY_BOUND,
+                f"{name}: inertia parity {entry['inertia_rel_error']:.1e} "
+                f"<= {PARITY_BOUND:.0e}",
+            )
+        rep_kind = name.split("/")[-1]
+        if rep_kind in ("cla", "factorized"):
+            g.check(
+                entry["rep_peak_bytes"] < entry["dense_peak_bytes"],
+                f"{name}: rep peak {entry['rep_peak_bytes']:,}B < dense "
+                f"{entry['dense_peak_bytes']:,}B",
+            )
+        base_entry = bw.get(name)
+        if base_entry is None:
+            continue
+        g.check(
+            _close(entry["rep_peak_bytes"], base_entry["rep_peak_bytes"], tol),
+            f"{name}: rep peak bytes track baseline "
+            f"({entry['rep_peak_bytes']:,} vs {base_entry['rep_peak_bytes']:,})",
+        )
+        for metric in ("loop_speedup", "end_to_end_speedup"):
+            _wall_gate(
+                g,
+                f"{name}: {metric} {entry[metric]:.2f} vs baseline "
+                f"{base_entry[metric]:.2f}",
+                entry[metric],
+                base_entry[metric],
+                tol,
+                wall,
+                strict,
+            )
+
+
+CHECKERS = {"E18": check_e18, "E19": check_e19}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("candidate", help="fresh --out capture to validate")
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative slack for ratio comparisons (default 0.25)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="gate wall-clock speedups as ratios within --tolerance instead "
+        "of the categorical win-preserved policy",
+    )
+    args = parser.parse_args(argv)
+
+    cand, base = _load(args.candidate), _load(args.baseline)
+    experiment = cand.get("meta", {}).get("experiment")
+    base_experiment = base.get("meta", {}).get("experiment")
+    if experiment != base_experiment:
+        print(
+            f"error: candidate is {experiment!r} but baseline is "
+            f"{base_experiment!r}"
+        )
+        return 1
+    checker = CHECKERS.get(experiment)
+    if checker is None:
+        print(f"error: no regression checks registered for {experiment!r} "
+              f"(known: {sorted(CHECKERS)})")
+        return 1
+
+    cand_cpus = cand.get("meta", {}).get("cpu_count")
+    base_cpus = base.get("meta", {}).get("cpu_count")
+    wall = cand_cpus is not None and cand_cpus == base_cpus
+    print(
+        f"{experiment}: candidate cpus={cand_cpus}, baseline cpus={base_cpus}"
+        f" -> wall-clock gates {'ON' if wall else 'SKIPPED'}"
+    )
+
+    gate = Gate()
+    checker(cand, base, args.tolerance, wall, args.strict, gate)
+    print(
+        f"\n{experiment}: {gate.passed} passed, {gate.skipped} skipped, "
+        f"{len(gate.failures)} failed"
+    )
+    if gate.failures:
+        print("failing checks:")
+        for failure in gate.failures:
+            print(f"  - {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -21,6 +21,11 @@ def bench_metadata(experiment: str) -> dict:
     Records the knobs that make two benchmark captures comparable:
     hardware parallelism, the ``REPRO_NUM_THREADS`` override (if any),
     the parallel backend defaults, and interpreter/library versions.
+
+    ``cpu_count`` is load-bearing: ``check_regression.py`` compares
+    wall-clock speedups only between captures whose core counts match
+    (the committed quick baselines were captured on a 1-CPU builder, so
+    multi-core CI runners gate on behavior metrics alone).
     """
     import numpy as np
 
@@ -39,6 +44,8 @@ def bench_metadata(experiment: str) -> dict:
         "default_threshold": default_cost_threshold(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "machine": platform.machine(),
+        "tracing": os.environ.get("REPRO_TRACE") in ("1", "true", "yes", "on"),
     }
 
 

@@ -6,6 +6,7 @@ Usage::
     python benchmarks/run_experiments.py            # all experiments
     python benchmarks/run_experiments.py E1 E3      # a subset
     python benchmarks/run_experiments.py --list     # registry with titles
+    python benchmarks/run_experiments.py --report out.json   # + obs reports
 
 Each experiment registers itself with the :func:`experiment` decorator;
 the tag list and ``--list`` output derive from that registry, so adding
@@ -14,14 +15,29 @@ surveyed system's paper reports (speedup vs. a parameter sweep,
 compression ratios per data regime, cost-vs-quality of search
 strategies, ...). EXPERIMENTS.md records a captured run of this script
 next to the surveyed papers' claims.
+
+Every experiment runs inside a fresh :mod:`repro.obs` scope (metrics
+reset, one ``experiment.<tag>`` root span). ``--report PATH`` writes one
+consolidated JSON document — per-experiment span trees (populated when
+``REPRO_TRACE=1``) plus the full metrics registry — which is the
+artifact CI uploads and the regression gate inspects.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import pathlib
 import sys
 import time
 
 import numpy as np
+
+try:
+    from repro import obs
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+    from repro import obs
 
 #: tag -> (runner, one-line title); populated by @experiment
 EXPERIMENTS: dict[str, tuple] = {}
@@ -605,22 +621,77 @@ def e19_repr_exec():
     bench_repr_exec.report(results)
 
 
+@experiment("E20", "Observability overhead: disabled-path bound on E19 quick")
+def e20_obs_overhead():
+    """Delegate to the dedicated microbenchmark (kept quick here)."""
+    import bench_obs_overhead
+
+    _header("E20", "Observability overhead: disabled-path bound on E19 quick")
+    results = bench_obs_overhead.run(quick=True, repeats=2)
+    bench_obs_overhead.report(results)
+
+
 def _registry_lines() -> list[str]:
     return [f"{tag:>5}  {title}" for tag, (_, title) in EXPERIMENTS.items()]
 
 
+def _run_one(tag: str) -> dict:
+    """Run one experiment in a fresh obs scope; return its obs report."""
+    runner, title = EXPERIMENTS[tag]
+    obs.reset()
+    start = time.perf_counter()
+    with obs.span(f"experiment.{tag}", title=title):
+        runner()
+    wall = time.perf_counter() - start
+    doc = obs.report()
+    doc["experiment"] = tag
+    doc["title"] = title
+    doc["wall_seconds"] = wall
+    return doc
+
+
 def main(argv: list[str]) -> int:
-    if any(a in ("--list", "-l") for a in argv):
+    parser = argparse.ArgumentParser(
+        description="Regenerate the DESIGN.md experiment tables."
+    )
+    parser.add_argument("tags", nargs="*", help="experiment tags (default all)")
+    parser.add_argument(
+        "--list", "-l", action="store_true", help="show the registry and exit"
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write one consolidated obs JSON report (span trees need "
+        "REPRO_TRACE=1) covering every experiment run",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
         print("\n".join(_registry_lines()))
         return 0
-    requested = [a.upper() for a in argv] or list(EXPERIMENTS)
+    requested = [a.upper() for a in args.tags] or list(EXPERIMENTS)
     unknown = [r for r in requested if r not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; known:")
         print("\n".join(_registry_lines()))
         return 2
-    for tag in requested:
-        EXPERIMENTS[tag][0]()
+    reports = {tag: _run_one(tag) for tag in requested}
+    if args.report:
+        from conftest import bench_metadata
+
+        payload = {
+            "schema": "repro.obs/report-bundle/v1",
+            "meta": {
+                **bench_metadata("run_experiments"),
+                "tracing": obs.tracing_enabled(),
+                "experiments_run": requested,
+            },
+            "experiments": reports,
+        }
+        pathlib.Path(args.report).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(f"\nwrote {args.report}")
     print()
     return 0
 

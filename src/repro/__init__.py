@@ -22,6 +22,7 @@ Subpackages:
 * ``repro.sparse``       — CSR sparse linear-algebra substrate
 * ``repro.algorithms``   — algorithm scripts authored in the DSL
 * ``repro.distributed``  — simulated data-parallel / parameter-server training
+* ``repro.obs``          — unified tracing + metrics (spans, registry, reports)
 """
 
 __version__ = "1.0.0"
@@ -39,6 +40,7 @@ from . import (
     lang,
     lifecycle,
     ml,
+    obs,
     runtime,
     selection,
     sparse,
@@ -59,6 +61,7 @@ __all__ = [
     "lang",
     "lifecycle",
     "ml",
+    "obs",
     "runtime",
     "selection",
     "sparse",

@@ -73,9 +73,22 @@ class CompressedMatrix:
         parallel: bool | ParallelContext = False,
     ) -> "CompressedMatrix":
         """Plan and encode a dense matrix."""
+        from ..obs import get_registry, span
+
         X = np.asarray(X, dtype=np.float64)
-        plan = plan_matrix(X, sample_fraction, exact, cocode, seed)
-        return cls(X.shape, build_groups(X, plan), plan, parallel=parallel)
+        with span(
+            "compression.compress", rows=X.shape[0], cols=X.shape[1]
+        ) as compress_span:
+            plan = plan_matrix(X, sample_fraction, exact, cocode, seed)
+            matrix = cls(
+                X.shape, build_groups(X, plan), plan, parallel=parallel
+            )
+        registry = get_registry()
+        registry.inc("compression.compressions")
+        registry.inc("compression.compressed_bytes", matrix.compressed_bytes)
+        registry.inc("compression.dense_bytes", matrix.dense_bytes)
+        compress_span.set("ratio", matrix.compression_ratio)
+        return matrix
 
     # ------------------------------------------------------------------
     # Parallel dispatch

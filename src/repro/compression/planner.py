@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CompressionError
+from ..obs import get_registry, span
 from .colgroup import ColumnGroup, UncompressedGroup
 from .ddc import DDCGroup, estimated_ddc_bytes
 from .estimators import (
@@ -100,28 +101,65 @@ def plan_matrix(
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2 or X.shape[1] == 0:
         raise CompressionError(f"expected a non-empty 2-D matrix, got {X.shape}")
-    plans = [
-        plan_column(X[:, j], sample_fraction, exact, seed=seed + j, index=j)
-        for j in range(X.shape[1])
-    ]
+    with span(
+        "compression.plan_matrix",
+        rows=X.shape[0],
+        cols=X.shape[1],
+        sample_fraction=sample_fraction,
+        exact=exact,
+    ) as plan_span:
+        plans = [
+            plan_column(X[:, j], sample_fraction, exact, seed=seed + j, index=j)
+            for j in range(X.shape[1])
+        ]
 
-    groups: list[tuple[str, list[int]]] = []
-    uncompressed = [p.index for p in plans if p.scheme == "uncompressed"]
-    if uncompressed:
-        groups.append(("uncompressed", uncompressed))
+        groups: list[tuple[str, list[int]]] = []
+        uncompressed = [p.index for p in plans if p.scheme == "uncompressed"]
+        if uncompressed:
+            groups.append(("uncompressed", uncompressed))
+        for p in plans:
+            if p.scheme in ("ole", "rle"):
+                groups.append((p.scheme, [p.index]))
+
+        ddc_cols = [p for p in plans if p.scheme == "ddc"]
+        if cocode and len(ddc_cols) > 1:
+            groups.extend(
+                ("ddc", members)
+                for members in _cocode_ddc(X, ddc_cols, sample_fraction, seed)
+            )
+        else:
+            groups.extend(("ddc", [p.index]) for p in ddc_cols)
+        _publish_plan(plans, groups, sample_fraction, exact, plan_span)
+        return CompressionPlan(columns=plans, groups=groups)
+
+
+def _publish_plan(
+    plans: list[ColumnPlan],
+    groups: list[tuple[str, list[int]]],
+    sample_fraction: float,
+    exact: bool,
+    plan_span,
+) -> None:
+    """Record sampling knobs + chosen encodings in the metrics registry."""
+    registry = get_registry()
+    registry.inc("compression.plans")
+    registry.inc("compression.columns_planned", len(plans))
+    registry.set_gauge(
+        "compression.sample_fraction", 1.0 if exact else sample_fraction
+    )
     for p in plans:
-        if p.scheme in ("ole", "rle"):
-            groups.append((p.scheme, [p.index]))
-
-    ddc_cols = [p for p in plans if p.scheme == "ddc"]
-    if cocode and len(ddc_cols) > 1:
-        groups.extend(
-            ("ddc", members)
-            for members in _cocode_ddc(X, ddc_cols, sample_fraction, seed)
-        )
-    else:
-        groups.extend(("ddc", [p.index]) for p in ddc_cols)
-    return CompressionPlan(columns=plans, groups=groups)
+        registry.inc(f"compression.scheme.{p.scheme}")
+    registry.inc("compression.groups", len(groups))
+    cocoded = sum(
+        len(members) for scheme, members in groups
+        if scheme == "ddc" and len(members) > 1
+    )
+    registry.inc("compression.cocoded_columns", cocoded)
+    plan_span.set("groups", len(groups))
+    plan_span.set("cocoded_columns", cocoded)
+    plan_span.set(
+        "schemes", ",".join(sorted({scheme for scheme, _ in groups}))
+    )
 
 
 def _cocode_ddc(

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..ml.losses import Loss
+from ..obs import get_registry, span
 from ..runtime.parallel import ParallelContext, resolve_context
 from .partition import Partition, partition_rows
 
@@ -132,34 +133,48 @@ class SimulatedCluster:
         return len(self.workers)
 
     def _account_round(self) -> None:
-        """One BSP round: broadcast w down, gather one vector per worker."""
+        """One BSP round: broadcast w down, gather one vector per worker.
+
+        The per-cluster :class:`CommStats` ledger stays the API callers
+        read; the same quantities accumulate in the global ``cluster.*``
+        metrics so run reports see communication across all clusters.
+        """
         self.comm.rounds += 1
         self.comm.messages += 2 * self.num_workers
         vector_bytes = self.dim * BYTES_PER_FLOAT
         self.comm.bytes_broadcast += vector_bytes * self.num_workers
         self.comm.bytes_gathered += vector_bytes * self.num_workers
+        registry = get_registry()
+        registry.inc("cluster.rounds")
+        registry.inc("cluster.messages", 2 * self.num_workers)
+        registry.inc(
+            "cluster.bytes_broadcast", vector_bytes * self.num_workers
+        )
+        registry.inc("cluster.bytes_gathered", vector_bytes * self.num_workers)
 
     def global_gradient(self, loss: Loss, w: np.ndarray) -> np.ndarray:
         """Exact full-data mean gradient via one BSP round."""
-        self._account_round()
-        total = np.zeros(self.dim)
-        count = 0
-        results = self._worker_results(
-            partial(_worker_gradient, loss, w), site="cluster.gradient"
-        )
-        for grad, n in results:
-            total += grad
-            count += n
-        return total / count
+        with span("cluster.gradient", workers=self.num_workers, dim=self.dim):
+            self._account_round()
+            total = np.zeros(self.dim)
+            count = 0
+            results = self._worker_results(
+                partial(_worker_gradient, loss, w), site="cluster.gradient"
+            )
+            for grad, n in results:
+                total += grad
+                count += n
+            return total / count
 
     def global_loss(self, loss: Loss, w: np.ndarray) -> float:
-        self._account_round()
-        total = 0.0
-        count = 0
-        results = self._worker_results(
-            partial(_worker_loss, loss, w), site="cluster.loss"
-        )
-        for value, n in results:
-            total += value
-            count += n
-        return total / count
+        with span("cluster.loss", workers=self.num_workers, dim=self.dim):
+            self._account_round()
+            total = 0.0
+            count = 0
+            results = self._worker_results(
+                partial(_worker_loss, loss, w), site="cluster.loss"
+            )
+            for value, n in results:
+                total += value
+                count += n
+            return total / count

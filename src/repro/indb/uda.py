@@ -22,6 +22,7 @@ from typing import Generic, Sequence, TypeVar
 import numpy as np
 
 from ..errors import StorageError
+from ..obs import get_registry, span
 from ..runtime.parallel import (
     PYTHON_CALL_FLOPS,
     ParallelContext,
@@ -121,17 +122,29 @@ def run_uda(
 
     fold = partial(_fold_partition, uda, data)
     ctx = resolve_context(parallel, context)
-    if ctx is not None and len(spans) > 1:
-        states = ctx.pmap(
-            fold,
-            spans,
-            cost_hint=estimate_uda_cost(n, data.shape[1]),
-            site="indb.run_uda",
-        )
-    else:
-        states = [fold(span) for span in spans]
+    registry = get_registry()
+    registry.inc("uda.runs")
+    registry.inc("uda.rows", n)
+    registry.inc("uda.partitions", len(spans))
+    with span(
+        "indb.run_uda",
+        uda=type(uda).__name__,
+        rows=n,
+        cols=data.shape[1],
+        partitions=len(spans),
+        parallel=ctx is not None,
+    ):
+        if ctx is not None and len(spans) > 1:
+            states = ctx.pmap(
+                fold,
+                spans,
+                cost_hint=estimate_uda_cost(n, data.shape[1]),
+                site="indb.run_uda",
+            )
+        else:
+            states = [fold(row_span) for row_span in spans]
 
-    return uda.finalize(merge_tree(uda.merge, states))
+        return uda.finalize(merge_tree(uda.merge, states))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,109 @@
+"""Unified observability: tracing + metrics across every runtime layer.
+
+The surveyed systems drive their optimizers from runtime statistics —
+SystemML re-compiles on observed sparsity, Bismarck balances partitions
+on observed timings, selection managers budget on observed costs. This
+package is the one substrate those statistics flow through here:
+
+* :func:`span` — nested timed spans (``with span("executor.matmul",
+  rows=n):``), gated by ``REPRO_TRACE`` / :func:`set_tracing`; off by
+  default and nearly free when off.
+* :func:`counter` / :func:`gauge` / :func:`histogram` and the one-shot
+  :func:`inc` / :func:`set_gauge` / :func:`observe` — typed metrics in
+  the process-global, thread-safe, resettable :class:`MetricsRegistry`.
+* :func:`report` / :func:`write_report` — one JSON document holding the
+  span trees and every metric; what CI's regression gate reads.
+* :func:`reset` — clear spans + metrics (tests do this between cases).
+
+Instrumented layers: DSL executor, parallel engine, buffer pool /
+block store, UDA driver, compression planner, simulated cluster, and
+grid/random search. The pre-existing per-instance stats objects
+(``ExecutionStats``, ``ParallelStats``, ``PoolStats``, ``CommStats``)
+are unchanged views of single runs; they now dual-write into the
+registry so one exporter sees everything.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_metrics,
+)
+from .report import SCHEMA, report, reset, write_report
+from .trace import (
+    MAX_ROOT_SPANS,
+    Span,
+    annotate,
+    current_span,
+    dropped_span_count,
+    reset_trace,
+    set_tracing,
+    span,
+    span_roots,
+    tracing_enabled,
+)
+
+
+def counter(name: str) -> Counter:
+    """The named counter in the global registry (created on first use)."""
+    return get_registry().counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return get_registry().gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return get_registry().histogram(name)
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment the named global counter."""
+    get_registry().inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    get_registry().set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Add one observation to the named global histogram."""
+    get_registry().observe(name, value)
+
+
+def metric_value(name: str, default: float = 0.0) -> float:
+    """Read a counter/gauge value (histograms: mean) without creating it."""
+    return get_registry().value(name, default)
+
+
+__all__ = [
+    "MAX_ROOT_SPANS",
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "annotate",
+    "counter",
+    "current_span",
+    "dropped_span_count",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "inc",
+    "metric_value",
+    "observe",
+    "report",
+    "reset",
+    "reset_metrics",
+    "reset_trace",
+    "set_gauge",
+    "set_tracing",
+    "span",
+    "span_roots",
+    "tracing_enabled",
+    "write_report",
+]

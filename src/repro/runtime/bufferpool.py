@@ -5,6 +5,11 @@ and cache hot blocks in memory; iterative algorithms then hit the cache
 on every epoch after the first. This module simulates that memory
 hierarchy: a :class:`BlockStore` is the 'disk' (counting reads/writes) and
 the :class:`BufferPool` is a byte-budgeted LRU cache over it with pinning.
+
+Hits, misses, evictions, and store I/O are dual-written: the
+per-instance counters (:class:`PoolStats`, the store's attributes) stay
+per-run views, and the global :mod:`repro.obs` registry accumulates
+``bufferpool.*`` / ``blockstore.*`` series for run reports.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ExecutionError
+from ..obs import get_registry
 
 
 class BlockStore:
@@ -36,6 +42,9 @@ class BlockStore:
         self._blocks[block_id] = (data, array.shape)
         self.writes += 1
         self.bytes_written += len(data)
+        registry = get_registry()
+        registry.inc("blockstore.writes")
+        registry.inc("blockstore.bytes_written", len(data))
 
     def read(self, block_id: str) -> np.ndarray:
         if block_id not in self._blocks:
@@ -43,6 +52,9 @@ class BlockStore:
         data, shape = self._blocks[block_id]
         self.reads += 1
         self.bytes_read += len(data)
+        registry = get_registry()
+        registry.inc("blockstore.reads")
+        registry.inc("blockstore.bytes_read", len(data))
         return np.frombuffer(data, dtype=np.float64).reshape(shape).copy()
 
     def __contains__(self, block_id: str) -> bool:
@@ -98,9 +110,11 @@ class BufferPool:
         """Fetch a block, serving from cache when possible."""
         if block_id in self._cache:
             self.stats.hits += 1
+            get_registry().inc("bufferpool.hits")
             self._cache.move_to_end(block_id)
             return self._cache[block_id]
         self.stats.misses += 1
+        get_registry().inc("bufferpool.misses")
         array = self._store.read(block_id)
         self._admit(block_id, array)
         return array
@@ -140,5 +154,6 @@ class BufferPool:
                 self._used -= self._cache[victim].nbytes
                 del self._cache[victim]
                 self.stats.evictions += 1
+                get_registry().inc("bufferpool.evictions")
                 return True
         return False

@@ -25,6 +25,7 @@ import numpy as np
 from ..compiler.cost import node_flops, node_output_bytes
 from ..compiler.planner import CompiledPlan, compile_expr
 from ..errors import ExecutionError
+from ..obs import get_registry, span, tracing_enabled
 from ..lang.ast import (
     Aggregate,
     Binary,
@@ -139,24 +140,58 @@ def execute(
     stats = ExecutionStats()
     memo: dict[int, object] = {}
     dense_cache: dict[int, np.ndarray] = {}
+    exec_span = span(
+        "executor.execute",
+        root=_node_label(plan.root),
+        inputs=len(plan.inputs),
+        force_dense=force_dense,
+    )
     try:
-        result = _eval(
-            plan.root, prepared, memo, stats, dense_cache, force_dense
-        )
-    finally:
-        for value in attached:
-            value.set_parallel(False)
+        with exec_span:
+            try:
+                result = _eval(
+                    plan.root, prepared, memo, stats, dense_cache, force_dense
+                )
+            finally:
+                for value in attached:
+                    value.set_parallel(False)
 
-    if repops.is_representation(result):
-        stats.note_convert(f"{repops.kind_of(result)}->dense(output)", 0)
-        result = repops.densify(result)
-    if plan.root.is_scalar:
-        out = float(result[0, 0])
-    else:
-        out = result
+            if repops.is_representation(result):
+                stats.note_convert(
+                    f"{repops.kind_of(result)}->dense(output)", 0
+                )
+                result = repops.densify(result)
+            if plan.root.is_scalar:
+                out = float(result[0, 0])
+            else:
+                out = result
+    finally:
+        _publish_execution(stats, exec_span)
     if collect_stats:
         return out, stats
     return out
+
+
+def _publish_execution(stats: ExecutionStats, exec_span) -> None:
+    """Flush one execution's stats into the global metrics registry.
+
+    ``ExecutionStats`` stays the per-run view callers already consume;
+    the registry accumulates across runs so one report sees every layer.
+    """
+    registry = get_registry()
+    registry.inc("executor.executions")
+    registry.inc("executor.ops", stats.total_ops)
+    registry.inc("executor.flops", stats.flops)
+    registry.inc("executor.intermediate_bytes", stats.intermediate_bytes)
+    registry.inc(
+        "executor.native_repr_ops", sum(stats.native_repr_ops.values())
+    )
+    registry.inc("executor.densify_fallbacks", stats.fallback_count)
+    registry.inc("executor.converts", sum(stats.converts.values()))
+    exec_span.set("ops", stats.total_ops)
+    exec_span.set("flops", stats.flops)
+    exec_span.set("densify_fallbacks", stats.fallback_count)
+    exec_span.set("native_repr_ops", sum(stats.native_repr_ops.values()))
 
 
 def _prepare_bindings(
@@ -219,51 +254,71 @@ def _eval(
             _eval(c, bindings, memo, stats, dense_cache, force_dense)
             for c in node.children
         ]
-        if any(repops.is_representation(c) for c in children):
-            result = repops.eval_node(node, children, stats, dense_cache)
-            if repops.is_representation(result):
-                if tuple(result.shape) != node.shape:
-                    raise ExecutionError(
-                        f"representation kernel produced shape "
-                        f"{tuple(result.shape)} for node of shape {node.shape}"
-                    )
-                stats.record(
-                    _node_label(node), node, repops.operand_bytes(result)
-                )
-            else:
-                result = np.asarray(result, dtype=np.float64)
-                if result.shape != node.shape:
-                    result = np.broadcast_to(result, node.shape).copy()
-                stats.record(_node_label(node), node, result.nbytes)
+        if tracing_enabled():
+            with span(
+                "executor.op",
+                op=_node_label(node),
+                shape=str(node.shape),
+            ):
+                result = _eval_physical(node, children, stats, dense_cache)
         else:
-            if isinstance(node, Binary):
-                result = apply_binary(node.op, children[0], children[1])
-                stats.record(f"binary:{node.op}", node)
-            elif isinstance(node, Unary):
-                result = apply_unary(node.op, children[0])
-                stats.record(f"unary:{node.op}", node)
-            elif isinstance(node, MatMul):
-                result = children[0] @ children[1]
-                stats.record("matmul", node)
-            elif isinstance(node, Transpose):
-                result = children[0].T
-                stats.record("transpose", node)
-            elif isinstance(node, Aggregate):
-                result = apply_aggregate(node.op, children[0], node.axis)
-                stats.record(f"agg:{node.op}", node)
-            elif isinstance(node, Fused):
-                result = apply_fused(node.kind, children)
-                stats.record(f"fused:{node.kind}", node)
-            else:
-                raise ExecutionError(
-                    f"cannot execute node type {type(node).__name__}"
-                )
-            result = np.asarray(result, dtype=np.float64)
-            if result.shape != node.shape:
-                # Broadcasting of (1,1) scalars can shrink shapes; normalize.
-                result = np.broadcast_to(result, node.shape).copy()
+            result = _eval_physical(node, children, stats, dense_cache)
 
     memo[id(node)] = result
+    return result
+
+
+def _eval_physical(
+    node: Node,
+    children: list,
+    stats: ExecutionStats,
+    dense_cache: dict[int, np.ndarray],
+):
+    """Run one physical operator over already-evaluated children."""
+    if any(repops.is_representation(c) for c in children):
+        result = repops.eval_node(node, children, stats, dense_cache)
+        if repops.is_representation(result):
+            if tuple(result.shape) != node.shape:
+                raise ExecutionError(
+                    f"representation kernel produced shape "
+                    f"{tuple(result.shape)} for node of shape {node.shape}"
+                )
+            stats.record(
+                _node_label(node), node, repops.operand_bytes(result)
+            )
+        else:
+            result = np.asarray(result, dtype=np.float64)
+            if result.shape != node.shape:
+                result = np.broadcast_to(result, node.shape).copy()
+            stats.record(_node_label(node), node, result.nbytes)
+        return result
+
+    if isinstance(node, Binary):
+        result = apply_binary(node.op, children[0], children[1])
+        stats.record(f"binary:{node.op}", node)
+    elif isinstance(node, Unary):
+        result = apply_unary(node.op, children[0])
+        stats.record(f"unary:{node.op}", node)
+    elif isinstance(node, MatMul):
+        result = children[0] @ children[1]
+        stats.record("matmul", node)
+    elif isinstance(node, Transpose):
+        result = children[0].T
+        stats.record("transpose", node)
+    elif isinstance(node, Aggregate):
+        result = apply_aggregate(node.op, children[0], node.axis)
+        stats.record(f"agg:{node.op}", node)
+    elif isinstance(node, Fused):
+        result = apply_fused(node.kind, children)
+        stats.record(f"fused:{node.kind}", node)
+    else:
+        raise ExecutionError(
+            f"cannot execute node type {type(node).__name__}"
+        )
+    result = np.asarray(result, dtype=np.float64)
+    if result.shape != node.shape:
+        # Broadcasting of (1,1) scalars can shrink shapes; normalize.
+        result = np.broadcast_to(result, node.shape).copy()
     return result
 
 

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from ..errors import ReproError
+from ..obs import get_registry, span
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -313,22 +314,30 @@ class ParallelContext:
             site: label for the per-call ledger.
         """
         tasks = list(items)
-        start = time.perf_counter()
-        if not self.should_parallelize(len(tasks), cost_hint):
-            results = []
-            for item in tasks:
-                results.append(fn(item))
-            wall = time.perf_counter() - start
-            self._record(site, len(tasks), False, wall, wall)
-            return results
+        fan_out = self.should_parallelize(len(tasks), cost_hint)
+        with span(
+            "parallel.pmap",
+            site=site,
+            tasks=len(tasks),
+            parallel=fan_out,
+            workers=self.max_workers,
+        ):
+            start = time.perf_counter()
+            if not fan_out:
+                results = []
+                for item in tasks:
+                    results.append(fn(item))
+                wall = time.perf_counter() - start
+                self._record(site, len(tasks), False, wall, wall)
+                return results
 
-        pool = self._pool()
-        futures = [pool.submit(_timed_call, fn, item) for item in tasks]
-        timed = [f.result() for f in futures]
-        wall = time.perf_counter() - start
-        task_time = sum(dt for dt, _ in timed)
-        self._record(site, len(tasks), True, wall, task_time)
-        return [result for _, result in timed]
+            pool = self._pool()
+            futures = [pool.submit(_timed_call, fn, item) for item in tasks]
+            timed = [f.result() for f in futures]
+            wall = time.perf_counter() - start
+            task_time = sum(dt for dt, _ in timed)
+            self._record(site, len(tasks), True, wall, task_time)
+            return [result for _, result in timed]
 
     def note_serial(self, site: str, tasks: int, wall_time: float) -> None:
         """Record a serial fallback executed outside ``pmap``.
@@ -345,6 +354,20 @@ class ParallelContext:
     ) -> None:
         with self._lock:
             self.stats.observe(site, tasks, parallel, wall, work)
+        # Dual-write into the global registry: per-context ParallelStats
+        # stays the per-pool ledger, the registry is what reports read.
+        registry = get_registry()
+        registry.inc("parallel.calls")
+        registry.inc("parallel.tasks_dispatched", tasks)
+        registry.inc(f"parallel.sites.{site}.calls")
+        if parallel:
+            registry.inc("parallel.parallel_calls")
+            registry.observe("parallel.wall_time_s", wall)
+            registry.observe("parallel.task_time_s", work)
+            if wall > 0:
+                registry.observe("parallel.utilization", work / wall)
+        else:
+            registry.inc("parallel.serial_fallbacks")
 
 
 # ----------------------------------------------------------------------
@@ -361,6 +384,8 @@ def merge_tree(merge: Callable[[T, T], T], items: Sequence[T]) -> T:
     level = list(items)
     if not level:
         raise ReproError("merge_tree needs at least one item")
+    leaves = len(level)
+    depth = 0
     while len(level) > 1:
         paired = [
             merge(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
@@ -368,6 +393,11 @@ def merge_tree(merge: Callable[[T, T], T], items: Sequence[T]) -> T:
         if len(level) % 2:
             paired.append(level[-1])
         level = paired
+        depth += 1
+    registry = get_registry()
+    registry.inc("parallel.merge_tree.calls")
+    registry.inc("parallel.merge_tree.leaves", leaves)
+    registry.observe("parallel.merge_tree.depth", depth)
     return level[0]
 
 

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import SelectionError
 from ..ml.base import Estimator
+from ..obs import get_registry, span
 from ..runtime.parallel import (
     PYTHON_CALL_FLOPS,
     ParallelContext,
@@ -130,17 +131,23 @@ def _evaluate_configs(
     computed inside its own task, so serial and parallel runs produce
     identical evaluation lists (and therefore identical best configs).
     """
-    if ctx is None or len(configs) < 2:
-        return [_evaluate(estimator, p, X, y, cv) for p in configs]
-    # Materialize folds once up front: every task then reads the cached
-    # plan instead of racing to build it.
-    cv.folds(len(X))
-    return ctx.pmap(
-        partial(_evaluate, estimator, X=X, y=y, cv=cv),
-        configs,
-        cost_hint=search_cost_hint(X, cv, len(configs)),
-        site=site,
-    )
+    registry = get_registry()
+    registry.inc("selection.searches")
+    registry.inc("selection.configs_evaluated", len(configs))
+    with span(
+        site, configs=len(configs), folds=cv.n_splits, parallel=ctx is not None
+    ):
+        if ctx is None or len(configs) < 2:
+            return [_evaluate(estimator, p, X, y, cv) for p in configs]
+        # Materialize folds once up front: every task then reads the cached
+        # plan instead of racing to build it.
+        cv.folds(len(X))
+        return ctx.pmap(
+            partial(_evaluate, estimator, X=X, y=y, cv=cv),
+            configs,
+            cost_hint=search_cost_hint(X, cv, len(configs)),
+            site=site,
+        )
 
 
 def grid_search(

@@ -5,12 +5,27 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.data import (
     make_classification,
     make_regression,
     make_star_schema,
 )
 from repro.storage import Table
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Isolate tests from the process-global metrics registry and tracer.
+
+    Instrumented layers publish into shared state, so without this a test
+    would see counters accumulated by whichever tests ran before it.
+    """
+    obs.reset()
+    obs.set_tracing(None)  # re-read REPRO_TRACE, undo explicit toggles
+    yield
+    obs.reset()
+    obs.set_tracing(None)
 
 
 @pytest.fixture
