@@ -220,7 +220,60 @@ def check_e19(
             )
 
 
-CHECKERS = {"E18": check_e18, "E19": check_e19}
+# ----------------------------------------------------------------------
+# E21 — fault-tolerant execution
+# ----------------------------------------------------------------------
+def check_e21(
+    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
+) -> None:
+    """All E21 gates are behavior gates: completion, parity, and the
+    event-count overhead bound are machine-independent by design."""
+    summary = cand.get("summary", {})
+    g.check(
+        summary.get("completion_rate") == 1.0,
+        f"completion rate {summary.get('completion_rate')} == 1.0",
+    )
+    g.check(
+        summary.get("identical_all") is True,
+        "every recovered run bit-identical to fault-free",
+    )
+    overhead = cand.get("overhead", {})
+    g.check(
+        overhead.get("estimated_overhead_pct", float("inf"))
+        < overhead.get("bound_pct", 3.0),
+        f"disabled-path overhead "
+        f"{overhead.get('estimated_overhead_pct', float('nan')):.3f}% < "
+        f"{overhead.get('bound_pct', 3.0):.0f}%",
+    )
+    chaos_entries = [e for e in cand["results"] if "fault_rate" in e]
+    g.check(
+        any(
+            e.get("faults_injected", 0) > 0
+            for e in chaos_entries
+            if e["fault_rate"] >= 0.2
+        ),
+        "faults actually injected at the 20% rate",
+    )
+    for entry in cand["results"]:
+        g.check(
+            entry.get("completed") is True and entry.get("identical") is True,
+            f"{entry['workload']}"
+            + (
+                f" @ {entry['fault_rate']:.0%}"
+                if "fault_rate" in entry
+                else ""
+            )
+            + ": completed and identical",
+        )
+    base_names = [e["workload"] for e in base["results"]]
+    cand_names = [e["workload"] for e in cand["results"]]
+    g.check(
+        cand_names == base_names,
+        f"workload list matches baseline ({len(cand_names)} entries)",
+    )
+
+
+CHECKERS = {"E18": check_e18, "E19": check_e19, "E21": check_e21}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -631,6 +631,16 @@ def e20_obs_overhead():
     bench_obs_overhead.report(results)
 
 
+@experiment("E21", "Fault-tolerant execution: chaos completion and overhead")
+def e21_resilience():
+    """Delegate to the dedicated chaos benchmark (kept quick here)."""
+    import bench_resilience
+
+    _header("E21", "Fault-tolerant execution: chaos completion and overhead")
+    results = bench_resilience.run(quick=True, repeats=2)
+    bench_resilience.report(results)
+
+
 def _registry_lines() -> list[str]:
     return [f"{tag:>5}  {title}" for tag, (_, title) in EXPERIMENTS.items()]
 

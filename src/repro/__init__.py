@@ -23,6 +23,7 @@ Subpackages:
 * ``repro.algorithms``   — algorithm scripts authored in the DSL
 * ``repro.distributed``  — simulated data-parallel / parameter-server training
 * ``repro.obs``          — unified tracing + metrics (spans, registry, reports)
+* ``repro.resilience``   — fault injection, retry/recovery, checkpoint/restore
 """
 
 __version__ = "1.0.0"
@@ -41,6 +42,7 @@ from . import (
     lifecycle,
     ml,
     obs,
+    resilience,
     runtime,
     selection,
     sparse,
@@ -62,6 +64,7 @@ __all__ = [
     "lifecycle",
     "ml",
     "obs",
+    "resilience",
     "runtime",
     "selection",
     "sparse",

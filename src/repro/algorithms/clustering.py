@@ -9,12 +9,15 @@ centroid update run in the driver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from ..compiler import compile_expr
 from ..errors import ModelError
 from ..lang import matrix, rowsums
+from ..resilience.checkpoint import IterativeCheckpointer
+from ..resilience.retry import RetryPolicy, resilient_call
 from ..runtime import execute
 
 
@@ -48,12 +51,21 @@ def kmeans_dsl(
     max_iter: int = 100,
     tol: float = 1e-7,
     seed: int | None = 0,
+    checkpointer: IterativeCheckpointer | None = None,
+    retry: RetryPolicy | None = None,
 ) -> KMeansResult:
     """Lloyd's algorithm with compiled distance evaluation.
 
     ``X`` may be dense or any storage representation; the rep path
     gathers rows and centroid sums through ``rmatmat`` with one-hot
     indicators so the data never materializes.
+
+    With a ``checkpointer``, the run resumes from the newest valid
+    snapshot (centers + history), skipping re-initialization; each
+    Lloyd step is deterministic given the centers, so resumed runs end
+    bit-identical. With a ``retry`` policy, steps run through
+    :func:`~repro.resilience.retry.resilient_call` at site
+    ``"clustering.kmeans_dsl.step"``.
     """
     from ..runtime import repops
 
@@ -72,43 +84,79 @@ def kmeans_dsl(
     dist_expr = rowsums(Xm**2) - 2.0 * (Xm @ Cm.T) + rowsums(Cm**2).T
     dist_plan = compile_expr(dist_expr)
 
-    rng = np.random.default_rng(seed)
-    seed_rows = rng.choice(n, size=n_clusters, replace=False)
-    if is_rep:
-        centers = _gather_rows(X, seed_rows)
-    else:
-        centers = X[seed_rows].copy()
-
-    labels = np.zeros(n, dtype=np.int64)
-    history: list[float] = []
-    total_flops = 0
-    it = 0
-    for it in range(1, max_iter + 1):
+    def _step(current: np.ndarray):
+        """One Lloyd step, pure in the current centers."""
         D, stats = execute(
-            dist_plan, {"X": X, "C": centers}, collect_stats=True
+            dist_plan, {"X": X, "C": current}, collect_stats=True
         )
-        total_flops += stats.flops
-        labels = np.argmin(D, axis=1)
-        inertia = float(np.maximum(D[np.arange(n), labels], 0.0).sum())
-        history.append(inertia)
-
-        new_centers = centers.copy()
+        step_labels = np.argmin(D, axis=1)
+        inertia = float(
+            np.maximum(D[np.arange(n), step_labels], 0.0).sum()
+        )
+        new_centers = current.copy()
         if is_rep:
-            counts = np.bincount(labels, minlength=n_clusters)
-            sums = _cluster_sums(X, labels, n_clusters)
+            counts = np.bincount(step_labels, minlength=n_clusters)
+            sums = _cluster_sums(X, step_labels, n_clusters)
             nonempty = counts > 0
             new_centers[nonempty] = (
                 sums[nonempty] / counts[nonempty, None]
             )
         else:
             for k in range(n_clusters):
-                members = X[labels == k]
+                members = X[step_labels == k]
                 if len(members):
                     new_centers[k] = members.mean(axis=0)
-        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
-        centers = new_centers
-        if shift <= tol:
-            break
+        shift = float(np.max(np.linalg.norm(new_centers - current, axis=1)))
+        return new_centers, step_labels, inertia, shift, stats.flops
+
+    labels = np.zeros(n, dtype=np.int64)
+    history: list[float] = []
+    total_flops = 0
+    it = 0
+    start_it = 1
+    done = False
+    restored = None
+    if checkpointer is not None:
+        restored = checkpointer.load_latest()
+    if restored is not None:
+        it, state = restored
+        centers = state["centers"]
+        history = list(state["history"])
+        total_flops = state["flops"]
+        done = state["done"]
+        start_it = it + 1
+    else:
+        rng = np.random.default_rng(seed)
+        seed_rows = rng.choice(n, size=n_clusters, replace=False)
+        if is_rep:
+            centers = _gather_rows(X, seed_rows)
+        else:
+            centers = X[seed_rows].copy()
+    if not done:
+        for it in range(start_it, max_iter + 1):
+            centers, labels, inertia, shift, flops = resilient_call(
+                partial(_step, centers),
+                site="clustering.kmeans_dsl.step",
+                key=it,
+                retry=retry,
+            )
+            total_flops += flops
+            history.append(inertia)
+            done = shift <= tol
+            if checkpointer is not None and (
+                done or checkpointer.should_checkpoint(it)
+            ):
+                checkpointer.save(
+                    it,
+                    {
+                        "centers": centers,
+                        "history": list(history),
+                        "flops": total_flops,
+                        "done": done,
+                    },
+                )
+            if done:
+                break
 
     D, stats = execute(dist_plan, {"X": X, "C": centers}, collect_stats=True)
     total_flops += stats.flops

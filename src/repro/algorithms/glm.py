@@ -16,12 +16,15 @@ runs on the representation's native kernels without materializing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from ..compiler import compile_expr
 from ..errors import ModelError
 from ..lang import matrix, sigmoid
+from ..resilience.checkpoint import IterativeCheckpointer
+from ..resilience.retry import RetryPolicy, resilient_call
 from ..runtime import execute
 from ..runtime.executor import ExecutionStats
 
@@ -159,12 +162,22 @@ def logreg_gd(
     learning_rate: float = 1.0,
     max_iter: int = 200,
     tol: float = 1e-8,
+    checkpointer: IterativeCheckpointer | None = None,
+    retry: RetryPolicy | None = None,
 ) -> AlgorithmResult:
     """Logistic regression by gradient descent over compiled plans.
 
     Labels must be in {0, 1}. The loss and gradient are each one DSL
     program compiled once; the driver loop only rebinds ``w``.
     Uses the probability form: grad = t(X) %*% (sigmoid(Xw) - y) / n.
+
+    With a ``checkpointer``, finished iterations are persisted and a
+    fresh call resumes from the newest valid checkpoint — because each
+    step is a deterministic function of ``(w, history)``, the resumed
+    run's final model is bit-identical to an uninterrupted one. With a
+    ``retry`` policy, each step runs through
+    :func:`~repro.resilience.retry.resilient_call` at site
+    ``"glm.logreg_gd.step"`` and survives injected transient faults.
     """
     X = _prepare_design(X)
     y = _as_column(y)
@@ -184,31 +197,67 @@ def logreg_gd(
         base = float(np.mean(np.logaddexp(0.0, margins) - y * margins))
         return base + 0.5 * l2 * float(weights @ weights)
 
-    w = np.zeros(d)
-    history = [loss_value(w)]
-    total_flops = 0
-    converged = False
-    it = 0
-    for it in range(1, max_iter + 1):
-        g_col, s = execute(grad_plan, {"X": X, "w": w, "y": y}, collect_stats=True)
-        total_flops += s.flops
+    def _step(weights: np.ndarray, prev_value: float):
+        """One gradient step + line search, pure in its inputs."""
+        g_col, s = execute(
+            grad_plan, {"X": X, "w": weights, "y": y}, collect_stats=True
+        )
         g = g_col[:, 0]
         # Backtracking line search on the driver-side loss.
         step = learning_rate
         g_norm_sq = float(g @ g)
         for _ in range(30):
-            candidate = w - step * g
+            candidate = weights - step * g
             value = loss_value(candidate)
-            if value <= history[-1] - 1e-4 * step * g_norm_sq:
+            if value <= prev_value - 1e-4 * step * g_norm_sq:
                 break
             step *= 0.5
         else:
-            candidate, value = w, history[-1]
-        w = candidate
-        history.append(value)
-        if abs(history[-2] - value) / max(abs(history[-2]), 1e-12) < tol:
-            converged = True
-            break
+            candidate, value = weights, prev_value
+        return candidate, value, s.flops
+
+    w = np.zeros(d)
+    history = [loss_value(w)]
+    total_flops = 0
+    converged = False
+    it = 0
+    start_it = 1
+    if checkpointer is not None:
+        latest = checkpointer.load_latest()
+        if latest is not None:
+            it, state = latest
+            w = state["w"]
+            history = list(state["history"])
+            total_flops = state["flops"]
+            converged = state["converged"]
+            start_it = it + 1
+    if not converged:
+        for it in range(start_it, max_iter + 1):
+            w, value, flops = resilient_call(
+                partial(_step, w, history[-1]),
+                site="glm.logreg_gd.step",
+                key=it,
+                retry=retry,
+            )
+            total_flops += flops
+            history.append(value)
+            converged = (
+                abs(history[-2] - value) / max(abs(history[-2]), 1e-12) < tol
+            )
+            if checkpointer is not None and (
+                converged or checkpointer.should_checkpoint(it)
+            ):
+                checkpointer.save(
+                    it,
+                    {
+                        "w": w,
+                        "history": list(history),
+                        "flops": total_flops,
+                        "converged": converged,
+                    },
+                )
+            if converged:
+                break
     return AlgorithmResult(
         weights=w,
         iterations=it,

@@ -9,6 +9,15 @@ quantities — but workers can optionally execute their local compute
 concurrently on the shared worker pool (``parallel=True``), while the
 communication ledger and the reduced results stay deterministic:
 partials are always combined in worker order.
+
+Failure semantics mirror lineage-based recovery (MapReduce re-execution,
+Spark lineage, SystemML plan recompute): the cluster keeps the immutable
+shard assignment, so when a worker dies (``kill_worker``) or its RPC
+faults (chaos at site ``"cluster.worker"``), the *same deterministic
+request over the same shard* is re-executed by a survivor on behalf of
+the lost worker. Because partials are still combined in the original
+worker order, recovered rounds produce bit-identical reductions, and
+the comm ledger — including the recovery traffic — stays deterministic.
 """
 
 from __future__ import annotations
@@ -18,9 +27,10 @@ from functools import partial
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import InjectedFault, ReproError, WorkerFailure
 from ..ml.losses import Loss
 from ..obs import get_registry, span
+from ..resilience.faults import fault_point, no_chaos
 from ..runtime.parallel import ParallelContext, resolve_context
 from .partition import Partition, partition_rows
 
@@ -45,6 +55,9 @@ class CommStats:
     messages: int = 0
     bytes_broadcast: int = 0  # driver -> workers
     bytes_gathered: int = 0  # workers -> driver
+    worker_failures: int = 0  # failed RPCs (dead worker or injected fault)
+    lineage_recoveries: int = 0  # shard requests re-executed by a survivor
+    bytes_recovered: int = 0  # gather bytes re-sent during recovery
 
     @property
     def total_bytes(self) -> int:
@@ -59,6 +72,7 @@ class Worker:
         self.X = X
         self.y = y
         self.gradient_evaluations = 0
+        self.recoveries_executed = 0
 
     @property
     def num_rows(self) -> int:
@@ -110,23 +124,106 @@ class SimulatedCluster:
         self.dim = X.shape[1]
         self.n_rows = len(X)
         self.comm = CommStats()
+        self.dead: set[int] = set()
         self._parallel_ctx = resolve_context(parallel, context)
+
+    # ------------------------------------------------------------------
+    # failure semantics
+    def kill_worker(self, worker_id: int) -> None:
+        """Mark a worker as permanently down.
+
+        Its shard stays assigned (lineage): every subsequent request
+        for it is recomputed by a survivor until :meth:`revive_worker`.
+        """
+        if not any(w.worker_id == worker_id for w in self.workers):
+            raise ReproError(f"no worker with id {worker_id}")
+        self.dead.add(worker_id)
+        get_registry().inc("cluster.workers_killed")
+
+    def revive_worker(self, worker_id: int) -> None:
+        """Bring a killed worker back (no state is lost — shards are
+        immutable, so a revived worker serves its shard directly again)."""
+        self.dead.discard(worker_id)
+
+    def _attempt_request(self, fn, worker: "Worker") -> tuple[str, object]:
+        """One RPC to one worker, returning a status-tagged result.
+
+        Failures (dead worker, injected fault at ``cluster.worker``) are
+        returned as a sentinel rather than raised, so one lost worker
+        never aborts the whole gather — the driver recovers it instead.
+        """
+        try:
+            if worker.worker_id in self.dead:
+                raise WorkerFailure(f"worker {worker.worker_id} is down")
+            fault_point("cluster.worker", key=worker.worker_id)
+            return "ok", fn(worker)
+        except (WorkerFailure, InjectedFault) as exc:
+            return "failed", exc
+
+    def _recover_partial(self, fn, worker: "Worker", cause: BaseException):
+        """Lineage recovery: a survivor re-executes the lost request.
+
+        The recomputation runs over the *same shard* with the *same
+        deterministic function*, so the recovered partial is
+        bit-identical to what the lost worker would have produced, and
+        combining in worker order keeps the reduction exact.
+        """
+        survivor = next(
+            (w for w in self.workers if w.worker_id not in self.dead), None
+        )
+        if survivor is None:
+            raise WorkerFailure(
+                "no surviving worker to recover shard "
+                f"{worker.worker_id}"
+            ) from cause
+        survivor.recoveries_executed += 1
+        # Recovery traffic: re-send the request, re-gather one vector.
+        vector_bytes = self.dim * BYTES_PER_FLOAT
+        self.comm.messages += 2
+        self.comm.bytes_broadcast += vector_bytes
+        self.comm.bytes_gathered += vector_bytes
+        self.comm.bytes_recovered += vector_bytes
+        self.comm.lineage_recoveries += 1
+        registry = get_registry()
+        registry.inc("cluster.lineage_recoveries")
+        registry.inc("cluster.messages", 2)
+        with span(
+            "cluster.recover",
+            worker=worker.worker_id,
+            survivor=survivor.worker_id,
+        ):
+            # The recompute path is off the failed RPC path — chaos is
+            # masked so recovery terminates even at fault rate 1.0.
+            with no_chaos():
+                return fn(worker)
 
     def _worker_results(self, fn, site: str) -> list:
         """Run one request per worker, optionally concurrently.
 
         Results come back in worker order either way, so downstream
-        reductions are deterministic.
+        reductions are deterministic. Failed workers are recovered
+        lineage-style by :meth:`_recover_partial` before returning.
         """
         ctx = self._parallel_ctx
+        attempt = partial(self._attempt_request, fn)
         if ctx is not None and self.num_workers > 1:
-            return ctx.pmap(
-                fn,
+            wrapped = ctx.pmap(
+                attempt,
                 self.workers,
                 cost_hint=2.0 * self.n_rows * self.dim,
                 site=site,
             )
-        return [fn(worker) for worker in self.workers]
+        else:
+            wrapped = [attempt(worker) for worker in self.workers]
+        results = []
+        for worker, (status, payload) in zip(self.workers, wrapped):
+            if status == "ok":
+                results.append(payload)
+                continue
+            self.comm.worker_failures += 1
+            get_registry().inc("cluster.worker_failures")
+            results.append(self._recover_partial(fn, worker, payload))
+        return results
 
     @property
     def num_workers(self) -> int:

@@ -7,6 +7,15 @@ explicitly — each gradient is computed against the weights as of
 ``current_version - s`` with s drawn uniformly from [0, max_staleness] —
 so experiment E15 can sweep staleness and watch convergence degrade, the
 parameter-server trade-off the tutorial discusses.
+
+Fault tolerance mirrors real parameter servers (SSP/bounded staleness):
+the server can enforce a ``staleness_bound`` — a push whose base version
+is too far behind the current version is *rejected* rather than applied
+— and the training loop survives dropped pushes and failed pulls
+(injected at chaos sites ``"paramserver.push"`` / ``"paramserver.pull"``)
+by simply moving on: asynchronous SGD is tolerant of lost updates, which
+is exactly why the architecture scales. Workers killed at the cluster
+level are skipped deterministically.
 """
 
 from __future__ import annotations
@@ -15,8 +24,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import InjectedFault, ReproError, WorkerFailure
 from ..ml.losses import Loss
+from ..obs import get_registry
+from ..resilience.faults import fault_point
 from .cluster import BYTES_PER_FLOAT, CommStats, SimulatedCluster
 
 
@@ -27,6 +38,10 @@ class ParameterServerResult:
     loss_history: list[float] = field(default_factory=list)
     staleness_observed: list[int] = field(default_factory=list)
     comm: CommStats = field(default_factory=CommStats)
+    dropped_pushes: int = 0  # pushes lost to injected faults
+    failed_pulls: int = 0  # pulls lost to injected faults (step skipped)
+    rejected_pushes: int = 0  # pushes rejected by the staleness bound
+    worker_reassignments: int = 0  # steps rerouted off dead workers
 
     @property
     def final_loss(self) -> float:
@@ -40,12 +55,29 @@ class ParameterServerResult:
 
 
 class ParameterServer:
-    """Versioned weight store with a bounded history for stale reads."""
+    """Versioned weight store with a bounded history for stale reads.
 
-    def __init__(self, dim: int, history: int = 256):
+    Args:
+        dim: weight dimensionality.
+        history: how many versions are kept for stale pulls.
+        staleness_bound: if set, a push carrying ``base_version`` more
+            than this many versions behind the current one is rejected
+            (SSP-style bounded staleness). ``None`` accepts everything.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        history: int = 256,
+        staleness_bound: int | None = None,
+    ):
+        if staleness_bound is not None and staleness_bound < 0:
+            raise ReproError("staleness_bound must be >= 0 or None")
         self.dim = dim
         self._versions: list[np.ndarray] = [np.zeros(dim)]
         self._history = history
+        self.staleness_bound = staleness_bound
+        self.rejected_pushes = 0
 
     @property
     def version(self) -> int:
@@ -57,15 +89,30 @@ class ParameterServer:
 
     def pull(self, staleness: int = 0) -> tuple[np.ndarray, int]:
         """Weights as of ``version - staleness`` (clamped to history)."""
+        fault_point("paramserver.pull", key=self.version)
         staleness = int(min(staleness, self.version, self._history - 1))
         return self._versions[-(staleness + 1)], staleness
 
-    def push(self, delta: np.ndarray) -> None:
-        """Apply an additive update, creating a new version."""
+    def push(self, delta: np.ndarray, base_version: int | None = None) -> bool:
+        """Apply an additive update, creating a new version.
+
+        Returns False (without applying) when the update's
+        ``base_version`` violates the server's staleness bound.
+        """
+        fault_point("paramserver.push", key=self.version)
+        if (
+            self.staleness_bound is not None
+            and base_version is not None
+            and self.version - base_version > self.staleness_bound
+        ):
+            self.rejected_pushes += 1
+            get_registry().inc("paramserver.rejected_pushes")
+            return False
         new = self._versions[-1] + delta
         self._versions.append(new)
         if len(self._versions) > self._history:
             self._versions.pop(0)
+        return True
 
 
 def train_parameter_server(
@@ -79,37 +126,73 @@ def train_parameter_server(
     max_staleness: int = 0,
     loss_every: int = 50,
     seed: int | None = 0,
+    staleness_bound: int | None = None,
 ) -> ParameterServerResult:
     """Asynchronous SGD through a parameter server.
 
     ``max_staleness = 0`` reduces to fully-sequential (sequentially
     consistent) SGD; larger values let workers act on increasingly stale
-    weights.
+    weights. ``staleness_bound`` makes the server reject pushes based on
+    versions older than the bound (SSP); dropped pushes and failed pulls
+    from injected faults are tolerated — the loop moves on to the next
+    update, which is the asynchrony the architecture is built on.
     """
     if total_updates < 1:
         raise ReproError("total_updates must be >= 1")
     if max_staleness < 0:
         raise ReproError("max_staleness must be >= 0")
     rng = np.random.default_rng(seed)
-    server = ParameterServer(cluster.dim, history=max(max_staleness + 2, 8))
+    server = ParameterServer(
+        cluster.dim,
+        history=max(max_staleness + 2, 8),
+        staleness_bound=staleness_bound,
+    )
     result = ParameterServerResult(
         weights=server.current.copy(), updates_applied=0, comm=cluster.comm
     )
     result.loss_history.append(cluster.global_loss(loss, server.current))
 
     vector_bytes = cluster.dim * BYTES_PER_FLOAT
+    registry = get_registry()
     for step in range(1, total_updates + 1):
-        worker = cluster.workers[int(rng.integers(cluster.num_workers))]
+        pick = int(rng.integers(cluster.num_workers))
         requested = int(rng.integers(0, max_staleness + 1)) if max_staleness else 0
-        weights, actual = server.pull(requested)
+        if cluster.workers[pick].worker_id in cluster.dead:
+            # Deterministic reroute: next surviving worker in id order.
+            for offset in range(1, cluster.num_workers + 1):
+                candidate = (pick + offset) % cluster.num_workers
+                if cluster.workers[candidate].worker_id not in cluster.dead:
+                    pick = candidate
+                    result.worker_reassignments += 1
+                    registry.inc("paramserver.worker_reassignments")
+                    break
+            else:
+                raise WorkerFailure("all parameter-server workers are dead")
+        worker = cluster.workers[pick]
+        try:
+            weights, actual = server.pull(requested)
+        except InjectedFault:
+            result.failed_pulls += 1
+            registry.inc("paramserver.failed_pulls")
+            cluster.comm.messages += 1  # the pull that was lost
+            continue
+        base_version = server.version - actual
         grad = worker.minibatch_gradient(loss, weights, batch_size, rng)
         if l2 > 0:
             grad = grad + l2 * weights
         lr = learning_rate / (1.0 + decay * step)
-        server.push(-lr * grad)
+        try:
+            applied = server.push(-lr * grad, base_version=base_version)
+        except InjectedFault:
+            result.dropped_pushes += 1
+            registry.inc("paramserver.dropped_pushes")
+            applied = False
 
         result.staleness_observed.append(actual)
-        result.updates_applied += 1
+        if applied:
+            result.updates_applied += 1
+        else:
+            result.rejected_pushes = server.rejected_pushes
         cluster.comm.messages += 2  # pull + push
         cluster.comm.bytes_broadcast += vector_bytes
         cluster.comm.bytes_gathered += vector_bytes
@@ -119,6 +202,7 @@ def train_parameter_server(
             )
 
     result.weights = server.current.copy()
+    result.rejected_pushes = server.rejected_pushes
     if (total_updates % loss_every) != 0:
         result.loss_history.append(cluster.global_loss(loss, server.current))
     return result

@@ -58,3 +58,79 @@ class SelectionError(ReproError):
 
 class LifecycleError(ReproError):
     """Model-registry or experiment-tracking operation failed."""
+
+
+class ResilienceError(ReproError):
+    """A fault-tolerance mechanism (retry, checkpoint, chaos) failed."""
+
+
+class InjectedFault(ResilienceError):
+    """A fault deliberately raised by an active :class:`ChaosContext`.
+
+    Carries the registered site name, the caller-supplied key (task
+    index, worker id, block id, ...) and the site's invocation count at
+    injection time, so chaos tests can assert exactly which invocation
+    failed.
+    """
+
+    def __init__(self, site: str, key: object = None, invocation: int = 0):
+        self.site = site
+        self.key = key
+        self.invocation = invocation
+        super().__init__(
+            f"injected fault at {site!r} (key={key!r}, "
+            f"invocation {invocation})"
+        )
+
+
+class WorkerFailure(ResilienceError):
+    """A simulated cluster worker died (or its RPC was lost)."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every retry attempt failed; the last cause is ``__cause__``.
+
+    Attributes mirror :class:`ParallelTaskError` so callers can treat
+    both recovery-failure shapes uniformly.
+    """
+
+    def __init__(self, site: str, key: object, attempts: int):
+        self.site = site
+        self.key = key
+        self.attempts = attempts
+        super().__init__(
+            f"retry exhausted at {site!r} (key={key!r}) "
+            f"after {attempts} attempt(s)"
+        )
+
+
+class ParallelTaskError(ExecutionError):
+    """A ``pmap`` task failed after all recovery attempts.
+
+    Preserves the failing site, the task index within the call, and how
+    many attempts were made; the original exception is ``__cause__``.
+    """
+
+    def __init__(self, site: str, index: int, attempts: int):
+        self.site = site
+        self.index = index
+        self.attempts = attempts
+        super().__init__(
+            f"task {index} at site {site!r} failed after "
+            f"{attempts} attempt(s)"
+        )
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint could not be written, read, or verified."""
+
+
+class CorruptedBlockError(ExecutionError):
+    """A block's stored bytes no longer match their CRC32 checksum."""
+
+    def __init__(self, block_id: str):
+        self.block_id = block_id
+        super().__init__(
+            f"block {block_id!r} failed its checksum and has no "
+            f"registered lineage to recompute from"
+        )

@@ -49,7 +49,12 @@ class BlockedMatrix:
         blocked = cls(store, name, array.shape, block_rows)
         for b in range(blocked.num_blocks):
             start = b * block_rows
-            store.write(blocked.block_id(b), array[start : start + block_rows])
+            panel = array[start : start + block_rows]
+            block_id = blocked.block_id(b)
+            store.write(block_id, panel)
+            # Lineage: this panel is a pure slice of the source array, so
+            # a corrupted copy in the store can always be recomputed.
+            store.register_lineage(block_id, lambda panel=panel: panel)
         return blocked
 
     def block_id(self, index: int) -> str:

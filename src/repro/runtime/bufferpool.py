@@ -10,17 +10,27 @@ Hits, misses, evictions, and store I/O are dual-written: the
 per-instance counters (:class:`PoolStats`, the store's attributes) stay
 per-run views, and the global :mod:`repro.obs` registry accumulates
 ``bufferpool.*`` / ``blockstore.*`` series for run reports.
+
+Every block is stored with its CRC32. A read verifies the checksum and,
+on mismatch (bit rot, or chaos-injected corruption at site
+``"blockstore.read"``), repairs the block by *recomputing it from its
+registered lineage* — the SystemML/Spark recovery model, where lost or
+damaged intermediates are rebuilt from the plan rather than replicated.
+Blocks with no lineage raise :class:`~repro.errors.CorruptedBlockError`.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import CorruptedBlockError, ExecutionError
 from ..obs import get_registry
+from ..resilience.faults import fault_point, no_chaos
 
 
 class BlockStore:
@@ -31,31 +41,76 @@ class BlockStore:
     """
 
     def __init__(self) -> None:
-        self._blocks: dict[str, tuple[bytes, tuple[int, int]]] = {}
+        self._blocks: dict[str, tuple[bytes, tuple[int, int], int]] = {}
+        self._lineage: dict[str, Callable[[], np.ndarray]] = {}
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.corruptions_detected = 0
+        self.corruptions_repaired = 0
 
     def write(self, block_id: str, array: np.ndarray) -> None:
         data = np.ascontiguousarray(array, dtype=np.float64).tobytes()
-        self._blocks[block_id] = (data, array.shape)
+        self._blocks[block_id] = (data, array.shape, zlib.crc32(data))
         self.writes += 1
         self.bytes_written += len(data)
         registry = get_registry()
         registry.inc("blockstore.writes")
         registry.inc("blockstore.bytes_written", len(data))
 
+    def register_lineage(
+        self, block_id: str, recompute: Callable[[], np.ndarray]
+    ) -> None:
+        """Attach a recompute function used to repair a corrupt block."""
+        self._lineage[block_id] = recompute
+
+    def corrupt(self, block_id: str) -> None:
+        """Flip one byte of a stored block (test/chaos hook).
+
+        The flipped position is derived from the block id, so injected
+        corruption is deterministic.
+        """
+        if block_id not in self._blocks:
+            raise ExecutionError(f"no block {block_id!r} in store")
+        data, shape, crc = self._blocks[block_id]
+        if not data:
+            return
+        pos = zlib.crc32(block_id.encode("utf-8")) % len(data)
+        mutated = data[:pos] + bytes([data[pos] ^ 0xFF]) + data[pos + 1 :]
+        self._blocks[block_id] = (mutated, shape, crc)
+
     def read(self, block_id: str) -> np.ndarray:
         if block_id not in self._blocks:
             raise ExecutionError(f"no block {block_id!r} in store")
-        data, shape = self._blocks[block_id]
+        if fault_point("blockstore.read", key=block_id) == "corrupt":
+            self.corrupt(block_id)
+        data, shape, crc = self._blocks[block_id]
+        if zlib.crc32(data) != crc:
+            self._repair(block_id)
+            data, shape, crc = self._blocks[block_id]
         self.reads += 1
         self.bytes_read += len(data)
         registry = get_registry()
         registry.inc("blockstore.reads")
         registry.inc("blockstore.bytes_read", len(data))
         return np.frombuffer(data, dtype=np.float64).reshape(shape).copy()
+
+    def _repair(self, block_id: str) -> None:
+        """Rebuild a corrupt block from lineage (or fail loudly)."""
+        self.corruptions_detected += 1
+        registry = get_registry()
+        registry.inc("blockstore.corruptions_detected")
+        recompute = self._lineage.get(block_id)
+        if recompute is None:
+            raise CorruptedBlockError(block_id)
+        # Repair runs off the failed read path: chaos is masked so the
+        # rewrite can't be re-corrupted forever at fault rate 1.0.
+        with no_chaos():
+            array = np.ascontiguousarray(recompute(), dtype=np.float64)
+            self.write(block_id, array)
+        self.corruptions_repaired += 1
+        registry.inc("blockstore.corruptions_repaired")
 
     def __contains__(self, block_id: str) -> bool:
         return block_id in self._blocks

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ExecutionError
+from ..resilience.checkpoint import IterativeCheckpointer
 from .blocks import BlockedMatrix
 from .bufferpool import BlockStore, BufferPool, PoolStats
 
@@ -38,6 +39,12 @@ class OutOfCoreLinearRegression:
     Args:
         memory_budget_bytes: buffer-pool capacity. None = everything fits.
         block_rows: row-panel height used when staging the data.
+        checkpointer: optional
+            :class:`~repro.resilience.checkpoint.IterativeCheckpointer`;
+            when set, finished epochs are persisted and ``fit`` resumes
+            from the newest valid checkpoint — each epoch is
+            deterministic in ``w``, so a killed-and-resumed fit ends
+            bit-identical to an uninterrupted one.
     """
 
     def __init__(
@@ -48,6 +55,7 @@ class OutOfCoreLinearRegression:
         block_rows: int = 1024,
         memory_budget_bytes: int | None = None,
         tol: float = 1e-9,
+        checkpointer: IterativeCheckpointer | None = None,
     ):
         self.learning_rate = learning_rate
         self.epochs = epochs
@@ -55,6 +63,7 @@ class OutOfCoreLinearRegression:
         self.block_rows = block_rows
         self.memory_budget_bytes = memory_budget_bytes
         self.tol = tol
+        self.checkpointer = checkpointer
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "OutOfCoreLinearRegression":
         X = np.asarray(X, dtype=np.float64)
@@ -76,23 +85,42 @@ class OutOfCoreLinearRegression:
         w = np.zeros(d)
         history = [self._loss(blocked, pool, w, y, n)]
         epoch = 0
-        for epoch in range(1, self.epochs + 1):
-            grad = np.zeros(d)
-            for b in range(blocked.num_blocks):
-                block = blocked.get_block(b, pool)
-                start, end = blocked.block_rows_of(b)
-                residual = block @ w - y[start:end]
-                grad += block.T @ residual
-            grad = grad / n
-            if self.l2 > 0:
-                grad = grad + self.l2 * w
-            w = w - self.learning_rate * grad
-            history.append(self._loss(blocked, pool, w, y, n))
-            improvement = abs(history[-2] - history[-1]) / max(
-                abs(history[-2]), 1e-12
-            )
-            if improvement < self.tol:
-                break
+        start_epoch = 1
+        done = False
+        if self.checkpointer is not None:
+            latest = self.checkpointer.load_latest()
+            if latest is not None:
+                epoch, state = latest
+                w = state["w"]
+                history = list(state["history"])
+                done = state["done"]
+                start_epoch = epoch + 1
+        if not done:
+            for epoch in range(start_epoch, self.epochs + 1):
+                grad = np.zeros(d)
+                for b in range(blocked.num_blocks):
+                    block = blocked.get_block(b, pool)
+                    start, end = blocked.block_rows_of(b)
+                    residual = block @ w - y[start:end]
+                    grad += block.T @ residual
+                grad = grad / n
+                if self.l2 > 0:
+                    grad = grad + self.l2 * w
+                w = w - self.learning_rate * grad
+                history.append(self._loss(blocked, pool, w, y, n))
+                improvement = abs(history[-2] - history[-1]) / max(
+                    abs(history[-2]), 1e-12
+                )
+                done = improvement < self.tol
+                if self.checkpointer is not None and (
+                    done or self.checkpointer.should_checkpoint(epoch)
+                ):
+                    self.checkpointer.save(
+                        epoch,
+                        {"w": w, "history": list(history), "done": done},
+                    )
+                if done:
+                    break
 
         self.coef_ = w
         self.result_ = OutOfCoreResult(

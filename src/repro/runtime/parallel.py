@@ -38,11 +38,15 @@ import os
 import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-from ..errors import ReproError
+from ..errors import ParallelTaskError, ReproError
 from ..obs import get_registry, span
+from ..resilience.faults import fault_point
+from ..resilience.retry import RetryPolicy
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -130,6 +134,13 @@ class ParallelStats:
     tasks_dispatched: int = 0
     wall_time: float = 0.0
     task_time: float = 0.0
+    #: resilience ledger: raw task failures observed, retry re-executions,
+    #: timed-out tasks re-run as backups, and tasks that ultimately
+    #: succeeded only because of a recovery action.
+    task_failures: int = 0
+    retries: int = 0
+    stragglers: int = 0
+    recovered_tasks: int = 0
     by_site: dict[str, SiteStats] = field(default_factory=dict)
     #: detailed per-call records for *parallel* dispatches; serial
     #: fallbacks update only the counters to keep the gated path cheap.
@@ -183,6 +194,10 @@ class ParallelStats:
             "tasks_dispatched": self.tasks_dispatched,
             "wall_time": self.wall_time,
             "task_time": self.task_time,
+            "task_failures": self.task_failures,
+            "retries": self.retries,
+            "stragglers": self.stragglers,
+            "recovered_tasks": self.recovered_tasks,
             "estimated_speedup": self.estimated_speedup,
             "by_site": {
                 name: {
@@ -205,6 +220,20 @@ def _timed_call(fn: Callable[[T], R], item: T) -> tuple[float, R]:
     return time.perf_counter() - start, result
 
 
+def _guarded_task(
+    fn: Callable[[T], R], fault_site: str, index: int, item: T
+) -> R:
+    """One task execution behind its fault-injection site.
+
+    Module-level so the process backend can pickle it. The fault point
+    is keyed by task index, so an installed :class:`ChaosContext`
+    decides each task's fate deterministically regardless of thread
+    scheduling.
+    """
+    fault_point(fault_site, key=index)
+    return fn(item)
+
+
 def _in_worker_thread() -> bool:
     return threading.current_thread().name.startswith(_WORKER_PREFIX)
 
@@ -223,6 +252,15 @@ class ParallelContext:
             ``"process"`` (for pure-Python per-row work; functions and
             items must be picklable), or ``"serial"`` (never fan out —
             useful for A/B measurement).
+        retry_policy: default :class:`~repro.resilience.RetryPolicy`
+            applied to every ``pmap`` call (a per-call ``retry=``
+            overrides it). ``None`` disables retries: a failed task
+            raises :class:`~repro.errors.ParallelTaskError` immediately.
+        task_timeout: default per-task gather timeout in seconds; a task
+            that has not produced its result within the bound is
+            abandoned as a straggler and re-executed on the caller
+            (speculative backup, MapReduce-style). ``None`` waits
+            forever.
     """
 
     def __init__(
@@ -230,6 +268,8 @@ class ParallelContext:
         max_workers: int | None = None,
         cost_threshold: float | None = None,
         backend: str = "thread",
+        retry_policy: RetryPolicy | None = None,
+        task_timeout: float | None = None,
     ):
         if backend not in ("thread", "process", "serial"):
             raise ReproError(
@@ -246,7 +286,11 @@ class ParallelContext:
             if cost_threshold is not None
             else default_cost_threshold()
         )
+        if task_timeout is not None and task_timeout <= 0:
+            raise ReproError(f"task_timeout must be > 0, got {task_timeout}")
         self.backend = backend
+        self.retry_policy = retry_policy
+        self.task_timeout = task_timeout
         self.stats = ParallelStats()
         self._executor: Executor | None = None
         self._lock = threading.Lock()
@@ -269,10 +313,21 @@ class ParallelContext:
             return self._executor
 
     def shutdown(self) -> None:
+        """Tear down the pool. Idempotent and safe under concurrency.
+
+        The executor is detached under the lock but drained *outside*
+        it: a pooled task that re-enters this context (nested-serial
+        pmap records into ``stats`` under the same lock) can then finish
+        while we wait, so a concurrent shutdown can no longer deadlock,
+        and a second shutdown finds ``None`` and returns immediately. A
+        ``pmap`` racing with shutdown either got the old executor (its
+        submits fail with ``RuntimeError`` and it recovers serially) or
+        lazily builds a fresh pool afterwards.
+        """
         with self._lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "ParallelContext":
         return self
@@ -303,8 +358,21 @@ class ParallelContext:
         items: Iterable[T],
         cost_hint: float | None = None,
         site: str = "pmap",
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
     ) -> list[R]:
-        """Order-preserving map with cost-gated fan-out.
+        """Order-preserving map with cost-gated fan-out and recovery.
+
+        Every task runs behind the fault site ``parallel.task.<site>``
+        (keyed by task index), so an installed chaos context can fail,
+        corrupt, or slow it deterministically. A failed task is retried
+        under the effective :class:`RetryPolicy` — re-submission first,
+        then a final serial re-execution on the caller as last resort —
+        and a task that exceeds the timeout is abandoned and re-executed
+        serially (straggler backup). A task whose failure survives every
+        recovery attempt raises :class:`~repro.errors.ParallelTaskError`
+        carrying the site, task index, and attempt count, with the
+        original exception as ``__cause__``.
 
         Args:
             cost_hint: estimated total flops-equivalents for the whole
@@ -312,9 +380,14 @@ class ParallelContext:
                 (recorded as a serial fallback). ``None`` means "assume
                 expensive" and bypasses the gate.
             site: label for the per-call ledger.
+            retry: per-call policy override (default: the context's).
+            timeout: per-call timeout override (default: the context's).
         """
         tasks = list(items)
+        policy = retry if retry is not None else self.retry_policy
+        task_timeout = timeout if timeout is not None else self.task_timeout
         fan_out = self.should_parallelize(len(tasks), cost_hint)
+        fault_site = f"parallel.task.{site}"
         with span(
             "parallel.pmap",
             site=site,
@@ -324,20 +397,176 @@ class ParallelContext:
         ):
             start = time.perf_counter()
             if not fan_out:
-                results = []
-                for item in tasks:
-                    results.append(fn(item))
+                results = [
+                    self._run_serial_task(fn, item, i, site, fault_site, policy)
+                    for i, item in enumerate(tasks)
+                ]
                 wall = time.perf_counter() - start
                 self._record(site, len(tasks), False, wall, wall)
                 return results
 
             pool = self._pool()
-            futures = [pool.submit(_timed_call, fn, item) for item in tasks]
-            timed = [f.result() for f in futures]
+            try:
+                futures = [
+                    pool.submit(
+                        _timed_call,
+                        partial(_guarded_task, fn, fault_site, i),
+                        item,
+                    )
+                    for i, item in enumerate(tasks)
+                ]
+            except RuntimeError:
+                # The pool was shut down between _pool() and submit (a
+                # concurrent shutdown): recover by running serially.
+                self._count("recovered_tasks", len(tasks))
+                get_registry().inc("parallel.pool_lost_recoveries")
+                results = [
+                    self._run_serial_task(fn, item, i, site, fault_site, policy)
+                    for i, item in enumerate(tasks)
+                ]
+                wall = time.perf_counter() - start
+                self._record(site, len(tasks), False, wall, wall)
+                return results
+
+            results = []
+            task_time = 0.0
+            for i, future in enumerate(futures):
+                try:
+                    dt, value = future.result(timeout=task_timeout)
+                except FutureTimeoutError:
+                    # Straggler: abandon the slow execution (its result,
+                    # if it ever arrives, is discarded) and run a backup
+                    # copy here — deterministic fns make this exact.
+                    self._count("stragglers")
+                    get_registry().inc("parallel.stragglers")
+                    backup_start = time.perf_counter()
+                    value = self._recover_task(
+                        fn, tasks[i], i, site, fault_site, policy, cause=None
+                    )
+                    dt = time.perf_counter() - backup_start
+                except Exception as exc:
+                    self._count("task_failures")
+                    get_registry().inc("parallel.task_failures")
+                    backup_start = time.perf_counter()
+                    value = self._recover_task(
+                        fn, tasks[i], i, site, fault_site, policy, cause=exc
+                    )
+                    dt = time.perf_counter() - backup_start
+                results.append(value)
+                task_time += dt
             wall = time.perf_counter() - start
-            task_time = sum(dt for dt, _ in timed)
             self._record(site, len(tasks), True, wall, task_time)
-            return [result for _, result in timed]
+            return results
+
+    # ------------------------------------------------------------------
+    # Recovery paths
+    # ------------------------------------------------------------------
+    def _run_serial_task(
+        self,
+        fn: Callable[[T], R],
+        item: T,
+        index: int,
+        site: str,
+        fault_site: str,
+        policy: RetryPolicy | None,
+    ) -> R:
+        """One task on the caller thread, with retry and error wrapping."""
+        attempts = policy.max_attempts if policy is not None else 1
+        last: Exception | None = None
+        for attempt in range(1, attempts + 1):
+            try:
+                value = _guarded_task(fn, fault_site, index, item)
+                if attempt > 1:
+                    self._count("recovered_tasks")
+                    get_registry().inc("parallel.recovered_tasks")
+                return value
+            except Exception as exc:
+                last = exc
+                self._count("task_failures")
+                get_registry().inc("parallel.task_failures")
+                if (
+                    policy is None
+                    or not policy.is_retryable(exc)
+                    or attempt == attempts
+                ):
+                    break
+                self._count("retries")
+                get_registry().inc("parallel.retries")
+                policy.sleep(policy.delay(attempt, site, index))
+        assert last is not None
+        raise ParallelTaskError(site, index, attempts) from last
+
+    def _recover_task(
+        self,
+        fn: Callable[[T], R],
+        item: T,
+        index: int,
+        site: str,
+        fault_site: str,
+        policy: RetryPolicy | None,
+        cause: Exception | None,
+    ) -> R:
+        """Re-execute a failed or timed-out pooled task on the caller.
+
+        ``cause=None`` marks a straggler backup: the original execution
+        never failed, it was abandoned, so the backup runs as attempt 1
+        with the full budget behind it. A real failure consumed attempt
+        1 already and is only retried when the policy calls it
+        transient.
+        """
+        if cause is None:
+            try:
+                value = _guarded_task(fn, fault_site, index, item)
+            except Exception as exc:
+                self._count("task_failures")
+                get_registry().inc("parallel.task_failures")
+                return self._retry_loop(
+                    fn, item, index, site, fault_site, policy, exc
+                )
+            self._count("recovered_tasks")
+            get_registry().inc("parallel.recovered_tasks")
+            return value
+        return self._retry_loop(
+            fn, item, index, site, fault_site, policy, cause
+        )
+
+    def _retry_loop(
+        self,
+        fn: Callable[[T], R],
+        item: T,
+        index: int,
+        site: str,
+        fault_site: str,
+        policy: RetryPolicy | None,
+        cause: Exception,
+    ) -> R:
+        """Attempts 2..max after a real failure (attempt 1 == cause)."""
+        if policy is None or not policy.is_retryable(cause):
+            raise ParallelTaskError(site, index, 1) from cause
+        last: Exception = cause
+        for attempt in range(2, policy.max_attempts + 1):
+            self._count("retries")
+            get_registry().inc("parallel.retries")
+            policy.sleep(policy.delay(attempt - 1, site, index))
+            try:
+                value = _guarded_task(fn, fault_site, index, item)
+            except Exception as exc:
+                last = exc
+                if not policy.is_retryable(exc):
+                    break
+                continue
+            self._count("recovered_tasks")
+            get_registry().inc("parallel.recovered_tasks")
+            return value
+        raise ParallelTaskError(site, index, policy.max_attempts) from last
+
+    def _count(self, field_name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(
+                self.stats,
+                field_name,
+                getattr(self.stats, field_name) + amount,
+            )
 
     def note_serial(self, site: str, tasks: int, wall_time: float) -> None:
         """Record a serial fallback executed outside ``pmap``.

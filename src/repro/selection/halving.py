@@ -18,6 +18,8 @@ import numpy as np
 
 from ..errors import SelectionError
 from ..ml.base import Estimator
+from ..obs import get_registry
+from ..resilience.checkpoint import IterativeCheckpointer
 from ..runtime.parallel import (
     PYTHON_CALL_FLOPS,
     ParallelContext,
@@ -77,6 +79,7 @@ def successive_halving(
     budget_param: str = "max_iter",
     parallel: bool | ParallelContext = False,
     context: ParallelContext | None = None,
+    checkpointer: IterativeCheckpointer | None = None,
 ) -> HalvingResult:
     """Run successive halving over explicit configurations.
 
@@ -87,6 +90,9 @@ def successive_halving(
         parallel: evaluate each rung's survivors concurrently on the
             shared cost-gated pool. Rung boundaries are synchronization
             points, scores and survivor sets are identical to serial.
+        checkpointer: persists completed rungs; a repeated call resumes
+            at the first unfinished rung and ends with an identical
+            result (rungs are deterministic in their survivors/budget).
     """
     if eta < 2:
         raise SelectionError("eta must be >= 2")
@@ -103,7 +109,20 @@ def successive_halving(
     rungs: list[Rung] = []
     survivors = configs
     budget = min_budget
-    while True:
+    done = False
+    if checkpointer is not None:
+        latest = checkpointer.load_latest()
+        if latest is not None:
+            _, state = latest
+            if state.get("configs") == configs:
+                evaluations = list(state["evaluations"])
+                rungs = list(state["rungs"])
+                survivors = list(state["survivors"])
+                budget = state["budget"]
+                done = state["done"]
+            else:
+                get_registry().inc("checkpoint.mismatched_skipped")
+    while not done:
         fit = partial(
             _fit_scored,
             estimator,
@@ -137,11 +156,23 @@ def successive_halving(
                 scores=[s for s, _ in scored],
             )
         )
-        if budget >= max_budget or len(scored) == 1:
-            break
-        keep = max(1, len(scored) // eta)
-        survivors = [p for _, p in scored[:keep]]
-        budget = min(budget * eta, max_budget)
+        done = budget >= max_budget or len(scored) == 1
+        if not done:
+            keep = max(1, len(scored) // eta)
+            survivors = [p for _, p in scored[:keep]]
+            budget = min(budget * eta, max_budget)
+        if checkpointer is not None:
+            checkpointer.save(
+                len(rungs),
+                {
+                    "configs": configs,
+                    "evaluations": list(evaluations),
+                    "rungs": list(rungs),
+                    "survivors": list(survivors),
+                    "budget": budget,
+                    "done": done,
+                },
+            )
 
     return HalvingResult(evaluations=evaluations, rungs=rungs)
 

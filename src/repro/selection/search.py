@@ -19,6 +19,7 @@ import numpy as np
 from ..errors import SelectionError
 from ..ml.base import Estimator
 from ..obs import get_registry, span
+from ..resilience.checkpoint import IterativeCheckpointer
 from ..runtime.parallel import (
     PYTHON_CALL_FLOPS,
     ParallelContext,
@@ -116,6 +117,27 @@ def search_cost_hint(X: np.ndarray, cv: KFold, n_configs: int = 1) -> float:
     return float(X.size) * cv.n_splits * n_configs * PYTHON_CALL_FLOPS
 
 
+def _resume_evaluations(
+    checkpointer: IterativeCheckpointer | None,
+    configs: list[dict[str, Any]],
+) -> list[Evaluation]:
+    """Completed prefix of this exact search from the newest checkpoint.
+
+    A checkpoint written by a *different* search (other configs) is
+    ignored rather than resumed wrong.
+    """
+    if checkpointer is None:
+        return []
+    latest = checkpointer.load_latest()
+    if latest is None:
+        return []
+    _, state = latest
+    if state.get("configs") != configs:
+        get_registry().inc("checkpoint.mismatched_skipped")
+        return []
+    return list(state["evaluations"])
+
+
 def _evaluate_configs(
     estimator: Estimator,
     configs: list[dict[str, Any]],
@@ -124,30 +146,52 @@ def _evaluate_configs(
     cv: KFold,
     ctx: ParallelContext | None,
     site: str,
+    checkpointer: IterativeCheckpointer | None = None,
 ) -> list[Evaluation]:
     """Evaluate configurations, optionally through the shared pool.
 
     Order is preserved and each configuration's cost accounting is
     computed inside its own task, so serial and parallel runs produce
     identical evaluation lists (and therefore identical best configs).
+
+    With a ``checkpointer``, the serial path persists after each
+    configuration (the parallel path at the end of the batch) and a
+    repeated call resumes after the completed prefix — evaluations are
+    deterministic per configuration, so the resumed result is identical.
     """
     registry = get_registry()
     registry.inc("selection.searches")
     registry.inc("selection.configs_evaluated", len(configs))
+    done = _resume_evaluations(checkpointer, configs)
+    remaining = configs[len(done) :]
     with span(
         site, configs=len(configs), folds=cv.n_splits, parallel=ctx is not None
     ):
-        if ctx is None or len(configs) < 2:
-            return [_evaluate(estimator, p, X, y, cv) for p in configs]
+        if ctx is None or len(remaining) < 2:
+            for params in remaining:
+                done.append(_evaluate(estimator, params, X, y, cv))
+                if checkpointer is not None and checkpointer.should_checkpoint(
+                    len(done)
+                ):
+                    checkpointer.save(
+                        len(done),
+                        {"configs": configs, "evaluations": list(done)},
+                    )
+            return done
         # Materialize folds once up front: every task then reads the cached
         # plan instead of racing to build it.
         cv.folds(len(X))
-        return ctx.pmap(
+        done = done + ctx.pmap(
             partial(_evaluate, estimator, X=X, y=y, cv=cv),
-            configs,
-            cost_hint=search_cost_hint(X, cv, len(configs)),
+            remaining,
+            cost_hint=search_cost_hint(X, cv, len(remaining)),
             site=site,
         )
+        if checkpointer is not None:
+            checkpointer.save(
+                len(done), {"configs": configs, "evaluations": list(done)}
+            )
+        return done
 
 
 def grid_search(
@@ -158,12 +202,14 @@ def grid_search(
     cv: KFold | int = 3,
     parallel: bool | ParallelContext = False,
     context: ParallelContext | None = None,
+    checkpointer: IterativeCheckpointer | None = None,
 ) -> SearchResult:
     """Exhaustive cross-validated search over a parameter grid.
 
     ``parallel=True`` evaluates configurations concurrently on the
     shared cost-gated worker pool; selection and cost accounting are
-    identical to the serial path.
+    identical to the serial path. ``checkpointer`` makes the search
+    resumable after the already-evaluated prefix.
     """
     if isinstance(cv, int):
         cv = KFold(cv)
@@ -177,6 +223,7 @@ def grid_search(
         cv,
         resolve_context(parallel, context),
         site="selection.grid_search",
+        checkpointer=checkpointer,
     )
     return SearchResult(evaluations)
 
@@ -191,6 +238,7 @@ def random_search(
     seed: int | None = 0,
     parallel: bool | ParallelContext = False,
     context: ParallelContext | None = None,
+    checkpointer: IterativeCheckpointer | None = None,
 ) -> SearchResult:
     """Randomized search.
 
@@ -222,6 +270,7 @@ def random_search(
         cv,
         resolve_context(parallel, context),
         site="selection.random_search",
+        checkpointer=checkpointer,
     )
     return SearchResult(evaluations)
 

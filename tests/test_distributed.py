@@ -12,9 +12,10 @@ from repro.distributed import (
     train_model_averaging,
     train_parameter_server,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkerFailure
 from repro.ml.losses import LogisticLoss, SquaredLoss
 from repro.ml.optim import gradient_descent
+from repro.resilience import ChaosContext, FaultPlan, chaos_seed_from_env
 
 
 @pytest.fixture
@@ -227,4 +228,130 @@ class TestParameterServer:
         with pytest.raises(ReproError):
             train_parameter_server(
                 cluster, SquaredLoss(), total_updates=5, max_staleness=-1
+            )
+
+
+class TestDistributedResilience:
+    """Failure modes of the distributed drivers (PR: repro.resilience)."""
+
+    @pytest.fixture
+    def cls_problem(self):
+        X, y = make_classification(800, 6, separation=2.5, seed=76)
+        return X, np.where(y == 1, 1.0, -1.0)
+
+    def test_paramserver_converges_like_bsp(self, cls_problem):
+        """Async parameter-server training reaches loss comparable to a
+        synchronous BSP driver on the same cluster and loss."""
+        X, y = cls_problem
+        bsp = train_bsp_gd(
+            SimulatedCluster(X, y, num_workers=4, seed=12),
+            LogisticLoss(),
+            rounds=100,
+            learning_rate=0.3,
+        )
+        ps = train_parameter_server(
+            SimulatedCluster(X, y, num_workers=4, seed=12),
+            LogisticLoss(),
+            total_updates=400,
+            learning_rate=0.3,
+            max_staleness=4,
+            seed=12,
+        )
+        assert np.isfinite(ps.final_loss)
+        assert ps.final_loss < ps.loss_history[0]  # it actually trained
+        assert ps.final_loss < bsp.final_loss * 1.5
+
+    def test_bsp_identical_with_killed_worker(self, cls_problem):
+        """Lineage recovery: losing a worker changes the comm ledger but
+        not a single bit of the trained model."""
+        X, y = cls_problem
+        healthy = SimulatedCluster(X, y, num_workers=4, seed=13)
+        expected = train_bsp_gd(
+            healthy, LogisticLoss(), rounds=30, learning_rate=0.3
+        )
+        degraded = SimulatedCluster(X, y, num_workers=4, seed=13)
+        degraded.kill_worker(3)
+        got = train_bsp_gd(
+            degraded, LogisticLoss(), rounds=30, learning_rate=0.3
+        )
+        assert np.array_equal(expected.weights, got.weights)
+        assert expected.loss_history == got.loss_history
+        assert degraded.comm.worker_failures > 0
+        assert (
+            degraded.comm.lineage_recoveries == degraded.comm.worker_failures
+        )
+        assert degraded.comm.bytes_recovered > 0
+
+    def test_bsp_identical_under_injected_rpc_faults(self, cls_problem):
+        X, y = cls_problem
+        expected = train_bsp_gd(
+            SimulatedCluster(X, y, num_workers=4, seed=14),
+            LogisticLoss(),
+            rounds=20,
+            learning_rate=0.3,
+        )
+        plan = FaultPlan(seed=chaos_seed_from_env()).inject(
+            "cluster.worker", rate=0.3
+        )
+        degraded = SimulatedCluster(X, y, num_workers=4, seed=14)
+        with ChaosContext(plan) as chaos:
+            got = train_bsp_gd(
+                degraded, LogisticLoss(), rounds=20, learning_rate=0.3
+            )
+        assert chaos.total_injected > 0
+        assert np.array_equal(expected.weights, got.weights)
+        assert expected.loss_history == got.loss_history
+
+    def test_comm_ledger_deterministic_across_runs(self, cls_problem):
+        """Same seed, same chaos plan -> byte-for-byte identical ledger."""
+        X, y = cls_problem
+
+        def run():
+            plan = FaultPlan(seed=chaos_seed_from_env()).inject(
+                "cluster.worker", rate=0.25
+            )
+            cluster = SimulatedCluster(X, y, num_workers=4, seed=15)
+            cluster.kill_worker(0)
+            with ChaosContext(plan):
+                result = train_bsp_gd(
+                    cluster, LogisticLoss(), rounds=15, learning_rate=0.3
+                )
+            c = cluster.comm
+            return (
+                result.weights.tobytes(),
+                c.rounds,
+                c.messages,
+                c.bytes_broadcast,
+                c.bytes_gathered,
+                c.worker_failures,
+                c.lineage_recoveries,
+                c.bytes_recovered,
+            )
+
+        assert run() == run()
+
+    def test_paramserver_survives_worker_loss(self, cls_problem):
+        X, y = cls_problem
+        cluster = SimulatedCluster(X, y, num_workers=4, seed=16)
+        cluster.kill_worker(2)
+        result = train_parameter_server(
+            cluster,
+            LogisticLoss(),
+            total_updates=200,
+            learning_rate=0.3,
+            seed=16,
+        )
+        assert result.updates_applied == 200
+        assert result.worker_reassignments > 0
+        assert cluster.workers[2].gradient_evaluations == 0
+        assert np.isfinite(result.final_loss)
+
+    def test_paramserver_all_workers_dead(self, cls_problem):
+        X, y = cls_problem
+        cluster = SimulatedCluster(X, y, num_workers=2, seed=17)
+        cluster.kill_worker(0)
+        cluster.kill_worker(1)
+        with pytest.raises(WorkerFailure):
+            train_parameter_server(
+                cluster, LogisticLoss(), total_updates=10, seed=17
             )

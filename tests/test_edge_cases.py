@@ -134,7 +134,7 @@ class TestModelMisuse:
     def test_predict_with_wrong_width(self, regression_data):
         X, y, _ = regression_data
         model = LinearRegression().fit(X, y)
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             model.predict(np.ones((3, X.shape[1] + 2)))
 
     def test_fit_y_with_nan_label_regression(self, regression_data):

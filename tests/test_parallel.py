@@ -120,13 +120,21 @@ class TestParallelContext:
         after = parallel_stats()
         assert after["calls"] == 1
 
-    def test_worker_exception_propagates(self):
+    def test_worker_exception_wrapped_with_context(self):
+        from repro.errors import ParallelTaskError
+
         def boom(x):
             raise ValueError("task failed")
 
         with ParallelContext(max_workers=2, cost_threshold=0) as ctx:
-            with pytest.raises(ValueError, match="task failed"):
-                ctx.pmap(boom, range(4))
+            with pytest.raises(ParallelTaskError) as excinfo:
+                ctx.pmap(boom, range(4), site="boom.site")
+        err = excinfo.value
+        assert err.site == "boom.site"
+        assert err.index == 0
+        assert err.attempts == 1
+        assert isinstance(err.__cause__, ValueError)
+        assert "task failed" in str(err.__cause__)
 
 
 class TestMergeTree:
