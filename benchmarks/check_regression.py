@@ -25,6 +25,10 @@ must match). Two classes of checks:
   (>= 1.0); baselines that never claimed a win are informational.
   ``--strict`` switches to ratio comparison within ``--tolerance``.
 
+A capture taken under an active chaos context (``meta.chaos_active``)
+never compares against a clean baseline, and vice versa — shed and
+retry ledgers are only meaningful between like captures.
+
 Exit status: 0 when every applicable check passes, 1 otherwise (the CI
 job fails). Every check prints one line, so the workflow log is the
 regression report.
@@ -273,7 +277,94 @@ def check_e21(
     )
 
 
-CHECKERS = {"E18": check_e18, "E19": check_e19, "E21": check_e21}
+# ----------------------------------------------------------------------
+# E22 — online serving
+# ----------------------------------------------------------------------
+def check_e22(
+    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
+) -> None:
+    """Serving gates are mostly behavior gates: bit identity, exact
+    canary/cache/shed counts, and the within-capture batch-64 speedup
+    bound (both runs share one machine, so the ratio is comparable
+    anywhere). Only cross-capture rps comparisons are wall-clock."""
+    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
+    g.check(
+        set(cw) == set(bw),
+        f"workload set matches baseline ({sorted(cw)})",
+    )
+    for name in sorted(n for n in cw if n.startswith("throughput/")):
+        entry = cw[name]
+        g.check(
+            entry.get("bit_identical") is True,
+            f"{name}: bit-identical to single-row serving",
+        )
+        lat = entry.get("latency_ms", {})
+        g.check(
+            all(lat.get(p) is not None for p in ("p50", "p95", "p99"))
+            and lat["p50"] <= lat["p95"] <= lat["p99"],
+            f"{name}: latency percentiles present and ordered",
+        )
+        base_entry = bw.get(name)
+        if base_entry is not None:
+            _wall_gate(
+                g,
+                f"{name}: speedup {entry['speedup_vs_unbatched']:.2f} vs "
+                f"baseline {base_entry['speedup_vs_unbatched']:.2f}",
+                entry["speedup_vs_unbatched"],
+                base_entry["speedup_vs_unbatched"],
+                tol,
+                wall,
+                strict,
+            )
+    batch64 = cw.get("throughput/batch64", {})
+    g.check(
+        batch64.get("speedup_vs_unbatched", 0.0) >= 3.0,
+        f"batch-64 speedup {batch64.get('speedup_vs_unbatched', 0.0):.2f} "
+        f">= 3.0 (within-capture bound)",
+    )
+    cache = cw.get("cache/skewed_entities", {})
+    base_cache = bw.get("cache/skewed_entities", {})
+    g.check(
+        cache.get("counts_exact") is True,
+        "cache hit/miss ledger exactly matches the request stream",
+    )
+    for metric in ("hits", "misses"):
+        g.check(
+            cache.get(metric) == base_cache.get(metric),
+            f"cache {metric} {cache.get(metric)} == baseline "
+            f"{base_cache.get(metric)} (seeded stream is deterministic)",
+        )
+    canary = cw.get("canary/hash_split", {})
+    base_canary = bw.get("canary/hash_split", {})
+    g.check(
+        canary.get("exact_split") is True,
+        "canary split exactly matches the hash router",
+    )
+    g.check(
+        canary.get("canary_requests") == base_canary.get("canary_requests"),
+        f"canary count {canary.get('canary_requests')} == baseline "
+        f"{base_canary.get('canary_requests')} (same seed, same split)",
+    )
+    adm = cw.get("admission/bounded_queue", {})
+    base_adm = bw.get("admission/bounded_queue", {})
+    g.check(
+        adm.get("queue_shed_exact") is True,
+        f"burst past capacity shed exactly {adm.get('queue_shed')} requests",
+    )
+    g.check(
+        adm.get("chaos_shed_matches_injected") is True
+        and adm.get("chaos_shed") == base_adm.get("chaos_shed"),
+        f"seeded admission chaos shed {adm.get('chaos_shed')} == baseline "
+        f"{base_adm.get('chaos_shed')}",
+    )
+
+
+CHECKERS = {
+    "E18": check_e18,
+    "E19": check_e19,
+    "E21": check_e21,
+    "E22": check_e22,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -307,6 +398,19 @@ def main(argv: list[str] | None = None) -> int:
     if checker is None:
         print(f"error: no regression checks registered for {experiment!r} "
               f"(known: {sorted(CHECKERS)})")
+        return 1
+
+    cand_chaos = bool(cand.get("meta", {}).get("chaos_active"))
+    base_chaos = bool(base.get("meta", {}).get("chaos_active"))
+    if cand_chaos != base_chaos:
+        # Shed/retry/fault ledgers are only meaningful between like
+        # captures; a chaos capture never gates against a clean baseline.
+        print(
+            f"error: candidate chaos_active={cand_chaos} but baseline "
+            f"chaos_active={base_chaos}; capture a matching baseline "
+            f"(meta.chaos_seed_env: {cand.get('meta', {}).get('chaos_seed_env')!r}"
+            f" vs {base.get('meta', {}).get('chaos_seed_env')!r})"
+        )
         return 1
 
     cand_cpus = cand.get("meta", {}).get("cpu_count")

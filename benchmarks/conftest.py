@@ -26,9 +26,15 @@ def bench_metadata(experiment: str) -> dict:
     wall-clock speedups only between captures whose core counts match
     (the committed quick baselines were captured on a 1-CPU builder, so
     multi-core CI runners gate on behavior metrics alone).
+
+    ``chaos_seed_env``/``chaos_active`` record whether the capture ran
+    under fault injection: ``check_regression.py`` refuses to compare a
+    chaos capture against a clean baseline (or vice versa), because shed
+    and retry counters are only meaningful between like captures.
     """
     import numpy as np
 
+    from repro.resilience import active_chaos
     from repro.runtime.parallel import (
         ParallelContext,
         default_cost_threshold,
@@ -46,6 +52,8 @@ def bench_metadata(experiment: str) -> dict:
         "numpy": np.__version__,
         "machine": platform.machine(),
         "tracing": os.environ.get("REPRO_TRACE") in ("1", "true", "yes", "on"),
+        "chaos_seed_env": os.environ.get("REPRO_CHAOS_SEED"),
+        "chaos_active": active_chaos() is not None,
     }
 
 

@@ -641,6 +641,16 @@ def e21_resilience():
     bench_resilience.report(results)
 
 
+@experiment("E22", "Online serving: micro-batching, cache, canary split")
+def e22_serving():
+    """Delegate to the dedicated serving benchmark (kept quick here)."""
+    import bench_serving
+
+    _header("E22", "Online serving: micro-batching, cache, canary split")
+    results = bench_serving.run(quick=True, repeats=2)
+    bench_serving.report(results)
+
+
 def _registry_lines() -> list[str]:
     return [f"{tag:>5}  {title}" for tag, (_, title) in EXPERIMENTS.items()]
 

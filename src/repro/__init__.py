@@ -24,6 +24,7 @@ Subpackages:
 * ``repro.distributed``  — simulated data-parallel / parameter-server training
 * ``repro.obs``          — unified tracing + metrics (spans, registry, reports)
 * ``repro.resilience``   — fault injection, retry/recovery, checkpoint/restore
+* ``repro.serving``      — online inference (micro-batching, cache, canary)
 """
 
 __version__ = "1.0.0"
@@ -45,6 +46,7 @@ from . import (
     resilience,
     runtime,
     selection,
+    serving,
     sparse,
     storage,
 )
@@ -67,6 +69,7 @@ __all__ = [
     "resilience",
     "runtime",
     "selection",
+    "serving",
     "sparse",
     "storage",
 ]

@@ -104,6 +104,38 @@ class RetryExhaustedError(ResilienceError):
         )
 
 
+class ServingError(ReproError):
+    """An online-serving operation (endpoint, batcher, cache) failed."""
+
+
+class LoadShedError(ServingError):
+    """A request was rejected by admission control (queue full).
+
+    Carries the endpoint name and the queue depth at rejection time so
+    load tests can assert exactly how many requests were shed and why.
+    """
+
+    def __init__(self, endpoint: str, queue_depth: int, capacity: int):
+        self.endpoint = endpoint
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+        super().__init__(
+            f"endpoint {endpoint!r} shed a request: queue depth "
+            f"{queue_depth} at capacity {capacity}"
+        )
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline elapsed before its prediction was ready."""
+
+    def __init__(self, endpoint: str, deadline_ms: float):
+        self.endpoint = endpoint
+        self.deadline_ms = deadline_ms
+        super().__init__(
+            f"endpoint {endpoint!r} missed a {deadline_ms:g} ms deadline"
+        )
+
+
 class ParallelTaskError(ExecutionError):
     """A ``pmap`` task failed after all recovery attempts.
 

@@ -14,9 +14,29 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ModelError
+from ..lifecycle.registry import ModelVersion
 from ..ml.losses import sigmoid
 from ..storage.expressions import Expr, col, lit
 from ..storage.table import Table
+
+
+def _unwrap_model(model, feature_columns: Sequence[str] | None):
+    """Accept either a bare model or a registry :class:`ModelVersion`.
+
+    A version entry contributes its embedded model object, and — when
+    the caller names no columns — the ``feature_columns`` recorded in
+    its params, so ``score_linear_model(table, registry.deployed("m"))``
+    is a complete deployment call.
+    """
+    if isinstance(model, ModelVersion):
+        if model.model is None:
+            raise ModelError(
+                f"registry entry {model.identifier} carries no model object"
+            )
+        if feature_columns is None:
+            feature_columns = model.params.get("feature_columns")
+        model = model.model
+    return model, feature_columns
 
 
 def linear_expression(
@@ -44,9 +64,13 @@ def score_linear_model(
 
     Works with any estimator exposing ``coef_`` and ``intercept_``
     (LinearRegression, Ridge, LogisticRegression, LinearSVM, the in-DB
-    GLMs). For classifiers the appended value is the *margin*; use
+    GLMs), or a registry :class:`~repro.lifecycle.ModelVersion` wrapping
+    one (``registry.deployed("churn")`` scores in one call; columns come
+    from the entry's ``feature_columns`` param when not given). For
+    classifiers the appended value is the *margin*; use
     :func:`score_probability` for calibrated probabilities.
     """
+    model, feature_columns = _unwrap_model(model, feature_columns)
     if not hasattr(model, "coef_"):
         raise ModelError("model must be fitted and expose coef_/intercept_")
     columns = list(

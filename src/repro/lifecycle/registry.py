@@ -36,9 +36,15 @@ class ModelVersion:
 class ModelRegistry:
     """In-memory versioned model store."""
 
+    #: the alias :meth:`deploy` maintains; serving routes stable traffic
+    #: through it by default.
+    DEPLOYED_ALIAS = "prod"
+
     def __init__(self) -> None:
         self._models: dict[str, list[ModelVersion]] = {}
         self._stage: dict[str, int] = {}  # name -> deployed version
+        self._history: dict[str, list[int]] = {}  # prior deployments, oldest first
+        self._aliases: dict[str, dict[str, int]] = {}  # name -> alias -> version
 
     def register(
         self,
@@ -111,13 +117,81 @@ class ModelRegistry:
 
     # -- deployment staging ------------------------------------------------
     def deploy(self, name: str, version: int) -> None:
+        """Promote ``version``; the prior deployment (if any) is pushed
+        onto a history stack so :meth:`rollback` can restore it. Also
+        points the ``"prod"`` alias at the new version."""
         self.get(name, version)  # validates existence
+        previous = self._stage.get(name)
+        if previous is not None and previous != version:
+            self._history.setdefault(name, []).append(previous)
         self._stage[name] = version
+        self._aliases.setdefault(name, {})[self.DEPLOYED_ALIAS] = version
+
+    def undeploy(self, name: str) -> ModelVersion:
+        """Take ``name`` out of serving; returns the version removed.
+
+        The removed version joins the rollback history, so a subsequent
+        :meth:`rollback` re-deploys it.
+        """
+        if name not in self._stage:
+            raise LifecycleError(f"no deployed version of {name!r}")
+        version = self._stage.pop(name)
+        self._history.setdefault(name, []).append(version)
+        self._aliases.get(name, {}).pop(self.DEPLOYED_ALIAS, None)
+        return self.get(name, version)
+
+    def rollback(self, name: str) -> ModelVersion:
+        """Restore the most recently superseded deployment of ``name``."""
+        history = self._history.get(name)
+        if not history:
+            raise LifecycleError(f"no deployment history for {name!r}")
+        version = history.pop()
+        self._stage[name] = version
+        self._aliases.setdefault(name, {})[self.DEPLOYED_ALIAS] = version
+        return self.get(name, version)
 
     def deployed(self, name: str) -> ModelVersion:
         if name not in self._stage:
             raise LifecycleError(f"no deployed version of {name!r}")
         return self.get(name, self._stage[name])
+
+    # -- named aliases -------------------------------------------------------
+    def set_alias(self, name: str, alias: str, version: int) -> None:
+        """Point ``alias`` (e.g. ``"canary"``) at a version of ``name``.
+
+        The ``"prod"`` alias is owned by the deployment machinery, so
+        setting it delegates to :meth:`deploy` (history included).
+        """
+        if not alias:
+            raise LifecycleError("alias must be a non-empty string")
+        if alias == self.DEPLOYED_ALIAS:
+            self.deploy(name, version)
+            return
+        self.get(name, version)  # validates existence
+        self._aliases.setdefault(name, {})[alias] = version
+
+    def drop_alias(self, name: str, alias: str) -> None:
+        if alias == self.DEPLOYED_ALIAS:
+            self.undeploy(name)
+            return
+        if alias not in self._aliases.get(name, {}):
+            raise LifecycleError(f"{name!r} has no alias {alias!r}")
+        del self._aliases[name][alias]
+
+    def aliases(self, name: str) -> dict[str, int]:
+        """Alias -> version map for ``name`` (may be empty)."""
+        self.versions(name)  # validates the model exists
+        return dict(self._aliases.get(name, {}))
+
+    def resolve(self, name: str, ref: int | str | None = None) -> ModelVersion:
+        """Resolve a version reference: an int version, an alias string,
+        or ``None`` for the latest registered version."""
+        if ref is None or isinstance(ref, int):
+            return self.get(name, ref)
+        alias_map = self._aliases.get(name, {})
+        if ref not in alias_map:
+            raise LifecycleError(f"{name!r} has no alias {ref!r}")
+        return self.get(name, alias_map[ref])
 
     # -- persistence ---------------------------------------------------------
     def save(self, path) -> None:
@@ -151,7 +225,12 @@ class ModelRegistry:
                         "created_at": v.created_at,
                     }
                 )
-        payload = {"versions": entries, "deployed": dict(self._stage)}
+        payload = {
+            "versions": entries,
+            "deployed": dict(self._stage),
+            "history": {k: list(v) for k, v in self._history.items() if v},
+            "aliases": {k: dict(v) for k, v in self._aliases.items() if v},
+        }
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
@@ -190,4 +269,18 @@ class ModelRegistry:
         registry._stage = {
             name: int(v) for name, v in payload.get("deployed", {}).items()
         }
+        registry._history = {
+            name: [int(v) for v in versions]
+            for name, versions in payload.get("history", {}).items()
+        }
+        registry._aliases = {
+            name: {alias: int(v) for alias, v in aliases.items()}
+            for name, aliases in payload.get("aliases", {}).items()
+        }
+        # Files saved before aliases existed carry deployments only:
+        # re-derive their "prod" alias from the staged version.
+        for name, version in registry._stage.items():
+            registry._aliases.setdefault(name, {}).setdefault(
+                cls.DEPLOYED_ALIAS, version
+            )
         return registry

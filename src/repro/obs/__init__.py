@@ -24,6 +24,7 @@ registry so one exporter sees everything.
 """
 
 from .metrics import (
+    RESERVOIR_SIZE,
     Counter,
     Gauge,
     Histogram,
@@ -80,6 +81,7 @@ def metric_value(name: str, default: float = 0.0) -> float:
 
 __all__ = [
     "MAX_ROOT_SPANS",
+    "RESERVOIR_SIZE",
     "SCHEMA",
     "Counter",
     "Gauge",

@@ -22,6 +22,7 @@ total instrumentation cost of a run from first principles.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any
 
@@ -76,10 +77,19 @@ class Gauge:
         return {"value": self.value, "updates": self.updates}
 
 
-class Histogram:
-    """Streaming summary: count, sum, min, max (mean derived)."""
+#: number of recent observations a histogram keeps for percentiles.
+RESERVOIR_SIZE = 512
 
-    __slots__ = ("name", "count", "total", "min", "max", "updates", "_lock")
+
+class Histogram:
+    """Streaming summary: count, sum, min, max (mean derived), plus
+    nearest-rank percentiles over a bounded window of the most recent
+    :data:`RESERVOIR_SIZE` observations (a deterministic ring buffer —
+    no sampling randomness, so two identical runs report identical
+    p50/p95/p99)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "updates",
+                 "_samples", "_next_slot", "_lock")
 
     kind = "histogram"
 
@@ -90,6 +100,8 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self.updates = 0
+        self._samples: list[float] = []
+        self._next_slot = 0
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -101,11 +113,27 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            if len(self._samples) < RESERVOIR_SIZE:
+                self._samples.append(value)
+            else:
+                self._samples[self._next_slot] = value
+                self._next_slot = (self._next_slot + 1) % RESERVOIR_SIZE
             self.updates += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the window."""
+        if not 0.0 <= q <= 100.0:
+            raise ReproError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * len(samples)))
+        return samples[rank - 1]
 
     def as_dict(self) -> dict[str, Any]:
         if not self.count:
@@ -117,6 +145,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
             "updates": self.updates,
         }
 

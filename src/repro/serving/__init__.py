@@ -1,0 +1,45 @@
+"""Online model serving: micro-batching, prediction cache, canary rollout.
+
+The deployment half the lifecycle layer was missing. A
+:class:`ModelServer` turns a :class:`~repro.lifecycle.ModelRegistry`
+into a live inference surface:
+
+* **Endpoints** resolve models through registry aliases (``"prod"`` /
+  ``"canary"``), so promote and rollback are atomic pointer swaps.
+* **Canary rollout** routes a deterministic hash-slice of request keys
+  to a candidate version (:class:`CanaryRouter` — bit-reproducible).
+* **Micro-batching** (:class:`MicroBatcher`) coalesces queued requests
+  into vectorized batches under ``max_batch_size`` / ``max_delay_ms``;
+  compiled affine scorers make batched results bit-identical to
+  single-row scoring and to the ``indb`` SQL-scoring path.
+* **Prediction cache** (:class:`PredictionCache`) memoizes on
+  ``(endpoint, model_version, feature_hash)`` with TTL and invalidation
+  on promotion.
+* **Admission control** — bounded queues shed load
+  (:class:`~repro.errors.LoadShedError`), scoring concurrency is
+  capped, and deadlines raise
+  :class:`~repro.errors.DeadlineExceededError`; chaos fault sites
+  (``serving.admission``, ``serving.score``) plug into
+  :mod:`repro.resilience`.
+
+E22 (``benchmarks/bench_serving.py``) measures the batched-vs-unbatched
+throughput, latency percentiles, cache hit ratios, and canary split
+exactness this package promises.
+"""
+
+from .batcher import MicroBatcher, PendingRequest
+from .cache import PredictionCache, PredictionCacheStats, feature_hash
+from .router import CanaryRouter
+from .server import Endpoint, ModelServer, compile_linear_scorer
+
+__all__ = [
+    "CanaryRouter",
+    "Endpoint",
+    "MicroBatcher",
+    "ModelServer",
+    "PendingRequest",
+    "PredictionCache",
+    "PredictionCacheStats",
+    "compile_linear_scorer",
+    "feature_hash",
+]

@@ -1,0 +1,126 @@
+"""Versioned prediction cache with TTL and promotion invalidation.
+
+Online scoring is read-heavy and repetitive — the same entities are
+scored again and again between model updates (Kara et al. keep scoring
+incremental for exactly this reason). Entries are keyed on
+``(endpoint, model_version, feature_hash)``: the version in the key
+means a promoted model can never serve a predecessor's cached answer,
+and :meth:`PredictionCache.invalidate` additionally evicts an
+endpoint's entries eagerly on promote/rollback so stale rows do not
+squat in the LRU ring. The hit/miss/invalidation ledger mirrors the
+:class:`~repro.storage.querycache.QueryCache` pattern the feature-query
+layer uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ServingError
+
+
+def feature_hash(row: np.ndarray) -> int:
+    """Process-independent hash of one feature vector.
+
+    Hashes dtype, shape, and the raw little-endian bytes, so equal
+    vectors hash equally across processes and runs (builtin ``hash`` is
+    salted per interpreter).
+    """
+    arr = np.ascontiguousarray(row, dtype=np.float64)
+    header = f"{arr.shape}".encode("utf-8")
+    return zlib.crc32(arr.tobytes(), zlib.crc32(header))
+
+
+@dataclass
+class PredictionCacheStats:
+    """Hit/miss/invalidation ledger of one :class:`PredictionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PredictionCache:
+    """LRU + TTL cache of scalar predictions, thread-safe.
+
+    Args:
+        capacity: maximum number of cached predictions.
+        ttl_s: entry lifetime in seconds (None = no expiry).
+        clock: injectable monotonic clock (tests advance a fake).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        ttl_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ServingError("cache capacity must be >= 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ServingError("ttl_s must be positive (or None)")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._entries: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = PredictionCacheStats()
+
+    # ------------------------------------------------------------------
+    def get(self, endpoint: str, version: int, fhash: int) -> float | None:
+        """The cached prediction, or None on miss/expiry."""
+        key = (endpoint, version, fhash)
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                stored_at, value = entry
+                if self.ttl_s is None or now - stored_at < self.ttl_s:
+                    self.stats.hits += 1
+                    self._entries.move_to_end(key)
+                    return value
+                del self._entries[key]
+                self.stats.expirations += 1
+            self.stats.misses += 1
+        return None
+
+    def put(self, endpoint: str, version: int, fhash: int, value: float) -> None:
+        key = (endpoint, version, fhash)
+        with self._lock:
+            self._entries[key] = (self._clock(), float(value))
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, endpoint: str) -> int:
+        """Evict every entry of one endpoint (any version); returns the
+        count. Called on promote/rollback."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == endpoint]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

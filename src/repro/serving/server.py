@@ -1,0 +1,561 @@
+"""Online model server: registry-backed endpoints with canary rollout.
+
+The lifecycle layer ends at ``registry.deploy()``; this module is the
+other half — the process that answers prediction requests. A
+:class:`ModelServer` owns named *endpoints*, each of which:
+
+* resolves its model through the :class:`~repro.lifecycle.ModelRegistry`
+  **by alias** (``"prod"`` for stable traffic, ``"canary"`` for the
+  candidate), so :meth:`promote` / :meth:`rollback` are atomic pointer
+  swaps — in-flight requests finish on the version they resolved;
+* routes a deterministic hash-slice of request keys to the canary
+  (:class:`~repro.serving.router.CanaryRouter` — bit-reproducible given
+  the seed);
+* scores through a **compiled affine scorer**: for linear models the
+  endpoint evaluates the same column-accumulation expression
+  ``indb.scoring`` deploys into the engine, in the same order, so a
+  prediction is bit-identical whether it was served alone, in a batch of
+  64, or by a SQL scoring query;
+* memoizes predictions in a versioned
+  :class:`~repro.serving.cache.PredictionCache` (TTL + invalidation on
+  promote/rollback);
+* sheds load at admission (bounded queue), bounds scoring concurrency,
+  and honours per-request deadlines — all under
+  :func:`~repro.resilience.fault_point` sites (``serving.admission``,
+  ``serving.score``) so chaos tests cover the serving path, with
+  :class:`~repro.resilience.RetryPolicy` recovery on the scoring site.
+
+Every request updates the :mod:`repro.obs` registry: request/shed/cache
+counters and ``serving.latency_ms`` / ``serving.batch_size`` histograms
+with p50/p95/p99.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import (
+    DeadlineExceededError,
+    InjectedFault,
+    LoadShedError,
+    ServingError,
+)
+from ..lifecycle.registry import ModelRegistry, ModelVersion
+from ..ml.losses import sigmoid
+from ..obs import Histogram, get_registry
+from ..resilience import RetryPolicy, fault_point, resilient_call
+from .batcher import MicroBatcher
+from .cache import PredictionCache, feature_hash
+from .router import CanaryRouter
+
+#: scorer outputs an endpoint can serve for linear models.
+_OUTPUTS = ("margin", "proba", "label", "predict")
+
+
+def compile_linear_scorer(
+    model, output: str = "margin"
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Compile a fitted linear model into a batch scoring kernel.
+
+    The kernel accumulates ``intercept + w0*X[:,0] + w1*X[:,1] + ...``
+    column by column in fixed order — exactly the evaluation order of
+    the :func:`repro.indb.scoring.linear_expression` the in-DB path
+    deploys, and independent of the batch size. Two consequences E22
+    leans on: a batched prediction is bit-identical to the same row
+    scored alone, and the online server agrees bit-for-bit with SQL
+    scoring of the same model.
+    """
+    if not hasattr(model, "coef_"):
+        raise ServingError(
+            "compiled scoring needs a fitted linear model exposing "
+            "coef_/intercept_ (use output='predict' for other models)"
+        )
+    weights = np.asarray(model.coef_, dtype=np.float64).ravel()
+    intercept = float(model.intercept_)
+    columns = [(j, float(w)) for j, w in enumerate(weights)]
+
+    def score(batch: np.ndarray) -> np.ndarray:
+        scores = np.full(batch.shape[0], intercept, dtype=np.float64)
+        for j, w in columns:
+            scores = scores + w * batch[:, j]
+        if output == "proba":
+            return sigmoid(scores)
+        if output == "label":
+            return (sigmoid(scores) >= 0.5).astype(np.float64)
+        return scores
+
+    return score
+
+
+def _build_scorer(model, output: str) -> Callable[[np.ndarray], np.ndarray]:
+    if output == "predict":
+        if not hasattr(model, "predict"):
+            raise ServingError("model has no predict(); pick another output")
+        return lambda batch: np.asarray(model.predict(batch), dtype=np.float64)
+    return compile_linear_scorer(model, output)
+
+
+class Endpoint:
+    """One served route: config, queue, cache, router, and its ledger."""
+
+    def __init__(
+        self,
+        name: str,
+        model_name: str,
+        *,
+        stable: int | str = ModelRegistry.DEPLOYED_ALIAS,
+        canary: int | str | None = None,
+        canary_fraction: float = 0.0,
+        canary_seed: int = 0,
+        output: str = "margin",
+        scorer: Callable[[np.ndarray], np.ndarray] | None = None,
+        max_batch_size: int = 64,
+        max_delay_ms: float = 2.0,
+        queue_capacity: int = 1024,
+        max_concurrency: int = 4,
+        cache_enabled: bool = True,
+        cache_capacity: int = 4096,
+        cache_ttl_s: float | None = None,
+        deadline_ms: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if scorer is None and output not in _OUTPUTS:
+            raise ServingError(
+                f"output must be one of {_OUTPUTS}, got {output!r}"
+            )
+        if max_concurrency < 1:
+            raise ServingError("max_concurrency must be >= 1")
+        self.name = name
+        self.model_name = model_name
+        self.stable = stable
+        self.canary = canary
+        self.router = CanaryRouter(canary_fraction, canary_seed)
+        self.output = output
+        self.custom_scorer = scorer
+        self.deadline_ms = deadline_ms
+        self._clock = clock
+        self.batcher = MicroBatcher(
+            name,
+            max_batch_size=max_batch_size,
+            max_delay_ms=max_delay_ms,
+            queue_capacity=queue_capacity,
+            clock=clock,
+        )
+        self.cache: PredictionCache | None = (
+            PredictionCache(cache_capacity, cache_ttl_s, clock=clock)
+            if cache_enabled
+            else None
+        )
+        self.semaphore = threading.Semaphore(max_concurrency)
+        self.max_concurrency = max_concurrency
+        # ledger (dual-written into repro.obs)
+        self.requests = 0
+        self.shed = 0
+        self.deadline_exceeded = 0
+        self.stable_requests = 0
+        self.canary_requests = 0
+        self.latency = Histogram(f"serving.latency_ms.{name}")
+
+    def stats(self) -> dict:
+        """One endpoint's serving ledger as a plain dict."""
+        cache_stats = self.cache.stats if self.cache is not None else None
+        return {
+            "endpoint": self.name,
+            "model": self.model_name,
+            "requests": self.requests,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "stable_requests": self.stable_requests,
+            "canary_requests": self.canary_requests,
+            "canary_fraction": self.router.fraction,
+            "batches": self.batcher.batches,
+            "batched_requests": self.batcher.batched_requests,
+            "mean_batch_size": (
+                self.batcher.batched_requests / self.batcher.batches
+                if self.batcher.batches
+                else 0.0
+            ),
+            "cache": (
+                {
+                    "hits": cache_stats.hits,
+                    "misses": cache_stats.misses,
+                    "invalidations": cache_stats.invalidations,
+                    "evictions": cache_stats.evictions,
+                    "expirations": cache_stats.expirations,
+                    "hit_ratio": cache_stats.hit_ratio,
+                }
+                if cache_stats is not None
+                else None
+            ),
+            "latency_ms": {
+                "count": self.latency.count,
+                "mean": self.latency.mean,
+                "p50": self.latency.percentile(50.0),
+                "p95": self.latency.percentile(95.0),
+                "p99": self.latency.percentile(99.0),
+                "max": self.latency.max if self.latency.count else None,
+            },
+        }
+
+
+class ModelServer:
+    """Embedded online-inference server over a :class:`ModelRegistry`.
+
+    Typical session::
+
+        registry.register("churn", model, params={...})
+        server = ModelServer(registry)
+        server.create_endpoint("churn-score", "churn", output="proba")
+        server.promote("churn-score")            # latest -> "prod" alias
+        p = server.predict("churn-score", x, key="user-42")
+        server.set_canary("churn-score", version=2, fraction=0.1)
+        server.rollback("churn-score")           # restore previous prod
+
+    Args:
+        registry: the model registry endpoints resolve through.
+        retry: recovery policy for the ``serving.score`` fault site
+            (None = fail fast).
+        clock: injectable monotonic clock shared by queues and caches.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        retry: RetryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.registry = registry
+        self.retry = retry
+        self._clock = clock
+        self._endpoints: dict[str, Endpoint] = {}
+        self._scorers: dict[tuple[str, int], Callable] = {}
+
+    # ------------------------------------------------------------------
+    # Endpoint management
+    # ------------------------------------------------------------------
+    def create_endpoint(self, name: str, model_name: str, **config) -> Endpoint:
+        """Register a served route; see :class:`Endpoint` for knobs."""
+        if name in self._endpoints:
+            raise ServingError(f"endpoint {name!r} already exists")
+        self.registry.versions(model_name)  # validates the model exists
+        endpoint = Endpoint(name, model_name, clock=self._clock, **config)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise ServingError(f"no endpoint named {name!r}")
+        return endpoint
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def start(self, name: str) -> None:
+        """Run the endpoint's batcher in a background worker thread."""
+        self.endpoint(name).batcher.start()
+
+    def flush(self, name: str) -> int:
+        return self.endpoint(name).batcher.flush()
+
+    def close(self) -> None:
+        """Stop every worker and drain every queue."""
+        for endpoint in self._endpoints.values():
+            if endpoint.batcher.running:
+                endpoint.batcher.stop()
+            else:
+                endpoint.batcher.flush()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Rollout operations
+    # ------------------------------------------------------------------
+    def promote(self, name: str, version: int | None = None) -> ModelVersion:
+        """Deploy a version (default: latest registered) to the stable
+        alias and invalidate the endpoint's cached predictions."""
+        endpoint = self.endpoint(name)
+        if version is None:
+            version = self.registry.get(endpoint.model_name).version
+        self.registry.deploy(endpoint.model_name, version)
+        self._invalidate(endpoint)
+        return self.registry.get(endpoint.model_name, version)
+
+    def rollback(self, name: str) -> ModelVersion:
+        """Restore the previously deployed version; cache invalidated."""
+        endpoint = self.endpoint(name)
+        entry = self.registry.rollback(endpoint.model_name)
+        self._invalidate(endpoint)
+        return entry
+
+    def set_canary(
+        self, name: str, version: int, fraction: float
+    ) -> ModelVersion:
+        """Point the canary alias at ``version`` and route ``fraction``
+        of keyed traffic to it."""
+        endpoint = self.endpoint(name)
+        self.registry.set_alias(endpoint.model_name, "canary", version)
+        endpoint.canary = "canary"
+        endpoint.router = CanaryRouter(fraction, endpoint.router.seed)
+        return self.registry.get(endpoint.model_name, version)
+
+    def clear_canary(self, name: str) -> None:
+        endpoint = self.endpoint(name)
+        if "canary" in self.registry.aliases(endpoint.model_name):
+            self.registry.drop_alias(endpoint.model_name, "canary")
+        endpoint.canary = None
+        endpoint.router = CanaryRouter(0.0, endpoint.router.seed)
+
+    def _invalidate(self, endpoint: Endpoint) -> int:
+        self._scorers = {
+            k: v for k, v in self._scorers.items() if k[0] != endpoint.name
+        }
+        if endpoint.cache is None:
+            return 0
+        dropped = endpoint.cache.invalidate(endpoint.name)
+        registry = get_registry()
+        registry.inc("serving.cache.invalidations", dropped)
+        registry.inc(f"serving.cache.invalidations.{endpoint.name}", dropped)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _route(self, endpoint: Endpoint, key: object | None) -> ModelVersion:
+        """Resolve which version answers this request (canary or stable)."""
+        use_canary = (
+            key is not None
+            and endpoint.canary is not None
+            and endpoint.router.routes_to_canary(key)
+        )
+        registry = get_registry()
+        if use_canary:
+            endpoint.canary_requests += 1
+            registry.inc("serving.canary_requests")
+            return self.registry.resolve(endpoint.model_name, endpoint.canary)
+        endpoint.stable_requests += 1
+        return self.registry.resolve(endpoint.model_name, endpoint.stable)
+
+    def _scorer_for(self, endpoint: Endpoint, entry: ModelVersion) -> Callable:
+        ident = (endpoint.name, entry.version)
+        scorer = self._scorers.get(ident)
+        if scorer is None:
+            base = (
+                endpoint.custom_scorer
+                if endpoint.custom_scorer is not None
+                else _build_scorer(entry.model, endpoint.output)
+            )
+
+            def scorer(batch: np.ndarray, _base=base) -> np.ndarray:
+                with endpoint.semaphore:
+                    return resilient_call(
+                        lambda: _base(batch),
+                        site="serving.score",
+                        key=endpoint.name,
+                        retry=self.retry,
+                    )
+
+            self._scorers[ident] = scorer
+        return scorer
+
+    def _admit(self, endpoint: Endpoint, key: object | None) -> None:
+        """Admission fault site: injected faults become shed requests."""
+        try:
+            fault_point("serving.admission", key=endpoint.name)
+        except InjectedFault as fault:
+            self._count_shed(endpoint)
+            raise LoadShedError(
+                endpoint.name,
+                endpoint.batcher.depth(),
+                endpoint.batcher.queue_capacity,
+            ) from fault
+
+    def _count_shed(self, endpoint: Endpoint) -> None:
+        endpoint.shed += 1
+        registry = get_registry()
+        registry.inc("serving.shed")
+        registry.inc(f"serving.shed.{endpoint.name}")
+
+    def _record_latency(self, endpoint: Endpoint, start: float) -> None:
+        elapsed_ms = (self._clock() - start) * 1000.0
+        endpoint.latency.observe(elapsed_ms)
+        registry = get_registry()
+        registry.observe("serving.latency_ms", elapsed_ms)
+
+    def _count_request(self, endpoint: Endpoint) -> None:
+        endpoint.requests += 1
+        registry = get_registry()
+        registry.inc("serving.requests")
+        registry.inc(f"serving.requests.{endpoint.name}")
+
+    def predict(
+        self,
+        name: str,
+        row: np.ndarray,
+        key: object | None = None,
+        deadline_ms: float | None = None,
+    ) -> float:
+        """Serve one prediction through the full path: admission, canary
+        routing, cache, micro-batch queue, deadline.
+
+        With no background worker running the queue is drained inline
+        (deterministic single-caller mode); concurrent callers should
+        :meth:`start` the endpoint so their requests coalesce.
+        """
+        endpoint = self.endpoint(name)
+        start = self._clock()
+        self._count_request(endpoint)
+        if deadline_ms is None:
+            deadline_ms = endpoint.deadline_ms
+        deadline_at = (
+            start + deadline_ms / 1000.0 if deadline_ms is not None else None
+        )
+        self._admit(endpoint, key)
+        entry = self._route(endpoint, key)
+        row = np.asarray(row, dtype=np.float64)
+        obs_registry = get_registry()
+        fhash = None
+        if endpoint.cache is not None:
+            fhash = feature_hash(row)
+            cached = endpoint.cache.get(name, entry.version, fhash)
+            if cached is not None:
+                obs_registry.inc("serving.cache.hits")
+                obs_registry.inc(f"serving.cache.hits.{name}")
+                self._record_latency(endpoint, start)
+                return cached
+            obs_registry.inc("serving.cache.misses")
+            obs_registry.inc(f"serving.cache.misses.{name}")
+        scorer = self._scorer_for(endpoint, entry)
+        try:
+            pending = endpoint.batcher.submit(
+                row, scorer, entry.version, deadline_at
+            )
+        except LoadShedError:
+            self._count_shed(endpoint)
+            raise
+        if not endpoint.batcher.running:
+            endpoint.batcher.flush()
+        timeout = (
+            None
+            if deadline_at is None
+            else max(0.0, deadline_at - self._clock())
+        )
+        try:
+            value = pending.wait(timeout)
+        except TimeoutError:
+            self._count_deadline(endpoint)
+            raise DeadlineExceededError(name, deadline_ms) from None
+        except DeadlineExceededError:
+            self._count_deadline(endpoint)
+            raise DeadlineExceededError(name, deadline_ms) from None
+        if deadline_at is not None and self._clock() > deadline_at:
+            # Computed, but too late — a deadline is a client promise.
+            self._count_deadline(endpoint)
+            raise DeadlineExceededError(name, deadline_ms)
+        if endpoint.cache is not None:
+            endpoint.cache.put(name, entry.version, fhash, value)
+        self._record_latency(endpoint, start)
+        return value
+
+    def _count_deadline(self, endpoint: Endpoint) -> None:
+        endpoint.deadline_exceeded += 1
+        registry = get_registry()
+        registry.inc("serving.deadline_exceeded")
+        registry.inc(f"serving.deadline_exceeded.{endpoint.name}")
+
+    def predict_many(
+        self,
+        name: str,
+        rows: np.ndarray,
+        keys: Sequence[object] | None = None,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
+        """Serve a stream of requests through the micro-batcher.
+
+        Each row is still an individual request (admission, routing,
+        cache), but the queue is drained in vectorized batches, so the
+        per-request Python overhead is amortized into one kernel call
+        per ``max_batch_size`` rows — the speedup E22 measures. Rows
+        whose queue slot would overflow trigger an inline drain instead
+        of shedding (a closed-loop caller is its own backpressure).
+        """
+        endpoint = self.endpoint(name)
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2:
+            raise ServingError(
+                f"predict_many expects a 2-D batch, got shape {rows.shape}"
+            )
+        if keys is not None and len(keys) != rows.shape[0]:
+            raise ServingError("one key per row required")
+        start = self._clock()
+        deadline_ms = (
+            deadline_ms if deadline_ms is not None else endpoint.deadline_ms
+        )
+        deadline_at = (
+            start + deadline_ms / 1000.0 if deadline_ms is not None else None
+        )
+        obs_registry = get_registry()
+        out = np.empty(rows.shape[0], dtype=np.float64)
+        # (row index, pending handle, feature hash, resolved version)
+        pendings: list[tuple] = []
+        for i in range(rows.shape[0]):
+            key = keys[i] if keys is not None else None
+            self._count_request(endpoint)
+            self._admit(endpoint, key)
+            entry = self._route(endpoint, key)
+            row = rows[i]
+            fhash = None
+            if endpoint.cache is not None:
+                fhash = feature_hash(row)
+                cached = endpoint.cache.get(name, entry.version, fhash)
+                if cached is not None:
+                    obs_registry.inc("serving.cache.hits")
+                    obs_registry.inc(f"serving.cache.hits.{name}")
+                    out[i] = cached
+                    continue
+                obs_registry.inc("serving.cache.misses")
+                obs_registry.inc(f"serving.cache.misses.{name}")
+            scorer = self._scorer_for(endpoint, entry)
+            try:
+                pending = endpoint.batcher.submit(
+                    row, scorer, entry.version, deadline_at
+                )
+            except LoadShedError:
+                endpoint.batcher.flush()  # closed loop: drain, then retry
+                pending = endpoint.batcher.submit(
+                    row, scorer, entry.version, deadline_at
+                )
+            pendings.append((i, pending, fhash, entry.version))
+        if not endpoint.batcher.running:
+            endpoint.batcher.flush()
+        for i, pending, fhash, version in pendings:
+            timeout = (
+                None
+                if deadline_at is None
+                else max(0.0, deadline_at - self._clock())
+            )
+            try:
+                out[i] = pending.wait(timeout)
+            except TimeoutError:
+                self._count_deadline(endpoint)
+                raise DeadlineExceededError(name, deadline_ms) from None
+            if endpoint.cache is not None:
+                endpoint.cache.put(name, version, fhash, out[i])
+        self._record_latency(endpoint, start)
+        return out
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Per-endpoint serving ledgers, keyed by endpoint name."""
+        return {
+            name: endpoint.stats()
+            for name, endpoint in sorted(self._endpoints.items())
+        }

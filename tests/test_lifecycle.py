@@ -75,6 +75,54 @@ class TestModelRegistry:
         registry.register("fraud", "m")
         assert registry.names() == ["churn", "fraud"]
 
+    def test_deploy_tracks_history_and_prod_alias(self, registry):
+        registry.deploy("churn", 1)
+        registry.deploy("churn", 2)
+        assert registry.aliases("churn") == {"prod": 2}
+        assert registry.rollback("churn").version == 1
+        assert registry.deployed("churn").version == 1
+
+    def test_undeploy_clears_and_is_rollbackable(self, registry):
+        registry.deploy("churn", 2)
+        assert registry.undeploy("churn").version == 2
+        with pytest.raises(LifecycleError):
+            registry.deployed("churn")
+        assert registry.rollback("churn").version == 2
+
+    def test_undeploy_without_deployment(self, registry):
+        with pytest.raises(LifecycleError, match="deploy"):
+            registry.undeploy("churn")
+
+    def test_rollback_without_history(self, registry):
+        registry.deploy("churn", 1)
+        with pytest.raises(LifecycleError, match="history"):
+            registry.rollback("churn")
+
+    def test_named_aliases_resolve(self, registry):
+        registry.deploy("churn", 1)
+        registry.set_alias("churn", "canary", 2)
+        assert registry.resolve("churn", "prod").version == 1
+        assert registry.resolve("churn", "canary").version == 2
+        assert registry.resolve("churn", 1).version == 1  # ints pass through
+        registry.drop_alias("churn", "canary")
+        with pytest.raises(LifecycleError):
+            registry.resolve("churn", "canary")
+
+    def test_alias_must_point_at_real_version(self, registry):
+        with pytest.raises(LifecycleError):
+            registry.set_alias("churn", "canary", 42)
+
+    def test_save_load_round_trips_rollout_state(self, registry, tmp_path):
+        registry.deploy("churn", 1)
+        registry.deploy("churn", 2)
+        registry.set_alias("churn", "canary", 1)
+        path = tmp_path / "registry.json"
+        registry.save(path)
+        loaded = ModelRegistry.load(path)
+        assert loaded.deployed("churn").version == 2
+        assert loaded.aliases("churn") == {"prod": 2, "canary": 1}
+        assert loaded.rollback("churn").version == 1
+
 
 class TestExperimentTracker:
     @pytest.fixture

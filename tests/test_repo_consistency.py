@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "ml",
     "runtime",
     "selection",
+    "serving",
     "sparse",
     "storage",
 ]

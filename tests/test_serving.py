@@ -1,0 +1,710 @@
+"""Unit and property tests for the online serving subsystem.
+
+Covers the four serving pillars (router, cache, batcher, server), the
+registry rollout satellites (aliases, undeploy, rollback), cache
+invalidation on promote/rollback, the hypothesis ordering property of
+the micro-batcher, and the chaos coverage of the serving path
+(admission shedding, scoring retries, deadline misses).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.data import make_classification
+from repro.errors import (
+    DeadlineExceededError,
+    LifecycleError,
+    LoadShedError,
+    ServingError,
+)
+from repro.lifecycle import ModelRegistry
+from repro.ml import LogisticRegression
+from repro.resilience import ChaosContext, FaultPlan, RetryPolicy
+from repro.serving import (
+    CanaryRouter,
+    MicroBatcher,
+    ModelServer,
+    PredictionCache,
+    compile_linear_scorer,
+    feature_hash,
+)
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for TTL/deadline tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def model_pair():
+    X, y = make_classification(300, 5, separation=2.5, seed=11)
+    m1 = LogisticRegression(solver="gd", max_iter=30).fit(X, y)
+    m2 = LogisticRegression(solver="gd", max_iter=60, l2=0.5).fit(X, y)
+    return X, y, m1, m2
+
+
+@pytest.fixture
+def served(model_pair):
+    """(server, registry, X) with v1 promoted on endpoint 'score'."""
+    X, _, m1, m2 = model_pair
+    registry = ModelRegistry()
+    registry.register("churn", m1)
+    registry.register("churn", m2)
+    server = ModelServer(registry)
+    server.create_endpoint("score", "churn")
+    server.promote("score", 1)
+    yield server, registry, X
+    server.close()
+
+
+# ----------------------------------------------------------------------
+# Canary router
+# ----------------------------------------------------------------------
+class TestCanaryRouter:
+    def test_deterministic_across_instances(self):
+        a = CanaryRouter(0.3, seed=7)
+        b = CanaryRouter(0.3, seed=7)
+        keys = [f"user-{i}" for i in range(500)]
+        assert [a.routes_to_canary(k) for k in keys] == [
+            b.routes_to_canary(k) for k in keys
+        ]
+
+    def test_seed_changes_assignment(self):
+        keys = [f"user-{i}" for i in range(500)]
+        a = [CanaryRouter(0.5, seed=1).routes_to_canary(k) for k in keys]
+        b = [CanaryRouter(0.5, seed=2).routes_to_canary(k) for k in keys]
+        assert a != b
+
+    def test_fraction_monotone(self):
+        """Raising the fraction only adds keys, never reshuffles."""
+        keys = [f"k{i}" for i in range(400)]
+        small = {k for k in keys if CanaryRouter(0.05, 3).routes_to_canary(k)}
+        large = {k for k in keys if CanaryRouter(0.30, 3).routes_to_canary(k)}
+        assert small <= large
+
+    def test_fraction_zero_and_one(self):
+        assert not CanaryRouter(0.0, 1).routes_to_canary("x")
+        assert CanaryRouter(1.0, 1).routes_to_canary("x")
+
+    def test_split_partitions(self):
+        keys = [f"k{i}" for i in range(100)]
+        stable, canary = CanaryRouter(0.25, 5).split(keys)
+        assert sorted(stable + canary) == sorted(keys)
+        assert 0 < len(canary) < len(keys)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ServingError):
+            CanaryRouter(1.5)
+
+
+# ----------------------------------------------------------------------
+# Prediction cache
+# ----------------------------------------------------------------------
+class TestPredictionCache:
+    def test_hit_after_put(self):
+        cache = PredictionCache(capacity=8)
+        cache.put("ep", 1, 42, 0.5)
+        assert cache.get("ep", 1, 42) == 0.5
+        assert cache.stats.hits == 1
+
+    def test_version_in_key(self):
+        cache = PredictionCache(capacity=8)
+        cache.put("ep", 1, 42, 0.5)
+        assert cache.get("ep", 2, 42) is None  # other version never hits
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = PredictionCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("ep", 1, 7, 1.5)
+        clock.advance(9.0)
+        assert cache.get("ep", 1, 7) == 1.5
+        clock.advance(2.0)
+        assert cache.get("ep", 1, 7) is None
+        assert cache.stats.expirations == 1
+
+    def test_lru_eviction(self):
+        cache = PredictionCache(capacity=2)
+        cache.put("ep", 1, 1, 0.1)
+        cache.put("ep", 1, 2, 0.2)
+        assert cache.get("ep", 1, 1) == 0.1  # touch 1 -> 2 becomes LRU
+        cache.put("ep", 1, 3, 0.3)
+        assert cache.get("ep", 1, 2) is None
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_endpoint_only(self):
+        cache = PredictionCache(capacity=8)
+        cache.put("a", 1, 1, 0.1)
+        cache.put("a", 2, 2, 0.2)
+        cache.put("b", 1, 1, 0.3)
+        assert cache.invalidate("a") == 2
+        assert cache.get("b", 1, 1) == 0.3
+        assert cache.stats.invalidations == 2
+
+    def test_feature_hash_stable(self):
+        row = np.array([1.0, 2.0, 3.0])
+        assert feature_hash(row) == feature_hash(row.copy())
+        assert feature_hash(row) != feature_hash(np.array([1.0, 2.0, 3.5]))
+        # shape participates: a scalar-equal but differently-shaped
+        # vector must not collide by construction
+        assert feature_hash(np.array([1.0])) != feature_hash(
+            np.array([[1.0]])
+        )
+
+
+# ----------------------------------------------------------------------
+# Micro-batcher
+# ----------------------------------------------------------------------
+def _affine(mult: float, add: float = 0.0):
+    def score(batch: np.ndarray) -> np.ndarray:
+        return batch[:, 0] * mult + add
+
+    return score
+
+
+class TestMicroBatcher:
+    def test_fifo_prefix_drain(self):
+        b = MicroBatcher("ep", max_batch_size=3)
+        pendings = [
+            b.submit(np.array([float(i)]), _affine(2.0), version=1)
+            for i in range(7)
+        ]
+        b.flush(max_batches=1)
+        assert [p.done for p in pendings] == [True] * 3 + [False] * 4
+        b.flush()
+        assert all(p.done for p in pendings)
+        assert [p.result for p in pendings] == [2.0 * i for i in range(7)]
+
+    def test_sheds_at_capacity(self):
+        b = MicroBatcher("ep", max_batch_size=4, queue_capacity=2)
+        b.submit(np.array([1.0]), _affine(1.0), 1)
+        b.submit(np.array([2.0]), _affine(1.0), 1)
+        with pytest.raises(LoadShedError) as exc:
+            b.submit(np.array([3.0]), _affine(1.0), 1)
+        assert exc.value.queue_depth == 2
+        assert b.shed == 1
+        b.flush()
+
+    def test_mixed_versions_in_one_batch(self):
+        b = MicroBatcher("ep", max_batch_size=8)
+        p1 = b.submit(np.array([1.0]), _affine(10.0), version=1)
+        p2 = b.submit(np.array([1.0]), _affine(-1.0), version=2)
+        p3 = b.submit(np.array([2.0]), _affine(10.0), version=1)
+        assert b.flush() == 3
+        assert (p1.result, p2.result, p3.result) == (10.0, -1.0, 20.0)
+        assert b.batches == 1  # one drain, grouped internally
+
+    def test_scorer_error_delivered_to_requests(self):
+        def broken(batch):
+            raise ValueError("boom")
+
+        b = MicroBatcher("ep", max_batch_size=4)
+        good = b.submit(np.array([1.0]), _affine(3.0), version=1)
+        bad = b.submit(np.array([1.0]), broken, version=2)
+        b.flush()
+        assert good.result == 3.0
+        with pytest.raises(ValueError, match="boom"):
+            bad.wait(0.1)
+
+    def test_expired_request_not_scored(self):
+        clock = FakeClock()
+        b = MicroBatcher("ep", max_batch_size=4, clock=clock)
+        seen = []
+
+        def recording(batch):
+            seen.extend(batch[:, 0].tolist())
+            return batch[:, 0]
+
+        expired = b.submit(np.array([1.0]), recording, 1, deadline_at=5.0)
+        alive = b.submit(np.array([2.0]), recording, 1, deadline_at=50.0)
+        clock.advance(10.0)
+        b.flush()
+        assert seen == [2.0]
+        assert alive.result == 2.0
+        with pytest.raises(DeadlineExceededError):
+            expired.wait(0.1)
+
+    def test_threaded_worker_drains(self):
+        b = MicroBatcher("ep", max_batch_size=8, max_delay_ms=1.0)
+        b.start()
+        try:
+            pendings = [
+                b.submit(np.array([float(i)]), _affine(1.0), 1)
+                for i in range(20)
+            ]
+            results = [p.wait(timeout=5.0) for p in pendings]
+            assert results == [float(i) for i in range(20)]
+        finally:
+            b.stop()
+        assert not b.running
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=-50.0,
+                    max_value=50.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                st.integers(min_value=1, max_value=2),  # version
+                st.booleans(),  # drain one batch after this arrival?
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        batch_size=st.integers(min_value=1, max_value=5),
+    )
+    def test_ordering_property(self, ops, batch_size):
+        """Random arrival interleavings: every response lands with its
+        own request (right row, right version's scorer) and drains
+        complete requests FIFO within the endpoint."""
+        scorers = {1: _affine(2.0, 1.0), 2: _affine(-3.0)}
+        expected = {1: lambda v: v * 2.0 + 1.0, 2: lambda v: v * -3.0}
+        b = MicroBatcher("prop", max_batch_size=batch_size)
+        submitted = []
+        done_so_far = 0
+        for value, version, drain in ops:
+            submitted.append(
+                (b.submit(np.array([value]), scorers[version], version),
+                 value, version)
+            )
+            if drain:
+                queued = len(submitted) - done_so_far
+                b.flush(max_batches=1)
+                done_so_far += min(batch_size, queued)
+                # FIFO: exactly the oldest requests completed, in order.
+                flags = [p.done for p, _, _ in submitted]
+                assert flags == (
+                    [True] * done_so_far
+                    + [False] * (len(submitted) - done_so_far)
+                )
+        b.flush()
+        for pending, value, version in submitted:
+            assert pending.done
+            assert pending.result == expected[version](value)
+
+
+# ----------------------------------------------------------------------
+# Registry rollout satellites
+# ----------------------------------------------------------------------
+class TestRegistryRollout:
+    @pytest.fixture
+    def registry(self):
+        reg = ModelRegistry()
+        reg.register("m", "v1-model")
+        reg.register("m", "v2-model")
+        reg.register("m", "v3-model")
+        return reg
+
+    def test_deploy_sets_prod_alias(self, registry):
+        registry.deploy("m", 1)
+        assert registry.aliases("m") == {"prod": 1}
+        assert registry.resolve("m", "prod").version == 1
+
+    def test_rollback_restores_previous(self, registry):
+        registry.deploy("m", 1)
+        registry.deploy("m", 2)
+        entry = registry.rollback("m")
+        assert entry.version == 1
+        assert registry.deployed("m").version == 1
+        assert registry.resolve("m", "prod").version == 1
+
+    def test_rollback_without_history(self, registry):
+        registry.deploy("m", 1)
+        with pytest.raises(LifecycleError, match="history"):
+            registry.rollback("m")
+
+    def test_undeploy_then_rollback_restores(self, registry):
+        registry.deploy("m", 2)
+        removed = registry.undeploy("m")
+        assert removed.version == 2
+        with pytest.raises(LifecycleError):
+            registry.deployed("m")
+        assert "prod" not in registry.aliases("m")
+        assert registry.rollback("m").version == 2
+        assert registry.deployed("m").version == 2
+
+    def test_undeploy_nothing(self, registry):
+        with pytest.raises(LifecycleError):
+            registry.undeploy("m")
+
+    def test_alias_crud(self, registry):
+        registry.set_alias("m", "canary", 3)
+        assert registry.resolve("m", "canary").version == 3
+        registry.drop_alias("m", "canary")
+        with pytest.raises(LifecycleError):
+            registry.resolve("m", "canary")
+
+    def test_set_prod_alias_is_deploy(self, registry):
+        registry.set_alias("m", "prod", 1)
+        registry.set_alias("m", "prod", 2)
+        assert registry.deployed("m").version == 2
+        assert registry.rollback("m").version == 1
+
+    def test_alias_validates_version(self, registry):
+        with pytest.raises(LifecycleError):
+            registry.set_alias("m", "canary", 99)
+
+    def test_resolve_latest_and_int(self, registry):
+        assert registry.resolve("m").version == 3
+        assert registry.resolve("m", 2).version == 2
+
+    def test_save_load_round_trips_rollout_state(self, registry, tmp_path):
+        registry.deploy("m", 1)
+        registry.deploy("m", 2)
+        registry.set_alias("m", "canary", 3)
+        path = tmp_path / "reg.json"
+        registry.save(path)
+        loaded = ModelRegistry.load(path)
+        assert loaded.deployed("m").version == 2
+        assert loaded.aliases("m") == {"prod": 2, "canary": 3}
+        assert loaded.rollback("m").version == 1
+
+    def test_load_legacy_payload_derives_prod_alias(self, tmp_path):
+        reg = ModelRegistry()
+        reg.register("m", "v1-model")
+        reg.deploy("m", 1)
+        path = tmp_path / "legacy.json"
+        reg.save(path)
+        # strip the new keys to simulate a pre-alias save
+        import json
+
+        payload = json.loads(path.read_text())
+        payload.pop("history", None)
+        payload.pop("aliases", None)
+        path.write_text(json.dumps(payload))
+        loaded = ModelRegistry.load(path)
+        assert loaded.resolve("m", "prod").version == 1
+
+
+# ----------------------------------------------------------------------
+# Model server
+# ----------------------------------------------------------------------
+class TestModelServer:
+    def test_batched_bit_identical_to_single(self, served):
+        server, _, X = served
+        keys = [f"u{i}" for i in range(64)]
+        batched = server.predict_many("score", X[:64], keys=keys)
+        # fresh endpoint so the cache cannot mask the single-row path
+        server.create_endpoint("single", "churn", cache_enabled=False)
+        singles = np.array(
+            [server.predict("single", X[i]) for i in range(64)]
+        )
+        assert np.array_equal(batched, singles)
+
+    def test_agrees_with_indb_scoring(self, served):
+        """The online scorer and the SQL scoring expression are the same
+        compiled affine form — bit-identical outputs."""
+        from repro.indb.scoring import score_linear_model
+        from repro.storage import Table
+
+        server, registry, X = served
+        table = Table.from_columns(
+            {f"x{i}": X[:32, i] for i in range(X.shape[1])}
+        )
+        scored = score_linear_model(
+            table,
+            registry.deployed("churn"),
+            feature_columns=[f"x{i}" for i in range(X.shape[1])],
+        )
+        online = server.predict_many("score", X[:32])
+        assert np.array_equal(scored.column("score"), online)
+
+    def test_proba_output(self, model_pair):
+        X, _, m1, _ = model_pair
+        registry = ModelRegistry()
+        registry.register("churn", m1)
+        server = ModelServer(registry)
+        server.create_endpoint("p", "churn", output="proba")
+        server.promote("p", 1)
+        got = server.predict_many("p", X[:16])
+        assert np.all((got >= 0.0) & (got <= 1.0))
+        np.testing.assert_allclose(got, m1.predict_proba(X[:16]), atol=1e-12)
+
+    def test_cache_hits_and_promote_invalidation(self, served):
+        server, _, X = served
+        row = X[0]
+        first = server.predict("score", row, key="u0")
+        again = server.predict("score", row, key="u0")
+        endpoint = server.endpoint("score")
+        assert again == first
+        assert endpoint.cache.stats.hits == 1
+        # Promote v2: cached v1 predictions must not survive.
+        server.promote("score", 2)
+        assert len(endpoint.cache) == 0
+        assert endpoint.cache.stats.invalidations == 1
+        v2 = server.predict("score", row, key="u0")
+        assert v2 != first  # different model, different score
+        assert endpoint.cache.stats.misses == 2
+
+    def test_rollback_invalidates_and_restores(self, served):
+        server, registry, X = served
+        row = X[1]
+        v1_score = server.predict("score", row)
+        server.promote("score", 2)
+        v2_score = server.predict("score", row)
+        assert v2_score != v1_score
+        endpoint = server.endpoint("score")
+        cached_before = len(endpoint.cache)
+        assert cached_before == 1
+        restored = server.rollback("score")
+        assert restored.version == 1
+        assert len(endpoint.cache) == 0  # invalidated on rollback
+        assert server.predict("score", row) == v1_score  # bit-identical
+
+    def test_canary_split_matches_router_exactly(self, served):
+        server, _, X = served
+        server.set_canary("score", 2, fraction=0.25)
+        endpoint = server.endpoint("score")
+        keys = [f"user-{i}" for i in range(400)]
+        rows = np.tile(X[0], (400, 1))
+        server.predict_many("score", rows, keys=keys)
+        expected_canary = [
+            k for k in keys if endpoint.router.routes_to_canary(k)
+        ]
+        assert endpoint.canary_requests == len(expected_canary)
+        assert endpoint.stable_requests == 400 - len(expected_canary)
+        # and the canary keys really got v2's answer
+        v1 = server.registry.get("churn", 1).model
+        v2 = server.registry.get("churn", 2).model
+        k = expected_canary[0]
+        idx = keys.index(k)
+        got = server.predict("score", rows[idx], key=k)
+        assert got == compile_linear_scorer(v2)(rows[idx : idx + 1])[0]
+        assert got != compile_linear_scorer(v1)(rows[idx : idx + 1])[0]
+
+    def test_clear_canary(self, served):
+        server, _, X = served
+        server.set_canary("score", 2, fraction=1.0)
+        server.clear_canary("score")
+        endpoint = server.endpoint("score")
+        before = endpoint.canary_requests
+        server.predict("score", X[0], key="user-1")
+        assert endpoint.canary_requests == before
+
+    def test_unkeyed_requests_never_canary(self, served):
+        server, _, X = served
+        server.set_canary("score", 2, fraction=1.0)
+        endpoint = server.endpoint("score")
+        server.predict("score", X[0])  # no key
+        assert endpoint.canary_requests == 0
+
+    def test_deadline_exceeded(self, model_pair):
+        X, _, m1, _ = model_pair
+
+        def slow(batch):
+            time.sleep(0.02)
+            return batch[:, 0]
+
+        registry = ModelRegistry()
+        registry.register("churn", m1)
+        server = ModelServer(registry)
+        server.create_endpoint(
+            "slow", "churn", scorer=slow, cache_enabled=False
+        )
+        server.promote("slow", 1)
+        with pytest.raises(DeadlineExceededError):
+            server.predict("slow", X[0], deadline_ms=1.0)
+        assert server.endpoint("slow").deadline_exceeded == 1
+
+    def test_unknown_endpoint_and_duplicate(self, served):
+        server, _, _ = served
+        with pytest.raises(ServingError):
+            server.predict("nope", np.zeros(5))
+        with pytest.raises(ServingError):
+            server.create_endpoint("score", "churn")
+
+    def test_stats_shape(self, served):
+        server, _, X = served
+        server.predict_many("score", X[:32], keys=[f"u{i}" for i in range(32)])
+        stats = server.stats()["score"]
+        assert stats["requests"] == 32
+        assert stats["batches"] >= 1
+        assert stats["latency_ms"]["count"] >= 1
+        assert stats["latency_ms"]["p99"] >= stats["latency_ms"]["p50"]
+
+    def test_obs_metrics_published(self, served):
+        server, _, X = served
+        server.predict("score", X[0], key="u0")
+        server.predict("score", X[0], key="u0")  # cache hit
+        doc = obs.report()
+        counters = doc["metrics"]["counters"]
+        histograms = doc["metrics"]["histograms"]
+        assert counters["serving.requests"]["value"] == 2
+        assert counters["serving.cache.hits"]["value"] == 1
+        latency = histograms["serving.latency_ms"]
+        assert latency["count"] == 2
+        for pct in ("p50", "p95", "p99"):
+            assert pct in latency
+
+    def test_threaded_concurrent_clients(self, served):
+        server, _, X = served
+        server.create_endpoint(
+            "live", "churn", max_delay_ms=5.0, cache_enabled=False
+        )
+        server.start("live")
+        expected = server.predict_many("score", X[:40])
+        results: dict[int, float] = {}
+        errors: list[Exception] = []
+
+        def client(i: int) -> None:
+            try:
+                results[i] = server.predict("live", X[i])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(40)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not errors
+        assert np.array_equal(
+            np.array([results[i] for i in range(40)]), expected
+        )
+
+
+# ----------------------------------------------------------------------
+# Chaos coverage of the serving path
+# ----------------------------------------------------------------------
+class TestServingChaos:
+    def test_admission_faults_shed_requests(self, served):
+        server, _, X = served
+        plan = FaultPlan(seed=3).inject(
+            "serving.admission", rate=1.0, max_faults=3
+        )
+        shed = 0
+        with ChaosContext(plan):
+            for i in range(6):
+                try:
+                    server.predict("score", X[i], key=f"c{i}")
+                except LoadShedError:
+                    shed += 1
+        assert shed == 3
+        assert server.endpoint("score").shed == 3
+        assert obs.metric_value("serving.shed") == 3
+
+    def test_score_faults_recovered_bit_identically(self, model_pair):
+        X, _, m1, _ = model_pair
+        registry = ModelRegistry()
+        registry.register("churn", m1)
+        clean_server = ModelServer(registry)
+        clean_server.create_endpoint("s", "churn", cache_enabled=False)
+        clean_server.promote("s", 1)
+        clean = clean_server.predict_many("s", X[:64])
+
+        retry = RetryPolicy(max_attempts=8, backoff_base=0.0, seed=1)
+        chaotic_server = ModelServer(registry, retry=retry)
+        chaotic_server.create_endpoint("s", "churn", cache_enabled=False)
+        plan = FaultPlan(seed=13).inject("serving.score", rate=0.3)
+        with ChaosContext(plan) as chaos:
+            chaotic = chaotic_server.predict_many("s", X[:64])
+        assert chaos.injected_at("serving.score") > 0
+        assert np.array_equal(clean, chaotic)
+
+    def test_score_fault_without_retry_propagates(self, served):
+        server, _, X = served
+        server.create_endpoint("raw", "churn", cache_enabled=False)
+        plan = FaultPlan(seed=5).inject("serving.score", rate=1.0, max_faults=1)
+        from repro.errors import InjectedFault
+
+        with ChaosContext(plan):
+            with pytest.raises(InjectedFault):
+                server.predict("raw", X[0])
+
+    def test_straggler_fault_misses_deadline(self, served):
+        server, _, X = served
+        server.create_endpoint("tight", "churn", cache_enabled=False)
+        plan = FaultPlan(seed=9).inject(
+            "serving.score", rate=1.0, mode="sleep", sleep_seconds=0.05
+        )
+        with ChaosContext(plan):
+            with pytest.raises(DeadlineExceededError):
+                server.predict("tight", X[0], deadline_ms=5.0)
+        assert server.endpoint("tight").deadline_exceeded == 1
+
+
+# ----------------------------------------------------------------------
+# indb scoring satellite: registry entries score directly
+# ----------------------------------------------------------------------
+class TestRegistryToSqlScoring:
+    def test_model_version_with_recorded_columns(self, model_pair):
+        from repro.indb.scoring import score_linear_model, score_probability
+        from repro.storage import Table
+
+        X, _, m1, _ = model_pair
+        columns = [f"x{i}" for i in range(X.shape[1])]
+        registry = ModelRegistry()
+        registry.register("churn", m1, params={"feature_columns": columns})
+        registry.deploy("churn", 1)
+        table = Table.from_columns(
+            {name: X[:20, i] for i, name in enumerate(columns)}
+        )
+        scored = score_linear_model(table, registry.deployed("churn"))
+        direct = score_linear_model(table, m1, feature_columns=columns)
+        assert np.array_equal(
+            scored.column("score"), direct.column("score")
+        )
+        proba = score_probability(table, registry.deployed("churn"))
+        assert np.all(
+            (proba.column("probability") >= 0)
+            & (proba.column("probability") <= 1)
+        )
+
+    def test_model_version_without_model_object(self):
+        from repro.indb.scoring import score_linear_model
+        from repro.errors import ModelError
+        from repro.lifecycle.registry import ModelVersion
+        from repro.storage import Table
+
+        entry = ModelVersion(name="m", version=1, model=None)
+        table = Table.from_columns({"x0": [1.0]})
+        with pytest.raises(ModelError, match="no model object"):
+            score_linear_model(table, entry, feature_columns=["x0"])
+
+
+# ----------------------------------------------------------------------
+# Histogram percentiles (obs extension the serving layer reads)
+# ----------------------------------------------------------------------
+class TestLatencyPercentiles:
+    def test_nearest_rank(self):
+        h = obs.Histogram("t")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50.0) == 50.0
+        assert h.percentile(95.0) == 95.0
+        assert h.percentile(99.0) == 99.0
+        assert h.percentile(100.0) == 100.0
+        assert h.percentile(0.0) == 1.0
+
+    def test_reservoir_keeps_recent_window(self):
+        h = obs.Histogram("t")
+        for v in range(obs.RESERVOIR_SIZE + 100):
+            h.observe(float(v))
+        # the first 100 observations rolled out of the window
+        assert h.percentile(0.0) >= 100.0
+        assert h.count == obs.RESERVOIR_SIZE + 100  # totals still exact
+
+    def test_as_dict_includes_percentiles(self):
+        obs.observe("t.lat", 5.0)
+        doc = obs.get_registry().as_dict()["histograms"]["t.lat"]
+        assert doc["p50"] == 5.0 and doc["p95"] == 5.0 and doc["p99"] == 5.0

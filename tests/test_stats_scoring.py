@@ -180,3 +180,31 @@ class TestInDBScoring:
             linear_expression(np.ones(2), 0.0, ["a", "b", "c"])
         with pytest.raises(ModelError):
             score_linear_model(table, model)  # no recorded columns
+
+    def test_registry_entry_scores_directly(self, reg_setup):
+        from repro.lifecycle import ModelRegistry
+
+        table, X, model = reg_setup
+        registry = ModelRegistry()
+        registry.register(
+            "reg", model, params={"feature_columns": ["a", "b", "c"]}
+        )
+        registry.deploy("reg", 1)
+        scored = score_linear_model(table, registry.deployed("reg"))
+        direct = score_linear_model(table, model, ["a", "b", "c"])
+        assert np.array_equal(scored.column("score"), direct.column("score"))
+        # explicit columns override the recorded params
+        explicit = score_linear_model(
+            table, registry.get("reg", 1), ["a", "b", "c"]
+        )
+        assert np.array_equal(
+            explicit.column("score"), direct.column("score")
+        )
+
+    def test_registry_entry_without_model_rejected(self):
+        from repro.lifecycle.registry import ModelVersion
+
+        table = Table.from_columns({"a": np.ones(3)})
+        entry = ModelVersion(name="m", version=1, model=None)
+        with pytest.raises(ModelError, match="no model object"):
+            score_linear_model(table, entry, ["a"])
