@@ -359,11 +359,122 @@ def check_e22(
     )
 
 
+# ----------------------------------------------------------------------
+# E23 — adaptive re-optimization
+# ----------------------------------------------------------------------
+def check_e23(
+    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
+) -> None:
+    """Convergence, identity, and the overhead bound are behavior gates;
+    the post-correction and vs-stale-pinned speedups are *within-capture*
+    ratios (both sides of each ratio ran on one machine), so they gate
+    against fixed floors everywhere. Only cross-capture speedup
+    comparisons follow the wall-clock skip policy."""
+    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
+    g.check(
+        set(cw) == set(bw),
+        f"workload set matches baseline ({sorted(cw)})",
+    )
+    meta = cand.get("meta", {})
+    max_iters = meta.get("max_correction_iterations", 2)
+
+    fallback = cw.get("fallback/power_iteration", {})
+    g.check(
+        fallback.get("initially_misplanned") is True,
+        "fallback leg starts from the wrong (csr) plan",
+    )
+    corrected = fallback.get("corrected_at_iteration")
+    g.check(
+        corrected is not None and corrected <= max_iters,
+        f"fallback plan corrected at iteration {corrected} <= {max_iters}",
+    )
+    g.check(
+        fallback.get("fallbacks_after_correction") == 0,
+        "zero densify fallbacks after the correction",
+    )
+    g.check(
+        fallback.get("bit_identical") is True,
+        "corrected run bit-identical to the no-feedback run",
+    )
+    min_fb = meta.get("min_fallback_speedup", 1.2)
+    g.check(
+        fallback.get("post_correction_speedup", 0.0) >= min_fb,
+        f"post-correction speedup "
+        f"{fallback.get('post_correction_speedup', 0.0):.2f} >= {min_fb} "
+        f"(within-capture bound)",
+    )
+
+    dispatch = cw.get("dispatch/fine_grained", {})
+    corrected = dispatch.get("corrected_at_iteration")
+    g.check(
+        corrected is not None and corrected <= max_iters,
+        f"dispatch corrected at iteration {corrected} <= {max_iters}",
+    )
+    g.check(
+        dispatch.get("learned_action") == "serial",
+        f"losing site learned action "
+        f"{dispatch.get('learned_action')!r} == 'serial'",
+    )
+    g.check(
+        dispatch.get("results_identical") is True,
+        "serial dispatch produced identical results",
+    )
+
+    replan = cw.get("replan/stale_store", {})
+    g.check(
+        replan.get("replans") == 1,
+        f"stale plan demoted in exactly 1 replan "
+        f"(got {replan.get('replans')})",
+    )
+    g.check(
+        replan.get("weight_parity", float("inf")) <= PARITY_BOUND,
+        f"adaptive weights parity {replan.get('weight_parity', 0):.1e} "
+        f"<= {PARITY_BOUND:.0e}",
+    )
+    g.check(
+        replan.get("resume_bit_identical") is True,
+        "checkpoint-resume oracle: bitwise across the mid-run switch",
+    )
+    g.check(
+        replan.get("kmeans_bit_identical") is True,
+        "kmeans stale-binding correction bit-identical",
+    )
+    min_rp = meta.get("min_replan_speedup", 1.02)
+    g.check(
+        replan.get("adaptive_vs_pinned_speedup", 0.0) >= min_rp,
+        f"adaptive vs stale-pinned speedup "
+        f"{replan.get('adaptive_vs_pinned_speedup', 0.0):.2f} >= {min_rp} "
+        f"(within-capture bound)",
+    )
+    base_replan = bw.get("replan/stale_store", {})
+    _wall_gate(
+        g,
+        f"replan speedup {replan.get('adaptive_vs_pinned_speedup', 0.0):.2f}"
+        f" vs baseline "
+        f"{base_replan.get('adaptive_vs_pinned_speedup', 0.0):.2f}",
+        replan.get("adaptive_vs_pinned_speedup", 0.0),
+        base_replan.get("adaptive_vs_pinned_speedup", 0.0),
+        tol,
+        wall,
+        strict,
+    )
+
+    overhead = cw.get("overhead/disabled_path", {})
+    g.check(
+        overhead.get("estimated_overhead_pct", float("inf"))
+        < overhead.get("bound_pct", 3.0),
+        f"disabled-path overhead "
+        f"{overhead.get('estimated_overhead_pct', float('nan')):.3f}% < "
+        f"{overhead.get('bound_pct', 3.0):.0f}%",
+    )
+
+
 CHECKERS = {
     "E18": check_e18,
     "E19": check_e19,
     "E21": check_e21,
     "E22": check_e22,
+    "E23": check_e23,
 }
 
 

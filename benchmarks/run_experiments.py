@@ -651,6 +651,18 @@ def e22_serving():
     bench_serving.report(results)
 
 
+@experiment("E23", "Adaptive re-optimization: observed costs correct the plan")
+def e23_feedback():
+    """Delegate to the dedicated feedback benchmark (kept quick here)."""
+    import bench_feedback
+
+    _header(
+        "E23", "Adaptive re-optimization: observed costs correct the plan"
+    )
+    results = bench_feedback.run(quick=True, repeats=2)
+    bench_feedback.report(results)
+
+
 def _registry_lines() -> list[str]:
     return [f"{tag:>5}  {title}" for tag, (_, title) in EXPERIMENTS.items()]
 

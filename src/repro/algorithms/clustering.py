@@ -14,11 +14,13 @@ from functools import partial
 import numpy as np
 
 from ..compiler import compile_expr
+from ..compiler import feedback as _feedback
 from ..errors import ModelError
 from ..lang import matrix, rowsums
 from ..resilience.checkpoint import IterativeCheckpointer
 from ..resilience.retry import RetryPolicy, resilient_call
 from ..runtime import execute
+from .glm import REPLAN_STABLE_CHECKS, replan_operand
 
 
 @dataclass
@@ -29,6 +31,10 @@ class KMeansResult:
     iterations: int
     inertia_history: list[float] = field(default_factory=list)
     flops_executed: int = 0
+    #: adaptive re-optimization: representation switches adopted mid-run
+    replans: int = 0
+    #: plan decisions adopted for the design matrix
+    plan_history: list[str] = field(default_factory=list)
 
 
 def _gather_rows(X, rows: np.ndarray) -> np.ndarray:
@@ -53,6 +59,8 @@ def kmeans_dsl(
     seed: int | None = 0,
     checkpointer: IterativeCheckpointer | None = None,
     retry: RetryPolicy | None = None,
+    adaptive: "bool | _feedback.FeedbackStore | None" = None,
+    replan_interval: int = 1,
 ) -> KMeansResult:
     """Lloyd's algorithm with compiled distance evaluation.
 
@@ -66,6 +74,11 @@ def kmeans_dsl(
     bit-identical. With a ``retry`` policy, steps run through
     :func:`~repro.resilience.retry.resilient_call` at site
     ``"clustering.kmeans_dsl.step"``.
+
+    ``adaptive`` re-plans ``X``'s representation against the feedback
+    store every ``replan_interval`` iterations (see
+    :func:`~repro.algorithms.glm.logreg_gd` — same contract): exact
+    conversions, decisions recorded in ``result.plan_history``.
     """
     from ..runtime import repops
 
@@ -84,26 +97,52 @@ def kmeans_dsl(
     dist_expr = rowsums(Xm**2) - 2.0 * (Xm @ Cm.T) + rowsums(Cm**2).T
     dist_plan = compile_expr(dist_expr)
 
+    store = _feedback.resolve_store(adaptive)
+    operands = {"X": X}
+    replans = 0
+    stable_checks = 0
+    plan_history: list[str] = []
+
+    def _replan(iteration: int) -> None:
+        nonlocal replans, stable_checks
+        switched = replan_operand(
+            dist_plan,
+            operands,
+            "X",
+            {"X": operands["X"], "C": np.zeros((n_clusters, d))},
+            store,
+            iteration,
+            plan_history,
+        )
+        if switched:
+            stable_checks = 0
+            if iteration > 0:
+                replans += 1
+        else:
+            stable_checks += 1
+
     def _step(current: np.ndarray):
         """One Lloyd step, pure in the current centers."""
+        Xop = operands["X"]
+        step_is_rep = repops.is_representation(Xop)
         D, stats = execute(
-            dist_plan, {"X": X, "C": current}, collect_stats=True
+            dist_plan, {"X": Xop, "C": current}, collect_stats=True
         )
         step_labels = np.argmin(D, axis=1)
         inertia = float(
             np.maximum(D[np.arange(n), step_labels], 0.0).sum()
         )
         new_centers = current.copy()
-        if is_rep:
+        if step_is_rep:
             counts = np.bincount(step_labels, minlength=n_clusters)
-            sums = _cluster_sums(X, step_labels, n_clusters)
+            sums = _cluster_sums(Xop, step_labels, n_clusters)
             nonempty = counts > 0
             new_centers[nonempty] = (
                 sums[nonempty] / counts[nonempty, None]
             )
         else:
             for k in range(n_clusters):
-                members = X[step_labels == k]
+                members = Xop[step_labels == k]
                 if len(members):
                     new_centers[k] = members.mean(axis=0)
         shift = float(np.max(np.linalg.norm(new_centers - current, axis=1)))
@@ -118,47 +157,59 @@ def kmeans_dsl(
     restored = None
     if checkpointer is not None:
         restored = checkpointer.load_latest()
-    if restored is not None:
-        it, state = restored
-        centers = state["centers"]
-        history = list(state["history"])
-        total_flops = state["flops"]
-        done = state["done"]
-        start_it = it + 1
-    else:
-        rng = np.random.default_rng(seed)
-        seed_rows = rng.choice(n, size=n_clusters, replace=False)
-        if is_rep:
-            centers = _gather_rows(X, seed_rows)
+    with _feedback.feedback_scope(store):
+        if store is not None:
+            _replan(0)
+        if restored is not None:
+            it, state = restored
+            centers = state["centers"]
+            history = list(state["history"])
+            total_flops = state["flops"]
+            done = state["done"]
+            start_it = it + 1
         else:
-            centers = X[seed_rows].copy()
-    if not done:
-        for it in range(start_it, max_iter + 1):
-            centers, labels, inertia, shift, flops = resilient_call(
-                partial(_step, centers),
-                site="clustering.kmeans_dsl.step",
-                key=it,
-                retry=retry,
-            )
-            total_flops += flops
-            history.append(inertia)
-            done = shift <= tol
-            if checkpointer is not None and (
-                done or checkpointer.should_checkpoint(it)
-            ):
-                checkpointer.save(
-                    it,
-                    {
-                        "centers": centers,
-                        "history": list(history),
-                        "flops": total_flops,
-                        "done": done,
-                    },
+            rng = np.random.default_rng(seed)
+            seed_rows = rng.choice(n, size=n_clusters, replace=False)
+            Xop = operands["X"]
+            if repops.is_representation(Xop):
+                centers = _gather_rows(Xop, seed_rows)
+            else:
+                centers = Xop[seed_rows].copy()
+        if not done:
+            for it in range(start_it, max_iter + 1):
+                centers, labels, inertia, shift, flops = resilient_call(
+                    partial(_step, centers),
+                    site="clustering.kmeans_dsl.step",
+                    key=it,
+                    retry=retry,
                 )
-            if done:
-                break
+                total_flops += flops
+                history.append(inertia)
+                done = shift <= tol
+                if checkpointer is not None and (
+                    done or checkpointer.should_checkpoint(it)
+                ):
+                    checkpointer.save(
+                        it,
+                        {
+                            "centers": centers,
+                            "history": list(history),
+                            "flops": total_flops,
+                            "done": done,
+                        },
+                    )
+                if done:
+                    break
+                if (
+                    store is not None
+                    and stable_checks < REPLAN_STABLE_CHECKS
+                    and it % replan_interval == 0
+                ):
+                    _replan(it)
 
-    D, stats = execute(dist_plan, {"X": X, "C": centers}, collect_stats=True)
+        D, stats = execute(
+            dist_plan, {"X": operands["X"], "C": centers}, collect_stats=True
+        )
     total_flops += stats.flops
     labels = np.argmin(D, axis=1)
     inertia = float(np.maximum(D[np.arange(n), labels], 0.0).sum())
@@ -169,4 +220,6 @@ def kmeans_dsl(
         iterations=it,
         inertia_history=history,
         flops_executed=total_flops,
+        replans=replans,
+        plan_history=plan_history,
     )

@@ -20,9 +20,11 @@ from functools import partial
 
 import numpy as np
 
-from ..compiler import compile_expr
+from ..compiler import compile_expr, plan_representations
+from ..compiler import feedback as _feedback
 from ..errors import ModelError
 from ..lang import matrix, sigmoid
+from ..obs import get_registry
 from ..resilience.checkpoint import IterativeCheckpointer
 from ..resilience.retry import RetryPolicy, resilient_call
 from ..runtime import execute
@@ -38,6 +40,10 @@ class AlgorithmResult:
     converged: bool
     objective_history: list[float] = field(default_factory=list)
     flops_executed: int = 0
+    #: adaptive re-optimization: representation switches adopted mid-run
+    replans: int = 0
+    #: plan decisions adopted, e.g. "iter 2: X -> dense (csr demoted ...)"
+    plan_history: list[str] = field(default_factory=list)
 
     @property
     def final_objective(self) -> float:
@@ -55,6 +61,54 @@ def _prepare_design(X):
     if repops.is_representation(X):
         return X
     return np.asarray(X, dtype=np.float64)
+
+
+#: consecutive no-change re-plan checks after which a driver stops
+#: re-planning: the plan has converged against the observed evidence,
+#: and each further check would pay the sampling cost for nothing.
+REPLAN_STABLE_CHECKS = 2
+
+
+def replan_operand(
+    plan,
+    operands: dict,
+    name: str,
+    bindings: dict,
+    store,
+    iteration: int,
+    plan_history: list[str],
+) -> bool:
+    """Re-plan one operand's representation between driver epochs.
+
+    Consults :func:`~repro.compiler.plan_representations` with the
+    feedback ``store`` and, when the decision differs from the operand's
+    current form, converts it in place in ``operands``. Conversions are
+    exact (densify and CSR round-trips are bitwise), so the iteration
+    trajectory after a switch matches a run that started in the new
+    representation from the same state. Returns True when a switch was
+    adopted.
+    """
+    from ..runtime import repops
+
+    planned = plan_representations(plan, bindings, feedback=store)
+    choice = planned.repr_plan.choices[name]
+    current = repops.kind_of(operands[name])
+    if choice.representation == current:
+        if iteration == 0:
+            plan_history.append(
+                f"iter 0: {name} stays {current} ({choice.reason})"
+            )
+        return False
+    operands[name] = repops.convert_value(
+        operands[name], choice.representation
+    )
+    plan_history.append(
+        f"iter {iteration}: {name} -> {choice.representation} "
+        f"({choice.reason})"
+    )
+    if iteration > 0:
+        get_registry().inc("feedback.replans")
+    return True
 
 
 def linreg_direct(X: np.ndarray, y: np.ndarray, l2: float = 0.0) -> AlgorithmResult:
@@ -164,6 +218,8 @@ def logreg_gd(
     tol: float = 1e-8,
     checkpointer: IterativeCheckpointer | None = None,
     retry: RetryPolicy | None = None,
+    adaptive: "bool | _feedback.FeedbackStore | None" = None,
+    replan_interval: int = 1,
 ) -> AlgorithmResult:
     """Logistic regression by gradient descent over compiled plans.
 
@@ -178,6 +234,20 @@ def logreg_gd(
     ``retry`` policy, each step runs through
     :func:`~repro.resilience.retry.resilient_call` at site
     ``"glm.logreg_gd.step"`` and survives injected transient faults.
+
+    ``adaptive`` enables SystemML-style runtime re-optimization: the
+    design matrix's representation is planned up front and re-planned
+    every ``replan_interval`` iterations against the feedback store
+    (``None`` uses the active global store if feedback is enabled,
+    ``True`` the global store unconditionally, or pass a
+    :class:`~repro.compiler.feedback.FeedbackStore`). Representation
+    switches are exact conversions, so the post-switch trajectory is
+    bit-identical to a run started in the corrected representation from
+    the same state. Once ``REPLAN_STABLE_CHECKS`` consecutive checks
+    adopt no change the driver stops re-planning (the plan has converged
+    against the evidence), bounding the sampling overhead.
+    ``result.replans`` / ``result.plan_history`` record the adopted
+    plans.
     """
     X = _prepare_design(X)
     y = _as_column(y)
@@ -192,15 +262,41 @@ def logreg_gd(
     grad_expr = Xm.T @ (probabilities - ym) / n + l2 * wm
     grad_plan = compile_expr(grad_expr)
 
+    store = _feedback.resolve_store(adaptive)
+    operands = {"X": X}
+    replans = 0
+    stable_checks = 0
+    plan_history: list[str] = []
+
     def loss_value(weights: np.ndarray) -> float:
         margins = X @ weights
         base = float(np.mean(np.logaddexp(0.0, margins) - y * margins))
         return base + 0.5 * l2 * float(weights @ weights)
 
+    def _replan(iteration: int) -> None:
+        nonlocal replans, stable_checks
+        switched = replan_operand(
+            grad_plan,
+            operands,
+            "X",
+            {"X": operands["X"], "w": np.zeros(d), "y": y},
+            store,
+            iteration,
+            plan_history,
+        )
+        if switched:
+            stable_checks = 0
+            if iteration > 0:
+                replans += 1
+        else:
+            stable_checks += 1
+
     def _step(weights: np.ndarray, prev_value: float):
         """One gradient step + line search, pure in its inputs."""
         g_col, s = execute(
-            grad_plan, {"X": X, "w": weights, "y": y}, collect_stats=True
+            grad_plan,
+            {"X": operands["X"], "w": weights, "y": y},
+            collect_stats=True,
         )
         g = g_col[:, 0]
         # Backtracking line search on the driver-side loss.
@@ -231,37 +327,49 @@ def logreg_gd(
             total_flops = state["flops"]
             converged = state["converged"]
             start_it = it + 1
-    if not converged:
-        for it in range(start_it, max_iter + 1):
-            w, value, flops = resilient_call(
-                partial(_step, w, history[-1]),
-                site="glm.logreg_gd.step",
-                key=it,
-                retry=retry,
-            )
-            total_flops += flops
-            history.append(value)
-            converged = (
-                abs(history[-2] - value) / max(abs(history[-2]), 1e-12) < tol
-            )
-            if checkpointer is not None and (
-                converged or checkpointer.should_checkpoint(it)
-            ):
-                checkpointer.save(
-                    it,
-                    {
-                        "w": w,
-                        "history": list(history),
-                        "flops": total_flops,
-                        "converged": converged,
-                    },
+    with _feedback.feedback_scope(store):
+        if store is not None:
+            _replan(0)
+        if not converged:
+            for it in range(start_it, max_iter + 1):
+                w, value, flops = resilient_call(
+                    partial(_step, w, history[-1]),
+                    site="glm.logreg_gd.step",
+                    key=it,
+                    retry=retry,
                 )
-            if converged:
-                break
+                total_flops += flops
+                history.append(value)
+                converged = (
+                    abs(history[-2] - value) / max(abs(history[-2]), 1e-12)
+                    < tol
+                )
+                if checkpointer is not None and (
+                    converged or checkpointer.should_checkpoint(it)
+                ):
+                    checkpointer.save(
+                        it,
+                        {
+                            "w": w,
+                            "history": list(history),
+                            "flops": total_flops,
+                            "converged": converged,
+                        },
+                    )
+                if converged:
+                    break
+                if (
+                    store is not None
+                    and stable_checks < REPLAN_STABLE_CHECKS
+                    and it % replan_interval == 0
+                ):
+                    _replan(it)
     return AlgorithmResult(
         weights=w,
         iterations=it,
         converged=converged,
         objective_history=history,
         flops_executed=total_flops,
+        replans=replans,
+        plan_history=plan_history,
     )

@@ -17,6 +17,17 @@ from .cache import (
     default_plan_cache,
 )
 from .cost import CostEstimate, estimate, node_flops, node_output_bytes
+from .feedback import (
+    BlendedEstimate,
+    FeedbackStore,
+    SitePolicy,
+    active_store,
+    feedback_scope,
+    get_feedback_store,
+    reset_feedback,
+    set_feedback,
+    set_feedback_store,
+)
 from .cse import (
     count_tree_ops,
     count_unique_ops,
@@ -35,8 +46,17 @@ from .rewrites import apply_rewrites
 from .sparsity import propagate_sparsity, sparse_aware_flops
 
 __all__ = [
+    "BlendedEstimate",
     "CacheStats",
     "CompiledPlan",
+    "FeedbackStore",
+    "SitePolicy",
+    "active_store",
+    "feedback_scope",
+    "get_feedback_store",
+    "reset_feedback",
+    "set_feedback",
+    "set_feedback_store",
     "PlanCache",
     "ProgramPlan",
     "compile_expr_cached",

@@ -1,0 +1,644 @@
+"""Adaptive re-optimization: the observed-cost feedback store.
+
+SystemML's signature runtime trick is *dynamic recompilation*: when the
+sizes, sparsity, or costs observed while running diverge from what the
+compiler assumed, the plan is corrected mid-flight instead of trusted to
+the end. This module is that loop's memory. A :class:`FeedbackStore`
+aggregates what the runtime actually measured — realized densities and
+compression ratios per input, densify-fallback outcomes per
+representation kind, per-op wall costs, and per-site pmap speedups — and
+the planners read it back:
+
+* :func:`repro.compiler.reprplan.plan_representations` blends observed
+  density/ratio evidence with its sampled estimates and demotes a
+  representation that keeps densifying;
+* :class:`repro.runtime.parallel.ParallelContext` consults
+  :meth:`FeedbackStore.site_policy` so a call site whose measured
+  speedup is below 1 stops fanning out and a winning site earns a lower
+  threshold;
+* the iterative drivers (``glm.logreg_gd``, ``kmeans_dsl``) re-plan
+  between epochs when the store disagrees with the current plan.
+
+Evidence is an exponential moving average with a confidence weight
+``count / (count + CONFIDENCE_HALFWAY)``: cold sections blend to the
+pure compile-time estimate, and confidence saturates as observations
+accumulate. A ``frozen`` store ignores new observations, pinning every
+consumer's decision for deterministic replay.
+
+The store is **off by default**. :func:`active_store` returns ``None``
+unless ``REPRO_FEEDBACK`` is truthy, a store was installed with
+:func:`set_feedback_store` / :func:`feedback_scope`, or
+:func:`set_feedback` forced it on — so the disabled hot path costs one
+function call and a dict lookup (E23 bounds it below 3%).
+
+Persistence reuses the checkpointer's atomic idiom: a JSON header
+carrying the schema (``repro.feedback/v1``) and the payload's CRC32,
+written to a temp file in the target directory and ``os.replace``d into
+place. :meth:`FeedbackStore.load` rejects schema mismatches and corrupt
+bytes; :meth:`FeedbackStore.load_or_cold` falls back to an empty store
+(pure estimates) instead, counting the failure in the obs registry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..errors import ReproError
+from ..obs import get_registry
+
+SCHEMA = "repro.feedback/v1"
+
+#: weight of the newest observation in every moving average.
+EMA_DECAY = 0.3
+#: observation count at which blended confidence reaches 0.5.
+CONFIDENCE_HALFWAY = 2.0
+#: fallbacks per observed execution (of a kind) that demote the kind.
+DEMOTION_FALLBACK_RATE = 0.5
+#: paired serial/parallel observations needed before a site policy fires.
+MIN_SITE_OBSERVATIONS = 1
+#: measured speedup below this turns a site serial.
+SITE_LOSS_SPEEDUP = 1.0
+#: measured speedup above this lowers the site's cost threshold.
+SITE_WIN_SPEEDUP = 1.2
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class FeedbackError(ReproError):
+    """Feedback-store persistence or schema validation failed."""
+
+
+# ----------------------------------------------------------------------
+# EMA + confidence primitives (stored as plain dicts: JSON round-trips)
+# ----------------------------------------------------------------------
+def _ema_update(stat: dict, value: float) -> None:
+    count = stat.get("count", 0)
+    if count == 0:
+        stat["ema"] = float(value)
+    else:
+        stat["ema"] = EMA_DECAY * float(value) + (1.0 - EMA_DECAY) * stat["ema"]
+    stat["count"] = count + 1
+    stat["last"] = float(value)
+
+
+def _confidence(count: int) -> float:
+    return count / (count + CONFIDENCE_HALFWAY)
+
+
+@dataclass(frozen=True)
+class BlendedEstimate:
+    """One quantity after mixing compile-time and observed evidence."""
+
+    value: float
+    estimated: float
+    observed: float | None
+    confidence: float
+    source: str  # "estimated" (cold) or "observed" (evidence blended in)
+
+    def describe(self, label: str) -> str:
+        if self.source == "estimated":
+            return f"{label} est {self.estimated:.3g}"
+        return (
+            f"{label} {self.value:.3g} "
+            f"(est {self.estimated:.3g}, obs {self.observed:.3g}, "
+            f"conf {self.confidence:.2f})"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "value": self.value,
+            "estimated": self.estimated,
+            "observed": self.observed,
+            "confidence": self.confidence,
+            "source": self.source,
+        }
+
+
+def _blend(stat: dict | None, estimated: float) -> BlendedEstimate:
+    if not stat or stat.get("count", 0) == 0:
+        return BlendedEstimate(
+            float(estimated), float(estimated), None, 0.0, "estimated"
+        )
+    conf = _confidence(stat["count"])
+    value = conf * stat["ema"] + (1.0 - conf) * float(estimated)
+    return BlendedEstimate(
+        value, float(estimated), stat["ema"], conf, "observed"
+    )
+
+
+@dataclass(frozen=True)
+class SitePolicy:
+    """A learned dispatch decision for one pmap call site."""
+
+    site: str
+    speedup: float
+    observations: int
+    confidence: float
+    #: "serial" — stop fanning out; "boost" — divide the static cost
+    #: threshold by ``speedup``; anything in between yields no policy.
+    action: str
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class FeedbackStore:
+    """Thread-safe, versioned memory of what the runtime measured.
+
+    Sections (all keyed by strings so they JSON round-trip):
+
+    ``inputs``
+        ``"name@RxC"`` -> per-kind execution/fallback counts plus
+        density and CLA-ratio moving averages.
+    ``ops``
+        op label (e.g. ``"matmul"``) -> wall-seconds moving averages,
+        attributed from each execution's flop shares or span durations.
+    ``sites``
+        pmap site -> dispatch counts plus per-task wall moving averages
+        for the serial and parallel paths (their ratio is the realized
+        speedup) and the work/wall ratio as a fallback signal.
+
+    Args:
+        path: default location for :meth:`save`/:meth:`load`.
+        frozen: ignore all ``observe_*`` calls — consumers see a pinned,
+            deterministic model.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None,
+                 frozen: bool = False):
+        self.path = os.fspath(path) if path is not None else None
+        self.frozen = frozen
+        self.updates = 0
+        self._lock = threading.Lock()
+        self._inputs: dict[str, dict] = {}
+        self._ops: dict[str, dict] = {}
+        self._sites: dict[str, dict] = {}
+
+    # -- observers ------------------------------------------------------
+    def observe_input(
+        self,
+        key: str,
+        kind: str,
+        density: float | None = None,
+        cla_ratio: float | None = None,
+        fallbacks: int = 0,
+    ) -> None:
+        """Record one execution's realized view of a bound input."""
+        if self.frozen:
+            return
+        with self._lock:
+            entry = self._inputs.setdefault(
+                key,
+                {"executions": {}, "fallbacks": {}, "density": {},
+                 "cla_ratio": {}},
+            )
+            entry["executions"][kind] = entry["executions"].get(kind, 0) + 1
+            if fallbacks:
+                entry["fallbacks"][kind] = (
+                    entry["fallbacks"].get(kind, 0) + fallbacks
+                )
+            if density is not None:
+                _ema_update(entry["density"], density)
+            if cla_ratio is not None:
+                _ema_update(entry["cla_ratio"], cla_ratio)
+            self.updates += 1
+
+    def observe_op(self, label: str, seconds: float,
+                   flops: float | None = None) -> None:
+        """Record one op's attributed wall cost (and cost per flop)."""
+        if self.frozen:
+            return
+        with self._lock:
+            entry = self._ops.setdefault(
+                label, {"seconds": {}, "seconds_per_flop": {}}
+            )
+            _ema_update(entry["seconds"], seconds)
+            if flops:
+                _ema_update(entry["seconds_per_flop"], seconds / flops)
+            self.updates += 1
+
+    def observe_site(
+        self, site: str, tasks: int, parallel: bool, wall: float, work: float
+    ) -> None:
+        """Record one pmap dispatch outcome (called by ``_record``)."""
+        if self.frozen or tasks <= 0:
+            return
+        per_task = wall / tasks
+        with self._lock:
+            entry = self._sites.setdefault(
+                site,
+                {"parallel_calls": 0, "serial_calls": 0,
+                 "parallel_per_task": {}, "serial_per_task": {},
+                 "work_speedup": {}},
+            )
+            if parallel:
+                entry["parallel_calls"] += 1
+                _ema_update(entry["parallel_per_task"], per_task)
+                if wall > 0:
+                    _ema_update(entry["work_speedup"], work / wall)
+            else:
+                entry["serial_calls"] += 1
+                _ema_update(entry["serial_per_task"], per_task)
+            self.updates += 1
+
+    def observe_execution(self, bindings: dict, stats, wall_seconds: float
+                          ) -> None:
+        """Digest one ``execute()`` call: inputs, fallbacks, op costs.
+
+        ``bindings`` are the executor's prepared operands; ``stats`` is
+        its :class:`~repro.runtime.executor.ExecutionStats`. Fallbacks
+        are attributed per representation *kind* (the stats tally them
+        by kind), so every input bound in a kind that densified this
+        run accumulates demotion evidence.
+        """
+        if self.frozen:
+            return
+        from ..runtime import repops
+
+        fallback_kinds = getattr(stats, "fallback_kinds", {})
+        for name, value in bindings.items():
+            kind = repops.kind_of(value)
+            shape = getattr(value, "shape", None)
+            if not shape or len(shape) != 2:
+                continue
+            key = input_key(name, shape)
+            density = None
+            ratio = None
+            if kind == "csr":
+                density = float(value.density)
+            elif kind == "cla":
+                ratio = float(value.compression_ratio)
+            elif kind == "factorized":
+                ratio = float(value.redundancy_ratio)
+            else:
+                density = _array_density(value)
+            self.observe_input(
+                key,
+                kind,
+                density=density,
+                cla_ratio=ratio,
+                fallbacks=int(fallback_kinds.get(kind, 0)),
+            )
+        op_flops = getattr(stats, "op_flops", {})
+        total = sum(op_flops.values())
+        if wall_seconds > 0 and total > 0:
+            for label, flops in op_flops.items():
+                self.observe_op(
+                    label, wall_seconds * flops / total, flops=flops
+                )
+        get_registry().inc("feedback.updates")
+
+    def ingest_spans(self, roots: Iterable) -> int:
+        """Harvest ``executor.op`` span durations into the op section.
+
+        Accepts :class:`~repro.obs.trace.Span` objects or their
+        ``as_dict`` forms; returns how many op spans were consumed.
+        """
+        if self.frozen:
+            return 0
+        consumed = 0
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, dict):
+                name = node.get("name")
+                duration = node.get("duration_s", 0.0)
+                attrs = node.get("attrs", {}) or {}
+                stack.extend(node.get("children", ()))
+            else:
+                name = node.name
+                duration = node.duration
+                attrs = node.attrs
+                stack.extend(node.children)
+            if name == "executor.op":
+                label = attrs.get("op")
+                if label:
+                    self.observe_op(str(label), float(duration))
+                    consumed += 1
+        return consumed
+
+    # -- consumers ------------------------------------------------------
+    def blended_density(self, key: str, estimated: float) -> BlendedEstimate:
+        with self._lock:
+            stat = self._inputs.get(key, {}).get("density")
+            return _blend(stat, estimated)
+
+    def blended_ratio(self, key: str, estimated: float) -> BlendedEstimate:
+        with self._lock:
+            stat = self._inputs.get(key, {}).get("cla_ratio")
+            return _blend(stat, estimated)
+
+    def demoted_kinds(self, key: str) -> dict[str, int]:
+        """Kinds whose observed densify-fallback rate disqualifies them."""
+        with self._lock:
+            entry = self._inputs.get(key)
+            if entry is None:
+                return {}
+            out = {}
+            for kind, count in entry.get("fallbacks", {}).items():
+                runs = entry.get("executions", {}).get(kind, 0)
+                if runs > 0 and count >= DEMOTION_FALLBACK_RATE * runs:
+                    out[kind] = count
+            return out
+
+    def op_cost(self, label: str) -> float | None:
+        """Observed wall-seconds EMA for one op label, if any."""
+        with self._lock:
+            stat = self._ops.get(label, {}).get("seconds")
+            return stat.get("ema") if stat else None
+
+    def site_policy(self, site: str) -> SitePolicy | None:
+        """The learned dispatch decision for one site, if any.
+
+        Prefers the *paired* signal — serial vs parallel per-task wall —
+        which stays honest for GIL-bound thread work where summed task
+        time over wall would overcount. Falls back to the work/wall
+        ratio when the site has never run serially.
+        """
+        with self._lock:
+            entry = self._sites.get(site)
+            if entry is None:
+                return None
+            par = entry.get("parallel_per_task", {})
+            ser = entry.get("serial_per_task", {})
+            if (
+                par.get("count", 0) >= MIN_SITE_OBSERVATIONS
+                and ser.get("count", 0) >= MIN_SITE_OBSERVATIONS
+            ):
+                count = min(par["count"], ser["count"])
+                speedup = ser["ema"] / max(par["ema"], 1e-12)
+            else:
+                work = entry.get("work_speedup", {})
+                if work.get("count", 0) < MIN_SITE_OBSERVATIONS:
+                    return None
+                count = work["count"]
+                speedup = work["ema"]
+        if speedup < SITE_LOSS_SPEEDUP:
+            action = "serial"
+        elif speedup >= SITE_WIN_SPEEDUP:
+            action = "boost"
+        else:
+            return None
+        return SitePolicy(
+            site=site,
+            speedup=speedup,
+            observations=count,
+            confidence=_confidence(count),
+            action=action,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self._inputs.clear()
+            self._ops.clear()
+            self._sites.clear()
+            self.updates = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "schema": SCHEMA,
+                "updates": self.updates,
+                "inputs": json.loads(json.dumps(self._inputs)),
+                "ops": json.loads(json.dumps(self._ops)),
+                "sites": json.loads(json.dumps(self._sites)),
+            }
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: str | os.PathLike | None = None) -> str:
+        """Atomically persist the store (tempfile + ``os.replace``)."""
+        target = os.fspath(path) if path is not None else self.path
+        if target is None:
+            raise FeedbackError("no path given and store has no default path")
+        snapshot = self.as_dict()
+        payload = json.dumps(
+            {k: snapshot[k] for k in ("updates", "inputs", "ops", "sites")},
+            sort_keys=True,
+        ).encode("utf-8")
+        header = json.dumps(
+            {
+                "schema": SCHEMA,
+                "crc32": zlib.crc32(payload),
+                "payload_bytes": len(payload),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".feedback-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(header + b"\n" + payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, target)
+        except OSError as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise FeedbackError(
+                f"could not write feedback store {target}"
+            ) from exc
+        get_registry().inc("feedback.saves")
+        return target
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "FeedbackStore":
+        """Load and verify a persisted store; raises on any corruption."""
+        target = os.fspath(path)
+        try:
+            raw = open(target, "rb").read()
+        except OSError as exc:
+            raise FeedbackError(
+                f"could not read feedback store {target}"
+            ) from exc
+        newline = raw.find(b"\n")
+        if newline < 0:
+            raise FeedbackError(f"feedback store {target} has no header")
+        try:
+            header = json.loads(raw[:newline].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FeedbackError(
+                f"feedback store {target} header unreadable"
+            ) from exc
+        if header.get("schema") != SCHEMA:
+            raise FeedbackError(
+                f"feedback store {target} has schema "
+                f"{header.get('schema')!r}, expected {SCHEMA!r}"
+            )
+        payload = raw[newline + 1 :]
+        if len(payload) != header.get("payload_bytes"):
+            raise FeedbackError(f"feedback store {target} is truncated")
+        if zlib.crc32(payload) != header.get("crc32"):
+            raise FeedbackError(
+                f"feedback store {target} failed its checksum"
+            )
+        try:
+            body = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FeedbackError(
+                f"feedback store {target} payload unreadable"
+            ) from exc
+        store = cls(path=target)
+        store.updates = int(body.get("updates", 0))
+        store._inputs = dict(body.get("inputs", {}))
+        store._ops = dict(body.get("ops", {}))
+        store._sites = dict(body.get("sites", {}))
+        get_registry().inc("feedback.loads")
+        return store
+
+    @classmethod
+    def load_or_cold(cls, path: str | os.PathLike) -> "FeedbackStore":
+        """Load if valid, else an empty store — cold estimates, not a crash."""
+        try:
+            return cls.load(path)
+        except FeedbackError:
+            get_registry().inc("feedback.load_failures")
+            return cls(path=path)
+
+
+def input_key(name: str, shape) -> str:
+    """The store key for one bound input: ``name@RxC``."""
+    return f"{name}@{shape[0]}x{shape[1]}"
+
+
+def _array_density(value) -> float | None:
+    """Strided-sample density of a dense ndarray (None if not array-like)."""
+    import numpy as np
+
+    arr = np.asarray(value)
+    if arr.ndim != 2 or arr.size == 0:
+        return None
+    from .reprplan import _estimate_density
+
+    return _estimate_density(np.asarray(arr, dtype=np.float64))
+
+
+# ----------------------------------------------------------------------
+# Process-global enablement
+# ----------------------------------------------------------------------
+_global_lock = threading.Lock()
+_active_store: FeedbackStore | None = None
+_override: bool | None = None
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_FEEDBACK", "").strip().lower() in _TRUTHY
+
+
+def feedback_enabled() -> bool:
+    """Whether consumers should read (and observers write) the store."""
+    return _env_enabled() if _override is None else _override
+
+
+def set_feedback(enabled: bool | None) -> None:
+    """Force feedback on/off; ``None`` restores the env-var default."""
+    global _override
+    _override = enabled
+
+
+def get_feedback_store() -> FeedbackStore:
+    """The process-global store, created (or loaded) on first use.
+
+    ``REPRO_FEEDBACK_PATH`` names a persistence file: it is loaded if
+    present (corruption falls back to cold) and becomes the default
+    :meth:`FeedbackStore.save` target.
+    """
+    global _active_store
+    with _global_lock:
+        if _active_store is None:
+            path = os.environ.get("REPRO_FEEDBACK_PATH", "").strip() or None
+            if path and os.path.exists(path):
+                _active_store = FeedbackStore.load_or_cold(path)
+            else:
+                _active_store = FeedbackStore(path=path)
+        return _active_store
+
+
+def set_feedback_store(store: FeedbackStore | None) -> None:
+    """Install (or clear) the process-global store.
+
+    Installing a store makes it active regardless of ``REPRO_FEEDBACK``
+    — an explicit install is the opt-in.
+    """
+    global _active_store
+    with _global_lock:
+        _active_store = store
+
+
+def active_store() -> FeedbackStore | None:
+    """The store consumers/observers should use, or ``None`` if disabled.
+
+    This is the hot-path gate: when feedback is off it is one function
+    call, two attribute reads, and (at most) one env lookup.
+    """
+    if _override is False:
+        return None
+    store = _active_store
+    if store is not None:
+        return store
+    if _override or _env_enabled():
+        return get_feedback_store()
+    return None
+
+
+def reset_feedback() -> None:
+    """Drop the global store and any override (test/benchmark hygiene)."""
+    global _active_store, _override
+    with _global_lock:
+        _active_store = None
+    _override = None
+
+
+@contextmanager
+def feedback_scope(store: FeedbackStore | None):
+    """Temporarily install ``store`` as the active global store.
+
+    Drivers use this so an explicitly passed store also receives the
+    executor's and parallel engine's observations for the duration of
+    their loop. ``None`` is a no-op scope.
+    """
+    if store is None:
+        yield None
+        return
+    global _active_store
+    with _global_lock:
+        previous = _active_store
+        _active_store = store
+    try:
+        yield store
+    finally:
+        with _global_lock:
+            _active_store = previous
+
+
+def resolve_store(adaptive) -> FeedbackStore | None:
+    """Normalize a driver's ``adaptive=`` argument.
+
+    ``None`` -> the active global store (or ``None`` when feedback is
+    disabled); ``False`` -> never adapt; ``True`` -> the global store,
+    created if needed; a :class:`FeedbackStore` -> itself.
+    """
+    if adaptive is None:
+        return active_store()
+    if adaptive is False:
+        return None
+    if adaptive is True:
+        return get_feedback_store()
+    if isinstance(adaptive, FeedbackStore):
+        return adaptive
+    raise FeedbackError(
+        f"adaptive must be None, a bool, or a FeedbackStore, "
+        f"got {type(adaptive).__name__}"
+    )

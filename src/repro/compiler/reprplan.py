@@ -15,6 +15,16 @@ Sizing uses the sampling estimators already in
 :mod:`repro.compression.estimators` (via ``plan_matrix``) and the FLOP
 model in :mod:`repro.compiler.cost`; the runtime side lives in
 :mod:`repro.runtime.repops`.
+
+When a :class:`~repro.compiler.feedback.FeedbackStore` is active (or
+passed via ``feedback=``), compile-time estimates are *blended* with
+observed evidence — realized densities and CLA ratios EMA'd by the
+executor, confidence-weighted so a cold store reduces to the pure
+estimate — and a representation whose observed densify-fallback rate
+crossed the demotion threshold is disqualified outright. Every
+:class:`ReprChoice` carries the evidence behind it (``estimated`` vs
+``observed``, with the blended confidence) and ``describe()`` prints
+it, so a mis-planned input is debuggable from the plan text alone.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from ..lang.ast import (
 )
 from ..lang.dsl import MExpr
 from .cost import node_flops
+from .feedback import BlendedEstimate, FeedbackStore, active_store, input_key
 from .planner import CompiledPlan, compile_expr
 
 #: inputs smaller than this (or vectors) are not worth re-representing
@@ -65,10 +76,34 @@ class ReprChoice:
     reason: str
     est_flops: dict[str, float] = field(default_factory=dict)
     est_bytes: dict[str, int] = field(default_factory=dict)
+    #: evidence behind the decision: per-quantity blended estimates
+    #: (``"density"``, ``"cla_ratio"`` -> BlendedEstimate.as_dict())
+    #: plus ``"demoted"`` (kind -> observed fallback count).
+    evidence: dict[str, dict] = field(default_factory=dict)
 
     @property
     def needs_convert(self) -> bool:
         return self.representation != self.current
+
+    def evidence_summary(self) -> str:
+        """One-line provenance: estimated vs observed, with confidence."""
+        parts = []
+        for label in ("density", "cla_ratio"):
+            ev = self.evidence.get(label)
+            if not ev:
+                continue
+            blend = BlendedEstimate(**ev)
+            parts.append(blend.describe(label))
+        demoted = self.evidence.get("demoted")
+        if demoted:
+            parts.append(
+                "demoted "
+                + ", ".join(
+                    f"{kind} ({count} observed fallbacks)"
+                    for kind, count in sorted(demoted.items())
+                )
+            )
+        return "; ".join(parts)
 
 
 @dataclass
@@ -101,9 +136,11 @@ class RepresentationPlan:
         lines = []
         for name in sorted(self.choices):
             c = self.choices[name]
-            lines.append(
-                f"repr   : {name} -> {c.representation} ({c.reason})"
-            )
+            line = f"repr   : {name} -> {c.representation} ({c.reason})"
+            summary = c.evidence_summary()
+            if summary:
+                line += f" [{summary}]"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -126,6 +163,7 @@ def plan_representations(
     bindings: dict,
     force: str | dict[str, str] | None = None,
     sample_fraction: float = 0.05,
+    feedback: "FeedbackStore | bool | None" = None,
 ) -> CompiledPlan:
     """Annotate a plan with per-input representation decisions.
 
@@ -136,6 +174,11 @@ def plan_representations(
         force: ``"dense"`` pins every input dense (the materialize-
             then-dense baseline); a dict pins individual inputs.
         sample_fraction: row fraction for the compression estimators.
+        feedback: observed-cost evidence to blend with the estimates.
+            ``None`` uses the active global store (usually none —
+            feedback is opt-in), ``False`` ignores feedback entirely,
+            and a :class:`~repro.compiler.feedback.FeedbackStore` is
+            consulted directly.
 
     Returns:
         A new :class:`CompiledPlan` with Convert nodes wrapping inputs
@@ -150,6 +193,12 @@ def plan_representations(
         raise CompilerError(
             f"force must be 'dense' or a per-input dict, got {force!r}"
         )
+    if feedback is None:
+        store = active_store()
+    elif feedback is False:
+        store = None
+    else:
+        store = feedback
 
     profiles = _profile_inputs(plan.root)
     choices: dict[str, ReprChoice] = {}
@@ -169,6 +218,7 @@ def plan_representations(
             profiles.get(name, _Profile()),
             pinned,
             sample_fraction,
+            store,
         )
 
     targets = {
@@ -302,6 +352,11 @@ def _zero_preserving_scalar(op: str, scalar: float, data_is_left: bool) -> bool:
 # ----------------------------------------------------------------------
 # Per-input decision
 # ----------------------------------------------------------------------
+def _measured(value: float) -> BlendedEstimate:
+    """Evidence wrapper for a property read off the bound operand itself."""
+    return BlendedEstimate(value, value, value, 1.0, "observed")
+
+
 def _choose(
     name: str,
     shape: tuple[int, int],
@@ -310,11 +365,14 @@ def _choose(
     profile: _Profile,
     pinned: str | None,
     sample_fraction: float,
+    store=None,
 ) -> ReprChoice:
     cells = shape[0] * shape[1]
     dense_bytes = cells * 8
     est_flops = {"dense": profile.touch_flops}
     est_bytes = {"dense": dense_bytes}
+    evidence: dict[str, dict] = {}
+    key = input_key(name, shape)
 
     if pinned is not None:
         return ReprChoice(
@@ -333,7 +391,9 @@ def _choose(
     candidates: dict[str, str] = {}  # representation -> reason
 
     if current == "factorized":
-        ratio = float(value.redundancy_ratio)
+        ratio_ev = _measured(float(value.redundancy_ratio))
+        evidence["cla_ratio"] = ratio_ev.as_dict()
+        ratio = ratio_ev.value
         est_flops["factorized"] = profile.touch_flops / max(ratio, 1.0)
         est_bytes["factorized"] = int(value.memory_bytes)
         if not profile.unsupported["factorized"]:
@@ -341,7 +401,9 @@ def _choose(
                 f"stay factorized, redundancy {ratio:.1f}x"
             )
     elif current == "csr":
-        density = float(value.density)
+        density_ev = _measured(float(value.density))
+        evidence["density"] = density_ev.as_dict()
+        density = density_ev.value
         est_flops["csr"] = profile.touch_flops * min(
             1.0, density * CSR_OVERHEAD
         )
@@ -349,7 +411,9 @@ def _choose(
         if not profile.unsupported["csr"]:
             candidates["csr"] = f"stay sparse, density {density:.3f}"
     elif current == "cla":
-        ratio = float(value.compression_ratio)
+        ratio_ev = _measured(float(value.compression_ratio))
+        evidence["cla_ratio"] = ratio_ev.as_dict()
+        ratio = ratio_ev.value
         est_flops["cla"] = profile.touch_flops * max(
             CLA_MIN_WORK_FRACTION, 1.0 / max(ratio, 1e-9)
         )
@@ -358,7 +422,15 @@ def _choose(
             candidates["cla"] = f"stay compressed, ratio {ratio:.1f}x"
     else:  # dense binding: consider CSR and CLA
         arr = np.asarray(value, dtype=np.float64)
-        density = _estimate_density(arr)
+        sampled_density = _estimate_density(arr)
+        if store is not None:
+            density_ev = store.blended_density(key, sampled_density)
+        else:
+            density_ev = BlendedEstimate(
+                sampled_density, sampled_density, None, 0.0, "estimated"
+            )
+        evidence["density"] = density_ev.as_dict()
+        density = density_ev.value
         est_flops["csr"] = profile.touch_flops * min(
             1.0, density * CSR_OVERHEAD
         )
@@ -367,13 +439,30 @@ def _choose(
         )
         if not profile.unsupported["csr"]:
             candidates["csr"] = f"sparse, est density {density:.3f}"
-        ratio = _estimate_cla_ratio(arr, sample_fraction)
+        sampled_ratio = _estimate_cla_ratio(arr, sample_fraction)
+        if store is not None:
+            ratio_ev = store.blended_ratio(key, sampled_ratio)
+        else:
+            ratio_ev = BlendedEstimate(
+                sampled_ratio, sampled_ratio, None, 0.0, "estimated"
+            )
+        evidence["cla_ratio"] = ratio_ev.as_dict()
+        ratio = ratio_ev.value
         est_flops["cla"] = profile.touch_flops * max(
             CLA_MIN_WORK_FRACTION, 1.0 / max(ratio, 1e-9)
         )
         est_bytes["cla"] = int(round(dense_bytes / max(ratio, 1e-9)))
         if ratio >= MIN_CLA_RATIO and not profile.unsupported["cla"]:
             candidates["cla"] = f"compressible, est ratio {ratio:.1f}x"
+
+    demoted = store.demoted_kinds(key) if store is not None else {}
+    demoted_hits = {
+        kind: count for kind, count in demoted.items() if kind in candidates
+    }
+    if demoted_hits:
+        evidence["demoted"] = demoted_hits
+        for kind in demoted_hits:
+            candidates.pop(kind)
 
     best_rep, best_reason = None, ""
     for rep, reason in candidates.items():
@@ -382,18 +471,26 @@ def _choose(
         if best_rep is None or est_flops[rep] < est_flops[best_rep]:
             best_rep, best_reason = rep, reason
     if best_rep is None:
-        blocked = sorted(
-            op
-            for kind in _REP_KINDS
-            for op in profile.unsupported[kind]
-            if kind in est_flops
+        if demoted_hits:
+            reason = (
+                ", ".join(sorted(demoted_hits))
+                + " demoted by observed densify fallbacks"
+            )
+        else:
+            blocked = sorted(
+                op
+                for kind in _REP_KINDS
+                for op in profile.unsupported[kind]
+                if kind in est_flops
+            )
+            reason = (
+                f"dense; non-dense blocked by {', '.join(blocked)}"
+                if blocked
+                else "dense is cheapest"
+            )
+        return ReprChoice(
+            name, "dense", current, reason, est_flops, est_bytes, evidence
         )
-        reason = (
-            f"dense; non-dense blocked by {', '.join(blocked)}"
-            if blocked
-            else "dense is cheapest"
-        )
-        return ReprChoice(name, "dense", current, reason, est_flops, est_bytes)
     return ReprChoice(
         name,
         best_rep,
@@ -402,6 +499,7 @@ def _choose(
         f"{est_flops[best_rep]:.2e} vs dense {est_flops['dense']:.2e}",
         est_flops,
         est_bytes,
+        evidence,
     )
 
 
@@ -410,8 +508,12 @@ def _estimate_density(arr: np.ndarray, max_sample_rows: int = 65536) -> float:
     if n <= max_sample_rows:
         sample = arr
     else:
-        step = max(1, n // max_sample_rows)
-        sample = arr[::step]
+        # Deterministic strided sample spanning the whole row range,
+        # first and last row included. A contiguous-prefix (or naive
+        # floor-stride) sample is biased for row-sorted data — e.g. a
+        # matrix whose dense rows all sit at the tail would look empty.
+        idx = np.linspace(0, n - 1, num=max_sample_rows).astype(np.intp)
+        sample = arr[idx]
     cells = sample.size or 1
     return float(np.count_nonzero(sample)) / cells
 

@@ -187,7 +187,7 @@ class CompressedMatrix:
             )
         ctx = self._ctx_for()
         if ctx is not None and ctx.should_parallelize(
-            len(self.groups), self._kernel_cost()
+            len(self.groups), self._kernel_cost(), site="cla.matvec"
         ):
             partials = ctx.pmap(
                 partial(_group_matvec, v, self.shape[0]),

@@ -18,10 +18,12 @@ ignores Convert targets, reproducing the dense-only interpreter exactly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..compiler import feedback as _feedback
 from ..compiler.cost import node_flops, node_output_bytes
 from ..compiler.planner import CompiledPlan, compile_expr
 from ..errors import ExecutionError
@@ -51,10 +53,14 @@ class ExecutionStats:
     op_counts: dict[str, int] = field(default_factory=dict)
     flops: int = 0
     intermediate_bytes: int = 0
+    #: modeled flops per op label — the feedback store's attribution key
+    op_flops: dict[str, float] = field(default_factory=dict)
     #: ops served by a representation's native kernel, e.g. "matmul[cla]"
     native_repr_ops: dict[str, int] = field(default_factory=dict)
     #: ops that had to densify a non-dense operand, keyed by op label
     densify_fallbacks: dict[str, int] = field(default_factory=dict)
+    #: densify fallbacks tallied by the operand's representation kind
+    fallback_kinds: dict[str, int] = field(default_factory=dict)
     #: representation conversions performed by Convert nodes, e.g. "dense->cla"
     converts: dict[str, int] = field(default_factory=dict)
 
@@ -70,7 +76,9 @@ class ExecutionStats:
         self, label: str, node: Node, result_bytes: int | None = None
     ) -> None:
         self.op_counts[label] = self.op_counts.get(label, 0) + 1
-        self.flops += node_flops(node)
+        flops = node_flops(node)
+        self.flops += flops
+        self.op_flops[label] = self.op_flops.get(label, 0.0) + flops
         self.intermediate_bytes += (
             node_output_bytes(node) if result_bytes is None else result_bytes
         )
@@ -78,10 +86,12 @@ class ExecutionStats:
     def note_native(self, label: str) -> None:
         self.native_repr_ops[label] = self.native_repr_ops.get(label, 0) + 1
 
-    def note_fallback(self, label: str) -> None:
+    def note_fallback(self, label: str, kind: str | None = None) -> None:
         self.densify_fallbacks[label] = (
             self.densify_fallbacks.get(label, 0) + 1
         )
+        if kind is not None:
+            self.fallback_kinds[kind] = self.fallback_kinds.get(kind, 0) + 1
 
     def note_convert(self, desc: str, nbytes: int) -> None:
         self.converts[desc] = self.converts.get(desc, 0) + 1
@@ -137,6 +147,8 @@ def execute(
                 set_parallel(ctx)
                 attached.append(value)
 
+    store = _feedback.active_store()
+    started = time.perf_counter() if store is not None else 0.0
     stats = ExecutionStats()
     memo: dict[int, object] = {}
     dense_cache: dict[int, np.ndarray] = {}
@@ -167,6 +179,15 @@ def execute(
                 out = result
     finally:
         _publish_execution(stats, exec_span)
+        if store is not None:
+            try:
+                store.observe_execution(
+                    prepared, stats, time.perf_counter() - started
+                )
+            except Exception:
+                # Feedback is advisory: a broken store must never fail
+                # the execution it was watching.
+                get_registry().inc("feedback.observe_errors")
     if collect_stats:
         return out, stats
     return out

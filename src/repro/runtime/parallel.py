@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from ..compiler import feedback as _feedback
 from ..errors import ParallelTaskError, ReproError
 from ..obs import get_registry, span
 from ..resilience.faults import fault_point
@@ -122,6 +123,17 @@ class SiteStats:
     tasks_dispatched: int = 0
     wall_time: float = 0.0
     task_time: float = 0.0
+    #: wall/summed-task time of *parallel* dispatches only, so the
+    #: realized speedup is not diluted by serial calls.
+    parallel_wall_time: float = 0.0
+    parallel_task_time: float = 0.0
+
+    @property
+    def realized_speedup(self) -> float:
+        """Summed task time over wall time across this site's fan-outs."""
+        if self.parallel_wall_time <= 0:
+            return 1.0
+        return self.parallel_task_time / self.parallel_wall_time
 
 
 @dataclass
@@ -165,6 +177,8 @@ class ParallelStats:
             return
         self.parallel_calls += 1
         site_stats.parallel_calls += 1
+        site_stats.parallel_wall_time += wall
+        site_stats.parallel_task_time += work
         self.records.append(
             CallRecord(
                 site=site,
@@ -207,6 +221,11 @@ class ParallelStats:
                     "tasks_dispatched": s.tasks_dispatched,
                     "wall_time": s.wall_time,
                     "task_time": s.task_time,
+                    "realized_speedup": s.realized_speedup,
+                    "decisions": {
+                        "parallel": s.parallel_calls,
+                        "serial": s.serial_fallbacks,
+                    },
                 }
                 for name, s in self.by_site.items()
             },
@@ -339,16 +358,38 @@ class ParallelContext:
     # Dispatch
     # ------------------------------------------------------------------
     def should_parallelize(
-        self, num_tasks: int, cost_hint: float | None
+        self, num_tasks: int, cost_hint: float | None, site: str | None = None
     ) -> bool:
-        """The cost-model gate, exposed for planners and tests."""
+        """The cost-model gate, exposed for planners and tests.
+
+        With an active feedback store and a ``site``, the static FLOP
+        threshold yields to the site's learned policy: a site whose
+        measured speedup fell below 1 dispatches serially, and a
+        winning site's threshold is divided by its measured speedup.
+        Without feedback (the default) the behavior is exactly the
+        static gate.
+        """
         if self.backend == "serial" or self.max_workers < 2 or num_tasks < 2:
             return False
         if _in_worker_thread():
             # Re-entrant pmap from inside a pool task: running it on the
             # same bounded pool could deadlock, so nest serially.
             return False
-        if cost_hint is not None and cost_hint < self.cost_threshold:
+        threshold = self.cost_threshold
+        if site is not None:
+            store = _feedback.active_store()
+            if store is not None:
+                policy = store.site_policy(site)
+                if policy is not None:
+                    if policy.action == "serial":
+                        get_registry().inc("parallel.feedback_serial")
+                        return False
+                    if policy.action == "boost":
+                        get_registry().inc("parallel.feedback_boosts")
+                        threshold = self.cost_threshold / max(
+                            policy.speedup, 1e-9
+                        )
+        if cost_hint is not None and cost_hint < threshold:
             return False
         return True
 
@@ -386,7 +427,7 @@ class ParallelContext:
         tasks = list(items)
         policy = retry if retry is not None else self.retry_policy
         task_timeout = timeout if timeout is not None else self.task_timeout
-        fan_out = self.should_parallelize(len(tasks), cost_hint)
+        fan_out = self.should_parallelize(len(tasks), cost_hint, site=site)
         fault_site = f"parallel.task.{site}"
         with span(
             "parallel.pmap",
@@ -597,6 +638,12 @@ class ParallelContext:
                 registry.observe("parallel.utilization", work / wall)
         else:
             registry.inc("parallel.serial_fallbacks")
+        store = _feedback.active_store()
+        if store is not None:
+            try:
+                store.observe_site(site, tasks, parallel, wall, work)
+            except Exception:
+                registry.inc("feedback.observe_errors")
 
 
 # ----------------------------------------------------------------------

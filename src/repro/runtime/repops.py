@@ -216,7 +216,7 @@ def _fallback_dense(value, label: str, stats, dense_cache: dict):
     if cached is None:
         cached = densify(value)
         dense_cache[id(value)] = cached
-    stats.note_fallback(label)
+    stats.note_fallback(label, kind_of(value))
     return cached
 
 

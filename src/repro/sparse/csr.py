@@ -235,7 +235,7 @@ class CSRMatrix:
             )
         ctx = self._parallel_ctx
         if ctx is not None and ctx.should_parallelize(
-            ctx.max_workers, self._kernel_cost()
+            ctx.max_workers, self._kernel_cost(), site="csr.matvec"
         ):
             blocks = self._row_blocks(ctx)
             if len(blocks) > 1:
@@ -269,7 +269,7 @@ class CSRMatrix:
             )
         ctx = self._parallel_ctx
         if ctx is not None and ctx.should_parallelize(
-            ctx.max_workers, self._kernel_cost()
+            ctx.max_workers, self._kernel_cost(), site="csr.rmatvec"
         ):
             blocks = self._row_blocks(ctx)
             if len(blocks) > 1:
@@ -309,7 +309,8 @@ class CSRMatrix:
             ctx is not None
             and B.shape[1] > 1
             and ctx.should_parallelize(
-                B.shape[1], self._kernel_cost() * B.shape[1]
+                B.shape[1], self._kernel_cost() * B.shape[1],
+                site="csr.matmat",
             )
         ):
             columns = ctx.pmap(

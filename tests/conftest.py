@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import obs
+from repro.compiler import feedback
 from repro.data import (
     make_classification,
     make_regression,
@@ -23,9 +24,11 @@ def _reset_observability():
     """
     obs.reset()
     obs.set_tracing(None)  # re-read REPRO_TRACE, undo explicit toggles
+    feedback.reset_feedback()
     yield
     obs.reset()
     obs.set_tracing(None)
+    feedback.reset_feedback()
 
 
 @pytest.fixture

@@ -1,0 +1,765 @@
+"""Adaptive re-optimization: the feedback store and its consumers.
+
+Covers the PR-6 surface: EMA/confidence blending, demotion from observed
+densify fallbacks, learned pmap site policies, frozen-store determinism,
+atomic persistence (round-trip, schema/corruption rejection, concurrent
+writers), the planner reading blended evidence into its decisions and
+``explain`` provenance, the executor and parallel engine publishing
+observations, mid-run re-planning in the iterative drivers with bitwise
+parity oracles, and the disabled-by-default invariance guarantee.
+"""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    FeedbackStore,
+    compile_expr,
+    feedback_scope,
+    plan_representations,
+    set_feedback,
+    set_feedback_store,
+)
+from repro.compiler import feedback as fb
+from repro.compiler.feedback import FeedbackError, input_key
+from repro.compiler.reprplan import _estimate_density
+from repro.lang import matrix
+from repro.obs import get_registry
+from repro.runtime import execute
+from repro.runtime.parallel import ParallelContext
+from repro.sparse import CSRMatrix
+
+
+def _make_dense(n=60, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 4, size=(n, d)).astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# Blending math
+# ----------------------------------------------------------------------
+class TestBlending:
+    def test_cold_store_returns_pure_estimate(self):
+        store = FeedbackStore()
+        est = store.blended_density("X@10x10", 0.25)
+        assert est.source == "estimated"
+        assert est.value == 0.25
+        assert est.observed is None
+        assert est.confidence == 0.0
+
+    def test_single_observation_blends_by_confidence(self):
+        store = FeedbackStore()
+        store.observe_input("X@10x10", "dense", density=1.0)
+        est = store.blended_density("X@10x10", 0.5)
+        # conf = 1 / (1 + 2) = 1/3; value = conf*1.0 + (1-conf)*0.5
+        assert est.source == "observed"
+        assert est.observed == 1.0
+        assert est.confidence == pytest.approx(1 / 3)
+        assert est.value == pytest.approx(1 / 3 * 1.0 + 2 / 3 * 0.5)
+
+    def test_ema_weights_newest_observation(self):
+        store = FeedbackStore()
+        store.observe_input("X@10x10", "dense", density=0.0)
+        store.observe_input("X@10x10", "dense", density=1.0)
+        est = store.blended_density("X@10x10", 0.0)
+        # ema = 0.3*1.0 + 0.7*0.0 = 0.3; conf = 2/(2+2) = 0.5
+        assert est.observed == pytest.approx(fb.EMA_DECAY)
+        assert est.confidence == pytest.approx(0.5)
+        assert est.value == pytest.approx(0.5 * fb.EMA_DECAY)
+
+    def test_confidence_saturates_with_count(self):
+        store = FeedbackStore()
+        for _ in range(50):
+            store.observe_input("X@10x10", "dense", density=0.8)
+        est = store.blended_density("X@10x10", 0.1)
+        assert est.confidence > 0.9
+        assert est.value == pytest.approx(0.8, abs=0.08)
+
+    def test_ratio_channel_is_independent(self):
+        store = FeedbackStore()
+        store.observe_input("X@10x10", "cla", cla_ratio=3.0)
+        assert store.blended_ratio("X@10x10", 1.0).source == "observed"
+        assert store.blended_density("X@10x10", 0.5).source == "estimated"
+
+    def test_describe_renders_provenance(self):
+        store = FeedbackStore()
+        cold = store.blended_density("X@10x10", 0.25)
+        assert cold.describe("density") == "density est 0.25"
+        store.observe_input("X@10x10", "dense", density=1.0)
+        warm = store.blended_density("X@10x10", 0.25)
+        text = warm.describe("density")
+        assert "obs 1" in text and "conf 0.33" in text
+
+
+# ----------------------------------------------------------------------
+# Demotion + op costs
+# ----------------------------------------------------------------------
+class TestDemotionAndOps:
+    def test_fallback_rate_demotes_kind(self):
+        store = FeedbackStore()
+        key = "X@10x10"
+        store.observe_input(key, "csr", fallbacks=2)
+        assert store.demoted_kinds(key) == {"csr": 2}
+
+    def test_clean_executions_dilute_fallbacks(self):
+        store = FeedbackStore()
+        key = "X@10x10"
+        store.observe_input(key, "csr", fallbacks=1)
+        for _ in range(3):
+            store.observe_input(key, "csr")  # clean runs
+        # 1 fallback over 4 executions < DEMOTION_FALLBACK_RATE (0.5)
+        assert store.demoted_kinds(key) == {}
+
+    def test_unknown_key_not_demoted(self):
+        assert FeedbackStore().demoted_kinds("nope@1x1") == {}
+
+    def test_op_cost_ema(self):
+        store = FeedbackStore()
+        assert store.op_cost("matmul") is None
+        store.observe_op("matmul", 2.0, flops=1e6)
+        store.observe_op("matmul", 1.0, flops=1e6)
+        assert store.op_cost("matmul") == pytest.approx(0.3 * 1.0 + 0.7 * 2.0)
+
+    def test_ingest_spans_harvests_op_durations(self):
+        store = FeedbackStore()
+        roots = [
+            {
+                "name": "executor.run",
+                "duration_s": 1.0,
+                "attrs": {},
+                "children": [
+                    {
+                        "name": "executor.op",
+                        "duration_s": 0.5,
+                        "attrs": {"op": "matmul"},
+                        "children": [],
+                    },
+                    {
+                        "name": "executor.op",
+                        "duration_s": 0.1,
+                        "attrs": {"op": "binary:+"},
+                        "children": [],
+                    },
+                ],
+            }
+        ]
+        assert store.ingest_spans(roots) == 2
+        assert store.op_cost("matmul") == pytest.approx(0.5)
+        assert store.op_cost("binary:+") == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+# Site policies
+# ----------------------------------------------------------------------
+class TestSitePolicy:
+    def test_cold_site_has_no_policy(self):
+        assert FeedbackStore().site_policy("s") is None
+
+    def test_paired_loss_goes_serial(self):
+        store = FeedbackStore()
+        # serial per-task 1ms, parallel per-task 2ms -> speedup 0.5
+        store.observe_site("s", tasks=4, parallel=False, wall=0.004, work=0.004)
+        store.observe_site("s", tasks=4, parallel=True, wall=0.008, work=0.016)
+        policy = store.site_policy("s")
+        assert policy is not None
+        assert policy.action == "serial"
+        assert policy.speedup == pytest.approx(0.5)
+
+    def test_paired_win_boosts_threshold(self):
+        store = FeedbackStore()
+        store.observe_site("s", tasks=4, parallel=False, wall=0.008, work=0.008)
+        store.observe_site("s", tasks=4, parallel=True, wall=0.004, work=0.016)
+        policy = store.site_policy("s")
+        assert policy is not None
+        assert policy.action == "boost"
+        assert policy.speedup == pytest.approx(2.0)
+
+    def test_neutral_speedup_yields_no_policy(self):
+        store = FeedbackStore()
+        store.observe_site("s", tasks=4, parallel=False, wall=0.004, work=0.004)
+        # parallel marginally faster: 1.0 <= speedup < SITE_WIN_SPEEDUP
+        store.observe_site(
+            "s", tasks=4, parallel=True, wall=0.0036, work=0.0144
+        )
+        assert store.site_policy("s") is None
+
+    def test_paired_signal_preferred_over_work_ratio(self):
+        # GIL-bound thread tasks inflate summed task time (work/wall ~ 2
+        # even when parallel is slower); the paired signal must win.
+        store = FeedbackStore()
+        store.observe_site("s", tasks=4, parallel=False, wall=0.004, work=0.004)
+        store.observe_site("s", tasks=4, parallel=True, wall=0.008, work=0.016)
+        policy = store.site_policy("s")
+        assert policy.action == "serial"  # despite work/wall == 2.0
+
+    def test_work_ratio_fallback_when_never_serial(self):
+        store = FeedbackStore()
+        store.observe_site("s", tasks=4, parallel=True, wall=0.004, work=0.016)
+        policy = store.site_policy("s")
+        assert policy is not None
+        assert policy.action == "boost"
+        assert policy.speedup == pytest.approx(4.0)
+
+
+# ----------------------------------------------------------------------
+# Frozen store
+# ----------------------------------------------------------------------
+class TestFrozenStore:
+    def test_frozen_ignores_all_observations(self):
+        store = FeedbackStore(frozen=True)
+        store.observe_input("X@10x10", "csr", density=0.1, fallbacks=5)
+        store.observe_op("matmul", 1.0)
+        store.observe_site("s", tasks=2, parallel=True, wall=1.0, work=4.0)
+        assert store.updates == 0
+        assert store.blended_density("X@10x10", 0.5).source == "estimated"
+        assert store.demoted_kinds("X@10x10") == {}
+        assert store.site_policy("s") is None
+
+    def test_frozen_load_pins_consumer_decisions(self, tmp_path):
+        warm = FeedbackStore()
+        warm.observe_input("X@10x10", "csr", fallbacks=2)
+        path = warm.save(tmp_path / "fb.json")
+        pinned = FeedbackStore.load(path)
+        pinned.frozen = True
+        before = pinned.as_dict()
+        pinned.observe_input("X@10x10", "csr")  # would dilute the rate
+        assert pinned.as_dict() == before
+        assert pinned.demoted_kinds("X@10x10") == {"csr": 2}
+
+
+# ----------------------------------------------------------------------
+# Persistence (satellite 4)
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def _warm_store(self):
+        store = FeedbackStore()
+        store.observe_input("X@100x10", "csr", density=0.05, fallbacks=1)
+        store.observe_input("Y@100x10", "cla", cla_ratio=2.5)
+        store.observe_op("matmul", 0.01, flops=1e6)
+        store.observe_site("s", tasks=4, parallel=True, wall=0.5, work=1.5)
+        return store
+
+    def test_round_trip(self, tmp_path):
+        store = self._warm_store()
+        path = store.save(tmp_path / "fb.json")
+        loaded = FeedbackStore.load(path)
+        assert loaded.as_dict() == store.as_dict()
+        assert loaded.path == str(tmp_path / "fb.json")
+
+    def test_save_requires_a_path(self):
+        with pytest.raises(FeedbackError, match="no path"):
+            FeedbackStore().save()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FeedbackError, match="could not read"):
+            FeedbackStore.load(tmp_path / "absent.json")
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "fb.json"
+        self._warm_store().save(path)
+        raw = path.read_bytes()
+        newline = raw.find(b"\n")
+        header = json.loads(raw[:newline])
+        header["schema"] = "repro.feedback/v0"
+        path.write_bytes(
+            json.dumps(header, sort_keys=True).encode() + raw[newline:]
+        )
+        with pytest.raises(FeedbackError, match="schema"):
+            FeedbackStore.load(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "fb.json"
+        self._warm_store().save(path)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(FeedbackError, match="truncated"):
+            FeedbackStore.load(path)
+
+    def test_corrupt_payload_rejected_by_checksum(self, tmp_path):
+        path = tmp_path / "fb.json"
+        self._warm_store().save(path)
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF  # flip bits inside the payload, keep the length
+        path.write_bytes(bytes(raw))
+        with pytest.raises(FeedbackError, match="checksum"):
+            FeedbackStore.load(path)
+
+    def test_load_or_cold_falls_back_and_counts(self, tmp_path):
+        path = tmp_path / "fb.json"
+        path.write_bytes(b"garbage, not a store")
+        before = get_registry().value("feedback.load_failures")
+        store = FeedbackStore.load_or_cold(path)
+        assert store.updates == 0
+        assert store.path == str(path)
+        after = get_registry().value("feedback.load_failures")
+        assert after == before + 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        self._warm_store().save(tmp_path / "fb.json")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["fb.json"]
+
+    def test_concurrent_writers_leave_a_valid_file(self, tmp_path):
+        path = tmp_path / "fb.json"
+        errors = []
+
+        def writer(seed):
+            try:
+                store = FeedbackStore()
+                for i in range(20):
+                    store.observe_input(
+                        f"X{seed}@10x10", "dense", density=(i % 10) / 10
+                    )
+                    store.save(path)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(s,)) for s in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # os.replace is atomic: whoever won last, the file must verify.
+        loaded = FeedbackStore.load(path)
+        assert loaded.updates == 20
+
+
+# ----------------------------------------------------------------------
+# Density sampling fix (satellite 3)
+# ----------------------------------------------------------------------
+class TestDensitySampling:
+    def test_small_matrix_exact(self):
+        X = np.zeros((100, 4))
+        X[:25] = 1.0
+        assert _estimate_density(X) == pytest.approx(0.25)
+
+    def test_tail_dense_matrix_not_misread_as_sparse(self):
+        # All the mass in the final rows: a head or floor-strided sample
+        # that never reaches the tail would report ~0.
+        n = 70000
+        X = np.zeros((n, 2))
+        X[-(n // 4):] = 1.0
+        est = _estimate_density(X)
+        assert est == pytest.approx(0.25, abs=0.01)
+
+    def test_head_dense_matrix_symmetric(self):
+        n = 70000
+        X = np.zeros((n, 2))
+        X[: n // 4] = 1.0
+        assert _estimate_density(X) == pytest.approx(0.25, abs=0.01)
+
+    def test_sample_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        X = (rng.random((70000, 2)) < 0.1).astype(np.float64)
+        assert _estimate_density(X) == _estimate_density(X)
+
+
+# ----------------------------------------------------------------------
+# Planner integration
+# ----------------------------------------------------------------------
+class TestPlannerFeedback:
+    def _matvec_plan(self, n, d):
+        Xm = matrix("X", (n, d))
+        wm = matrix("w", (d, 1))
+        return compile_expr(Xm @ wm)
+
+    def test_observed_density_corrects_a_sparse_looking_estimate(self):
+        # Truly sparse data plans to csr cold; enough dense observations
+        # of the same input key must push the decision back to dense.
+        n, d = 400, 30
+        rng = np.random.default_rng(1)
+        X = np.where(rng.random((n, d)) < 0.02, 1.0, 0.0)
+        plan = self._matvec_plan(n, d)
+        bindings = {"X": X, "w": np.zeros((d, 1))}
+
+        cold = plan_representations(plan, bindings)
+        assert cold.repr_plan.choices["X"].representation == "csr"
+
+        store = FeedbackStore()
+        key = input_key("X", (n, d))
+        # The 0/1 data also samples as highly compressible; demote cla so
+        # the contest is csr-vs-dense, decided by the observed density.
+        store.observe_input(key, "cla", fallbacks=3)
+        for _ in range(30):
+            store.observe_input(key, "dense", density=1.0)
+        warm = plan_representations(plan, bindings, feedback=store)
+        choice = warm.repr_plan.choices["X"]
+        assert choice.representation == "dense"
+        assert choice.evidence["density"]["source"] == "observed"
+
+    def test_demoted_kind_forces_dense_with_reason(self):
+        n, d = 400, 30
+        rng = np.random.default_rng(1)
+        X = np.where(rng.random((n, d)) < 0.02, 1.0, 0.0)
+        plan = self._matvec_plan(n, d)
+        bindings = {"X": X, "w": np.zeros((d, 1))}
+        store = FeedbackStore()
+        store.observe_input(input_key("X", (n, d)), "csr", fallbacks=3)
+        store.observe_input(input_key("X", (n, d)), "cla", fallbacks=3)
+        planned = plan_representations(plan, bindings, feedback=store)
+        choice = planned.repr_plan.choices["X"]
+        assert choice.representation == "dense"
+        assert "demoted" in choice.reason
+        assert choice.evidence["demoted"] == {"csr": 3, "cla": 3}
+
+    def test_explain_carries_evidence_provenance(self):
+        n, d = 400, 30
+        X = np.random.default_rng(0).normal(size=(n, d))
+        plan = self._matvec_plan(n, d)
+        bindings = {"X": X, "w": np.zeros((d, 1))}
+
+        cold = plan_representations(plan, bindings)
+        cold_line = [
+            ln for ln in cold.explain().splitlines() if "X ->" in ln
+        ][0]
+        assert "density est" in cold_line
+
+        store = FeedbackStore()
+        store.observe_input(input_key("X", (n, d)), "dense", density=1.0)
+        warm = plan_representations(plan, bindings, feedback=store)
+        warm_line = [
+            ln for ln in warm.explain().splitlines() if "X ->" in ln
+        ][0]
+        assert "obs 1" in warm_line and "conf" in warm_line
+
+    def test_feedback_false_ignores_active_store(self):
+        n, d = 400, 30
+        rng = np.random.default_rng(1)
+        X = np.where(rng.random((n, d)) < 0.02, 1.0, 0.0)
+        plan = self._matvec_plan(n, d)
+        bindings = {"X": X, "w": np.zeros((d, 1))}
+        store = FeedbackStore()
+        store.observe_input(input_key("X", (n, d)), "csr", fallbacks=3)
+        with feedback_scope(store):
+            adaptive = plan_representations(plan, bindings)
+            pinned = plan_representations(plan, bindings, feedback=False)
+        assert adaptive.repr_plan.choices["X"].representation != "csr"
+        assert pinned.repr_plan.choices["X"].representation == "csr"
+
+
+# ----------------------------------------------------------------------
+# Executor integration
+# ----------------------------------------------------------------------
+class TestExecutorFeedback:
+    def test_execute_publishes_observations(self):
+        X = _make_dense(50, 6)
+        Xm = matrix("X", (50, 6))
+        wm = matrix("w", (6, 1))
+        plan = compile_expr(Xm @ wm)
+        store = FeedbackStore()
+        with feedback_scope(store):
+            execute(plan, {"X": X, "w": np.ones((6, 1))})
+        assert store.updates > 0
+        key = input_key("X", (50, 6))
+        assert store.blended_density(key, 0.0).source == "observed"
+        assert store.op_cost("matmul") is not None
+
+    def test_fallbacks_feed_demotion_end_to_end(self):
+        # rep (*) rep elementwise has no csr kernel: both csr inputs
+        # densify every execute, and two runs must demote the kind.
+        n, d = 40, 6
+        A = CSRMatrix.from_dense(_make_dense(n, d, seed=1))
+        B = CSRMatrix.from_dense(_make_dense(n, d, seed=2))
+        Am, Bm = matrix("A", (n, d)), matrix("B", (n, d))
+        plan = compile_expr(Am * Bm)
+        store = FeedbackStore()
+        with feedback_scope(store):
+            for _ in range(2):
+                execute(plan, {"A": A, "B": B})
+        # Attribution is per kind, not per operand: each run's two csr
+        # densifications count against both csr-bound inputs.
+        assert store.demoted_kinds(input_key("A", (n, d))) == {"csr": 4}
+        assert store.demoted_kinds(input_key("B", (n, d))) == {"csr": 4}
+
+    def test_disabled_path_records_nothing(self):
+        X = _make_dense(50, 6)
+        Xm = matrix("X", (50, 6))
+        wm = matrix("w", (6, 1))
+        plan = compile_expr(Xm @ wm)
+        before = get_registry().value("feedback.updates")
+        execute(plan, {"X": X, "w": np.ones((6, 1))})
+        assert get_registry().value("feedback.updates") == before
+
+
+# ----------------------------------------------------------------------
+# Parallel dispatcher integration
+# ----------------------------------------------------------------------
+class TestParallelFeedback:
+    def test_losing_site_learns_to_go_serial(self):
+        store = FeedbackStore()
+        # Pre-observed loss: parallel per-task twice the serial per-task.
+        store.observe_site(
+            "hot", tasks=4, parallel=False, wall=0.004, work=0.004
+        )
+        store.observe_site(
+            "hot", tasks=4, parallel=True, wall=0.008, work=0.016
+        )
+        ctx = ParallelContext(max_workers=2, cost_threshold=0.0)
+        try:
+            with feedback_scope(store):
+                assert not ctx.should_parallelize(4, None, site="hot")
+                result = ctx.pmap(
+                    lambda v: v * v, range(6), cost_hint=1e9, site="hot"
+                )
+            assert result == [v * v for v in range(6)]
+            assert ctx.stats.by_site["hot"].serial_fallbacks == 1
+            assert ctx.stats.by_site["hot"].parallel_calls == 0
+            assert get_registry().value("parallel.feedback_serial") >= 1
+        finally:
+            ctx.shutdown()
+
+    def test_winning_site_lowers_the_threshold(self):
+        store = FeedbackStore()
+        store.observe_site(
+            "fast", tasks=4, parallel=False, wall=0.008, work=0.008
+        )
+        store.observe_site(
+            "fast", tasks=4, parallel=True, wall=0.004, work=0.016
+        )
+        ctx = ParallelContext(max_workers=2, cost_threshold=1000.0)
+        try:
+            # cost 600 < 1000 gates serially without feedback ...
+            assert not ctx.should_parallelize(4, 600.0, site="fast")
+            with feedback_scope(store):
+                # ... but the 2x winner halves the threshold: 600 >= 500.
+                assert ctx.should_parallelize(4, 600.0, site="fast")
+                assert not ctx.should_parallelize(4, 400.0, site="fast")
+            assert get_registry().value("parallel.feedback_boosts") >= 1
+        finally:
+            ctx.shutdown()
+
+    def test_dispatch_change_preserves_results(self):
+        items = list(range(8))
+        fn = lambda v: v * 3 + 1  # noqa: E731
+        ctx = ParallelContext(max_workers=2, cost_threshold=0.0)
+        try:
+            parallel_result = ctx.pmap(fn, items, cost_hint=1e9, site="s")
+            store = FeedbackStore()
+            store.observe_site(
+                "s", tasks=4, parallel=False, wall=0.004, work=0.004
+            )
+            store.observe_site(
+                "s", tasks=4, parallel=True, wall=0.008, work=0.016
+            )
+            with feedback_scope(store):
+                serial_result = ctx.pmap(fn, items, cost_hint=1e9, site="s")
+            assert serial_result == parallel_result == [fn(v) for v in items]
+        finally:
+            ctx.shutdown()
+
+    def test_pmap_feeds_site_observations_back(self):
+        store = FeedbackStore()
+        ctx = ParallelContext(max_workers=2, cost_threshold=0.0)
+        try:
+            with feedback_scope(store):
+                ctx.pmap(lambda v: v, range(4), cost_hint=1e9, site="obs")
+                ctx.pmap(lambda v: v, range(4), cost_hint=0.0, site="obs")
+        finally:
+            ctx.shutdown()
+        snapshot = store.as_dict()["sites"]["obs"]
+        assert snapshot["parallel_calls"] == 1
+        assert snapshot["serial_calls"] == 1
+
+    def test_stats_expose_realized_speedup_and_decisions(self):
+        ctx = ParallelContext(max_workers=2, cost_threshold=100.0)
+        try:
+            ctx.pmap(lambda v: v, range(4), cost_hint=1e9, site="s")
+            ctx.pmap(lambda v: v, range(4), cost_hint=1.0, site="s")
+        finally:
+            ctx.shutdown()
+        site = ctx.stats.as_dict()["by_site"]["s"]
+        assert site["decisions"] == {"parallel": 1, "serial": 1}
+        assert site["realized_speedup"] > 0
+
+
+# ----------------------------------------------------------------------
+# Driver re-planning
+# ----------------------------------------------------------------------
+class TestDriverReplanning:
+    def _data(self, n=500, d=12, seed=3):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        y = (X @ rng.normal(size=d) > 0).astype(float)
+        return X, y
+
+    def test_logreg_corrects_a_stale_csr_binding_bitwise(self):
+        from repro.algorithms.glm import logreg_gd
+
+        X, y = self._data()
+        baseline = logreg_gd(X, y, max_iter=5, tol=0)
+        adaptive = logreg_gd(
+            CSRMatrix.from_dense(X), y, max_iter=5, tol=0,
+            adaptive=FeedbackStore(),
+        )
+        # Switched to dense before iteration 1: the whole trajectory is
+        # the dense trajectory, bit for bit.
+        assert np.array_equal(adaptive.weights, baseline.weights)
+        assert adaptive.plan_history[0].startswith("iter 0: X -> dense")
+
+    def test_logreg_demotes_a_stale_store_plan_within_one_epoch(self):
+        from repro.algorithms.glm import logreg_gd
+
+        X, y = self._data(n=3000, d=24)
+        store = FeedbackStore()
+        key = input_key("X", X.shape)
+        for _ in range(3):
+            store.observe_input(key, "dense", density=0.01)  # stale lie
+        result = logreg_gd(X, y, max_iter=4, tol=0, adaptive=store)
+        assert result.replans == 1
+        assert result.plan_history[0].startswith("iter 0: X -> csr")
+        assert "iter 1: X -> dense" in result.plan_history[1]
+        baseline = logreg_gd(X, y, max_iter=4, tol=0)
+        # Iteration 1 ran on csr (exact kernels, different float order),
+        # so parity is numerical, not bitwise.
+        np.testing.assert_allclose(
+            result.weights, baseline.weights, rtol=0, atol=1e-9
+        )
+
+    def test_checkpoint_resume_is_bitwise_across_a_replan(self, tmp_path):
+        # Oracle: resume the adaptive run's epoch-1 checkpoint with a
+        # plain dense run; if the mid-run switch is exact, both finish
+        # bit-identically.
+        from repro.algorithms.glm import logreg_gd
+        from repro.resilience.checkpoint import IterativeCheckpointer
+
+        X, y = self._data(n=800, d=10)
+        store = FeedbackStore()
+        key = input_key("X", X.shape)
+        for _ in range(3):
+            store.observe_input(key, "dense", density=0.01)
+
+        ck_a = IterativeCheckpointer(tmp_path / "a", interval=1)
+        adaptive = logreg_gd(
+            X, y, max_iter=4, tol=0, checkpointer=ck_a, adaptive=store
+        )
+        assert adaptive.replans == 1
+
+        ck_b = IterativeCheckpointer(tmp_path / "a", interval=1)
+        resumed = logreg_gd(X, y, max_iter=4, tol=0, checkpointer=ck_b)
+        assert np.array_equal(adaptive.weights, resumed.weights)
+
+    def test_kmeans_corrects_a_stale_csr_binding_bitwise(self):
+        from repro.algorithms.clustering import kmeans_dsl
+
+        X, _ = self._data(n=600, d=8, seed=5)
+        baseline = kmeans_dsl(X, 4, max_iter=6, seed=11)
+        adaptive = kmeans_dsl(
+            CSRMatrix.from_dense(X), 4, max_iter=6, seed=11,
+            adaptive=FeedbackStore(),
+        )
+        assert adaptive.plan_history[0].startswith("iter 0: X -> dense")
+        assert np.array_equal(adaptive.centers, baseline.centers)
+        assert np.array_equal(adaptive.labels, baseline.labels)
+
+    def test_adaptive_false_never_replans(self):
+        from repro.algorithms.glm import logreg_gd
+
+        X, y = self._data()
+        store = FeedbackStore()
+        for _ in range(3):
+            store.observe_input(input_key("X", X.shape), "dense", density=0.01)
+        with feedback_scope(store):
+            result = logreg_gd(X, y, max_iter=3, tol=0, adaptive=False)
+        assert result.replans == 0
+        assert result.plan_history == []
+
+    def test_replan_interval_throttles_checks(self):
+        from repro.algorithms.glm import logreg_gd
+
+        X, y = self._data(n=3000, d=24)
+        store = FeedbackStore()
+        for _ in range(3):
+            store.observe_input(input_key("X", X.shape), "dense", density=0.01)
+        result = logreg_gd(
+            X, y, max_iter=4, tol=0, adaptive=store, replan_interval=10
+        )
+        # Interval 10 never fires within 4 iterations: the (stale) csr
+        # plan from iteration 0 sticks.
+        assert result.replans == 0
+        assert result.plan_history[0].startswith("iter 0: X -> csr")
+
+
+# ----------------------------------------------------------------------
+# Enablement plumbing + disabled invariance
+# ----------------------------------------------------------------------
+class TestEnablement:
+    def test_disabled_by_default(self):
+        assert fb.active_store() is None
+        assert not fb.feedback_enabled()
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FEEDBACK", "1")
+        assert fb.feedback_enabled()
+        assert fb.active_store() is not None
+
+    def test_env_path_loads_persisted_store(self, tmp_path, monkeypatch):
+        warm = FeedbackStore()
+        warm.observe_input("X@10x10", "dense", density=1.0)
+        path = warm.save(tmp_path / "fb.json")
+        monkeypatch.setenv("REPRO_FEEDBACK", "1")
+        monkeypatch.setenv("REPRO_FEEDBACK_PATH", path)
+        store = fb.get_feedback_store()
+        assert store.blended_density("X@10x10", 0.0).source == "observed"
+        assert store.path == path
+
+    def test_set_feedback_forces_on_and_off(self):
+        set_feedback(True)
+        assert fb.active_store() is not None
+        set_feedback(False)
+        assert fb.active_store() is None
+        # Restoring the env default keeps the store the override lazily
+        # installed (an installed store is itself an opt-in) ...
+        set_feedback(None)
+        assert fb.active_store() is not None
+        # ... and reset drops both the store and the override.
+        fb.reset_feedback()
+        assert fb.active_store() is None
+
+    def test_override_off_beats_installed_store(self):
+        set_feedback_store(FeedbackStore())
+        assert fb.active_store() is not None
+        set_feedback(False)
+        assert fb.active_store() is None
+
+    def test_feedback_scope_restores_previous_store(self):
+        outer = FeedbackStore()
+        inner = FeedbackStore()
+        set_feedback_store(outer)
+        with feedback_scope(inner):
+            assert fb.active_store() is inner
+        assert fb.active_store() is outer
+
+    def test_feedback_scope_none_is_a_no_op(self):
+        with feedback_scope(None) as scoped:
+            assert scoped is None
+            assert fb.active_store() is None
+
+    def test_resolve_store_contract(self):
+        store = FeedbackStore()
+        assert fb.resolve_store(False) is None
+        assert fb.resolve_store(store) is store
+        assert fb.resolve_store(None) is None  # disabled by default
+        with feedback_scope(store):
+            assert fb.resolve_store(None) is store
+        assert fb.resolve_store(True) is fb.get_feedback_store()
+        with pytest.raises(FeedbackError, match="adaptive"):
+            fb.resolve_store("yes")
+
+    def test_disabled_runs_are_invariant(self):
+        # The whole feature dark: identical plans, identical results,
+        # nothing observed anywhere.
+        from repro.algorithms.glm import logreg_gd
+
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(300, 8))
+        y = (rng.random(300) < 0.5).astype(float)
+        first = logreg_gd(X, y, max_iter=3, tol=0)
+        second = logreg_gd(X, y, max_iter=3, tol=0)
+        assert np.array_equal(first.weights, second.weights)
+        assert first.replans == second.replans == 0
+        assert get_registry().value("feedback.updates") == 0
