@@ -469,12 +469,118 @@ def check_e23(
     )
 
 
+# ----------------------------------------------------------------------
+# E24 — lineage-aware materialization
+# ----------------------------------------------------------------------
+def check_e24(
+    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
+) -> None:
+    """Ledger exactness, bitwise identity, the repair story, and the
+    disabled-path bound are behavior gates. The warm-vs-cold grid
+    speedup is a *within-capture* ratio (both sides ran on one machine),
+    so it gates against the fixed >= 3x floor everywhere; only the
+    cross-capture comparison follows the wall-clock skip policy."""
+    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
+    g.check(
+        set(cw) == set(bw),
+        f"workload set matches baseline ({sorted(cw)})",
+    )
+    meta = cand.get("meta", {})
+    min_speedup = meta.get("min_grid_speedup", 3.0)
+
+    grid = cw.get("grid/feature_subsets", {})
+    g.check(
+        grid.get("counts_exact") is True,
+        f"cold ledger exact: misses == puts == {grid.get('pairs')} "
+        f"(subset x fold), warm hits match",
+    )
+    g.check(
+        grid.get("bit_identical") is True,
+        "warm sweep bit-identical to cold",
+    )
+    g.check(
+        grid.get("restart_bit_identical") is True
+        and grid.get("restart_exact") is True,
+        f"restart instance served all {grid.get('restart_disk_hits')} "
+        f"statistics from disk, bit-identically",
+    )
+    g.check(
+        grid.get("cross_workload_exact") is True,
+        f"second workload reused {grid.get('cross_workload_hits')} "
+        f"statistics, computed {grid.get('cross_workload_misses')} new "
+        f"(both exact)",
+    )
+    g.check(
+        grid.get("speedup", 0.0) >= min_speedup,
+        f"warm grid speedup {grid.get('speedup', 0.0):.2f} >= "
+        f"{min_speedup} (within-capture bound)",
+    )
+    base_grid = bw.get("grid/feature_subsets", {})
+    _wall_gate(
+        g,
+        f"grid speedup {grid.get('speedup', 0.0):.2f} vs baseline "
+        f"{base_grid.get('speedup', 0.0):.2f}",
+        grid.get("speedup", 0.0),
+        base_grid.get("speedup", 0.0),
+        tol,
+        wall,
+        strict,
+    )
+
+    repair = cw.get("repair/corrupted_entries", {})
+    g.check(
+        repair.get("counts_exact") is True,
+        f"{repair.get('corrupted')} corrupted entries -> exactly "
+        f"{repair.get('recomputes')} lineage recomputes",
+    )
+    g.check(
+        repair.get("bit_identical") is True,
+        "repaired sweep bit-identical to the cold reference",
+    )
+    g.check(
+        repair.get("chaos_counts_exact") is True
+        and repair.get("chaos_bit_identical") is True,
+        f"chaos (every read corrupts): {repair.get('chaos_corrupt_entries')}"
+        f" entries repaired bit-identically",
+    )
+
+    overhead = cw.get("overhead/disabled_path", {})
+    g.check(
+        overhead.get("estimated_overhead_pct", float("inf"))
+        < overhead.get("bound_pct", 3.0),
+        f"disabled-path overhead "
+        f"{overhead.get('estimated_overhead_pct', float('nan')):.3f}% < "
+        f"{overhead.get('bound_pct', 3.0):.0f}%",
+    )
+    g.check(
+        overhead.get("plans_identical") is True,
+        "compiled plans byte-identical with and without an active store",
+    )
+
+    evict = cw.get("eviction/capacity_ledger", {})
+    g.check(
+        evict.get("evictions_exact") is True,
+        f"evictions exactly puts - capacity "
+        f"({evict.get('cold_evictions')} = {evict.get('pairs')} - "
+        f"{evict.get('capacity_entries')})",
+    )
+    g.check(
+        evict.get("all_served") is True and evict.get("bit_identical") is True,
+        "capacity-bounded warm sweep served every statistic bit-identically",
+    )
+    g.check(
+        evict.get("pinned_resident") is True,
+        "pinned entry survived eviction pressure",
+    )
+
+
 CHECKERS = {
     "E18": check_e18,
     "E19": check_e19,
     "E21": check_e21,
     "E22": check_e22,
     "E23": check_e23,
+    "E24": check_e24,
 }
 
 

@@ -663,6 +663,16 @@ def e23_feedback():
     bench_feedback.report(results)
 
 
+@experiment("E24", "Lineage-aware materialization: cross-workload reuse")
+def e24_reuse():
+    """Delegate to the dedicated reuse benchmark (kept quick here)."""
+    import bench_reuse
+
+    _header("E24", "Lineage-aware materialization: cross-workload reuse")
+    results = bench_reuse.run(quick=True, repeats=2)
+    bench_reuse.report(results)
+
+
 def _registry_lines() -> list[str]:
     return [f"{tag:>5}  {title}" for tag, (_, title) in EXPERIMENTS.items()]
 

@@ -22,6 +22,7 @@ Subpackages:
 * ``repro.sparse``       — CSR sparse linear-algebra substrate
 * ``repro.algorithms``   — algorithm scripts authored in the DSL
 * ``repro.distributed``  — simulated data-parallel / parameter-server training
+* ``repro.materialize``  — lineage-aware materialization store, sub-plan reuse
 * ``repro.obs``          — unified tracing + metrics (spans, registry, reports)
 * ``repro.resilience``   — fault injection, retry/recovery, checkpoint/restore
 * ``repro.serving``      — online inference (micro-batching, cache, canary)
@@ -41,6 +42,7 @@ from . import (
     indb,
     lang,
     lifecycle,
+    materialize,
     ml,
     obs,
     resilience,
@@ -64,6 +66,7 @@ __all__ = [
     "indb",
     "lang",
     "lifecycle",
+    "materialize",
     "ml",
     "obs",
     "resilience",

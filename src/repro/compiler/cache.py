@@ -5,6 +5,11 @@ times (one gradient per iteration, one distance matrix per Lloyd step).
 A :class:`PlanCache` memoizes compiled plans on the expression's
 structural key plus the optimizer flags, LRU-bounded — the plan-cache
 component of declarative ML compilers.
+
+Per-instance :class:`CacheStats` stay the caller's view; hits, misses,
+and evictions are dual-written to the global :mod:`repro.obs` registry
+as ``plancache.*`` so run reports see compilation caching next to
+bufferpool and materialization behavior.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from dataclasses import dataclass
 
 from ..lang.ast import Node
 from ..lang.dsl import MExpr
+from ..obs import get_registry
 from .planner import CompiledPlan, compile_expr
 
 
@@ -52,9 +58,11 @@ class PlanCache:
         cached = self._plans.get(key)
         if cached is not None:
             self.stats.hits += 1
+            get_registry().inc("plancache.hits")
             self._plans.move_to_end(key)
             return cached
         self.stats.misses += 1
+        get_registry().inc("plancache.misses")
         plan = compile_expr(
             node, rewrites=rewrites, mmchain=mmchain, fusion=fusion, cse=cse
         )
@@ -62,6 +70,7 @@ class PlanCache:
         if len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
             self.stats.evictions += 1
+            get_registry().inc("plancache.evictions")
         return plan
 
     def clear(self) -> None:

@@ -31,10 +31,10 @@ unless ``REPRO_FEEDBACK`` is truthy, a store was installed with
 :func:`set_feedback` forced it on — so the disabled hot path costs one
 function call and a dict lookup (E23 bounds it below 3%).
 
-Persistence reuses the checkpointer's atomic idiom: a JSON header
-carrying the schema (``repro.feedback/v1``) and the payload's CRC32,
-written to a temp file in the target directory and ``os.replace``d into
-place. :meth:`FeedbackStore.load` rejects schema mismatches and corrupt
+Persistence goes through :mod:`repro.persist` (the same atomic
+header+CRC file format the checkpointer uses): a JSON header carrying
+the schema (``repro.feedback/v1``) and the payload's CRC32, written to
+a temp file in the target directory and ``os.replace``d into place. :meth:`FeedbackStore.load` rejects schema mismatches and corrupt
 bytes; :meth:`FeedbackStore.load_or_cold` falls back to an empty store
 (pure estimates) instead, counting the failure in the obs registry.
 """
@@ -43,15 +43,14 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import threading
-import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..errors import ReproError
 from ..obs import get_registry
+from ..persist import read_verified, write_atomic
 
 SCHEMA = "repro.feedback/v1"
 
@@ -423,33 +422,14 @@ class FeedbackStore:
             {k: snapshot[k] for k in ("updates", "inputs", "ops", "sites")},
             sort_keys=True,
         ).encode("utf-8")
-        header = json.dumps(
-            {
-                "schema": SCHEMA,
-                "crc32": zlib.crc32(payload),
-                "payload_bytes": len(payload),
-            },
-            sort_keys=True,
-        ).encode("utf-8")
-        directory = os.path.dirname(os.path.abspath(target))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=".feedback-", suffix=".tmp", dir=directory
+        write_atomic(
+            target,
+            payload,
+            SCHEMA,
+            error_cls=FeedbackError,
+            what="feedback store",
+            tmp_prefix=".feedback-",
         )
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(header + b"\n" + payload)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_name, target)
-        except OSError as exc:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise FeedbackError(
-                f"could not write feedback store {target}"
-            ) from exc
         get_registry().inc("feedback.saves")
         return target
 
@@ -457,33 +437,9 @@ class FeedbackStore:
     def load(cls, path: str | os.PathLike) -> "FeedbackStore":
         """Load and verify a persisted store; raises on any corruption."""
         target = os.fspath(path)
-        try:
-            raw = open(target, "rb").read()
-        except OSError as exc:
-            raise FeedbackError(
-                f"could not read feedback store {target}"
-            ) from exc
-        newline = raw.find(b"\n")
-        if newline < 0:
-            raise FeedbackError(f"feedback store {target} has no header")
-        try:
-            header = json.loads(raw[:newline].decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise FeedbackError(
-                f"feedback store {target} header unreadable"
-            ) from exc
-        if header.get("schema") != SCHEMA:
-            raise FeedbackError(
-                f"feedback store {target} has schema "
-                f"{header.get('schema')!r}, expected {SCHEMA!r}"
-            )
-        payload = raw[newline + 1 :]
-        if len(payload) != header.get("payload_bytes"):
-            raise FeedbackError(f"feedback store {target} is truncated")
-        if zlib.crc32(payload) != header.get("crc32"):
-            raise FeedbackError(
-                f"feedback store {target} failed its checksum"
-            )
+        _, payload = read_verified(
+            target, SCHEMA, error_cls=FeedbackError, what="feedback store"
+        )
         try:
             body = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -153,6 +153,10 @@ class ParallelTaskError(ExecutionError):
         )
 
 
+class MaterializationError(ReproError):
+    """Materialization-store persistence, admission, or lookup failed."""
+
+
 class CheckpointError(ResilienceError):
     """A checkpoint could not be written, read, or verified."""
 

@@ -1,0 +1,524 @@
+"""The persistent materialization store.
+
+Columbus showed that model selection's real cost structure is
+*lifecycle* cost: feature exploration, grid search, and CV re-derive
+the same intermediates — gram matrices, compressed operands, fold
+statistics — run after run. A :class:`MaterializationStore` is the
+system-level answer: every executed sub-plan is identified by its
+content-hashed :class:`~repro.materialize.fingerprint.Fingerprint`, and
+any later workload that evaluates a matching sub-plan (same structure,
+byte-identical operands, same optimizer flags) transparently reuses the
+stored value instead of recomputing. Because the fingerprint pins
+structure *and* operand bytes *and* flags, a hit is bit-identical to
+cold execution by construction — the store can go stale-silent (miss),
+never stale-wrong (hit on changed data).
+
+Two tiers:
+
+* **Memory** — a :class:`~repro.runtime.bufferpool.BufferPool` in
+  object mode, so admission, LRU eviction, pinning, and the byte ledger
+  are the bufferpool's own accounting (one eviction discipline for the
+  whole runtime). Pinned materializations are never evicted.
+* **Disk** — one file per entry in the store directory, written through
+  :mod:`repro.persist` (atomic replace, schema ``repro.mat/v1``, CRC32
+  over the pickled payload). An entry evicted from memory is re-read
+  and re-admitted on its next hit. A corrupted file (bit rot, or chaos
+  injected at fault site ``"materialize.read"``) fails its checksum,
+  is counted and unlinked, and the lookup reports a miss — the executor
+  then *recomputes the value from its lineage* (the plan beneath the
+  node) and re-admits it, so repair is recompute, exactly the
+  blockstore's recovery model.
+
+Admission is cost-based: an intermediate earns persistence when its
+estimated recompute cost clears ``min_flops`` and its flops-per-byte
+density clears ``min_flops_per_byte`` — cheap-to-recompute or
+bloated-for-their-cost values are not worth their storage. ``pin=True``
+bypasses admission (an explicit pin is the operator's override) and
+shields the entry from memory-tier eviction.
+
+The store is **off by default**: the executor consults
+:func:`active_store`, which costs one attribute read when nothing is
+installed, so the disabled path stays within the <3% overhead budget
+and plans are byte-identical to a build without the store (compilation
+is never touched).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..errors import MaterializationError
+from ..obs import get_registry
+from ..persist import read_verified, write_atomic
+from ..resilience.faults import fault_point
+from ..runtime import repops
+from ..runtime.bufferpool import BufferPool
+from .fingerprint import Fingerprint
+from .lineage import LineageGraph
+
+SCHEMA = "repro.mat/v1"
+
+#: default byte budget of the in-memory tier.
+DEFAULT_CAPACITY_BYTES = 256 << 20
+#: default admission floor on estimated recompute flops.
+DEFAULT_MIN_FLOPS = 100_000.0
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class EntryMeta:
+    """Book-keeping for one materialized entry."""
+
+    __slots__ = ("key", "label", "kind", "shape", "nbytes", "flops",
+                 "pinned", "hits")
+
+    def __init__(self, key, label, kind, shape, nbytes, flops, pinned):
+        self.key = key
+        self.label = label
+        self.kind = kind
+        self.shape = shape
+        self.nbytes = int(nbytes)
+        self.flops = float(flops)
+        self.pinned = bool(pinned)
+        self.hits = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "kind": self.kind,
+            "shape": list(self.shape) if self.shape else None,
+            "nbytes": self.nbytes,
+            "flops": self.flops,
+            "pinned": self.pinned,
+            "hits": self.hits,
+        }
+
+
+class MaterializationStore:
+    """Fingerprint-keyed, two-tier store of executed sub-plan values.
+
+    Args:
+        directory: persistence root (created if missing). ``None`` keeps
+            the store memory-only — entries die with eviction.
+        capacity_bytes: byte budget of the in-memory tier.
+        min_flops: admission floor on estimated recompute cost.
+        min_flops_per_byte: admission floor on recompute-cost density —
+            a value must be at least this expensive per stored byte.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        min_flops: float = DEFAULT_MIN_FLOPS,
+        min_flops_per_byte: float = 0.0,
+    ):
+        if min_flops < 0 or min_flops_per_byte < 0:
+            raise MaterializationError("admission floors must be >= 0")
+        self.directory = Path(directory) if directory is not None else None
+        self.min_flops = float(min_flops)
+        self.min_flops_per_byte = float(min_flops_per_byte)
+        self.pool = BufferPool(None, capacity_bytes)
+        self.lineage = LineageGraph()
+        self._meta: dict[str, EntryMeta] = {}
+        self._seen: set[str] = set()
+        self._lock = threading.RLock()
+        # local ledger (the obs registry accumulates across stores)
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.puts = 0
+        self.rejected = 0
+        self.recomputes = 0
+        self.corrupt_entries = 0
+        self.bytes_materialized = 0
+        self.bytes_reused = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._scan_directory()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        if self.directory is None:
+            raise MaterializationError("store has no persistence directory")
+        return self.directory / f"{key}.mat"
+
+    def _scan_directory(self) -> None:
+        """Index persisted entries (headers only; payload verified on read)."""
+        import json
+
+        for path in sorted(self.directory.glob("*.mat")):
+            try:
+                with open(path, "rb") as fh:
+                    first = fh.readline()
+                header = json.loads(first.decode("utf-8"))
+            except (OSError, UnicodeDecodeError, ValueError):
+                continue
+            if header.get("schema") != SCHEMA:
+                continue
+            key = header.get("key") or path.stem
+            shape = header.get("shape")
+            meta = EntryMeta(
+                key=key,
+                label=header.get("label", ""),
+                kind=header.get("kind", "dense"),
+                shape=tuple(shape) if shape else None,
+                nbytes=header.get("nbytes", 0),
+                flops=header.get("flops", 0.0),
+                pinned=header.get("pinned", False),
+            )
+            self._meta[key] = meta
+            self._seen.add(key)
+            children = header.get("children") or ()
+            self.lineage.record(
+                key,
+                meta.label,
+                header.get("structural", ""),
+                shape=meta.shape,
+                nbytes=meta.nbytes,
+                flops=meta.flops,
+                children=children,
+            )
+
+    @staticmethod
+    def _key_of(fp: Fingerprint | str) -> str:
+        return fp if isinstance(fp, str) else fp.key
+
+    # -- admission ------------------------------------------------------
+    def should_admit(self, flops: float, nbytes: int) -> bool:
+        """Cost-based admission: recompute cost must pay for the bytes."""
+        if flops < self.min_flops:
+            return False
+        if nbytes > 0 and flops / nbytes < self.min_flops_per_byte:
+            return False
+        return True
+
+    # -- write path -----------------------------------------------------
+    def put(
+        self,
+        fp: Fingerprint | str,
+        value,
+        label: str = "",
+        flops: float = 0.0,
+        structural: str = "",
+        children: Iterable[str] = (),
+        pin: bool = False,
+        source: str = "plan",
+        nbytes: int | None = None,
+    ) -> bool:
+        """Offer one computed value; returns whether it was admitted.
+
+        Dense arrays are stored as private copies so later caller-side
+        mutation cannot reach the store. Re-admitting a key the store
+        has seen before (after corruption or loss) counts as a lineage
+        recompute. ``nbytes`` overrides the sizing for values
+        :func:`~repro.runtime.repops.operand_bytes` cannot measure
+        (e.g. relational tables).
+        """
+        key = self._key_of(fp)
+        if nbytes is None:
+            nbytes = repops.operand_bytes(value)
+        registry = get_registry()
+        with self._lock:
+            if key in self._meta:
+                return True  # already materialized; nothing to do
+            if not pin and not self.should_admit(flops, nbytes):
+                self.rejected += 1
+                registry.inc("materialize.rejected")
+                return False
+            if isinstance(value, np.ndarray):
+                value = np.array(value, dtype=np.float64, copy=True)
+            kind = repops.kind_of(value)
+            shape = tuple(getattr(value, "shape", ())) or None
+            if key in self._seen:
+                self.recomputes += 1
+                registry.inc("materialize.recomputes")
+            meta = EntryMeta(key, label, kind, shape, nbytes, flops, pin)
+            if self.directory is not None:
+                self._persist(meta, value, structural, tuple(children))
+            self._meta[key] = meta
+            self._seen.add(key)
+            self.pool.put_object(key, value, nbytes, pin=pin)
+            self.lineage.record(
+                key,
+                label,
+                structural,
+                shape=shape,
+                nbytes=nbytes,
+                flops=flops,
+                children=children,
+                source=source,
+            )
+            self.puts += 1
+            self.bytes_materialized += nbytes
+            registry.inc("materialize.puts")
+            registry.inc("materialize.bytes_materialized", nbytes)
+            return True
+
+    def _persist(
+        self, meta: EntryMeta, value, structural: str,
+        children: tuple[str, ...],
+    ) -> None:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        write_atomic(
+            self._path(meta.key),
+            payload,
+            SCHEMA,
+            extra={
+                "key": meta.key,
+                "label": meta.label,
+                "kind": meta.kind,
+                "shape": list(meta.shape) if meta.shape else None,
+                "nbytes": meta.nbytes,
+                "flops": meta.flops,
+                "pinned": meta.pinned,
+                "structural": structural,
+                "children": list(children),
+            },
+            error_cls=MaterializationError,
+            what="materialized entry",
+            tmp_prefix=".mat-",
+        )
+
+    # -- read path ------------------------------------------------------
+    def contains(self, fp: Fingerprint | str) -> bool:
+        with self._lock:
+            return self._key_of(fp) in self._meta
+
+    def lookup(self, fp: Fingerprint | str):
+        """The stored value, or ``None`` (miss — caller recomputes).
+
+        Misses cover never-seen fingerprints, entries lost to memory
+        eviction in a directory-less store, and entries whose persisted
+        bytes failed their CRC — the last are unlinked so the caller's
+        recompute can re-materialize them cleanly.
+        """
+        key = self._key_of(fp)
+        registry = get_registry()
+        with self._lock:
+            meta = self._meta.get(key)
+            if meta is None:
+                self.misses += 1
+                registry.inc("materialize.misses")
+                return None
+            value = self.pool.lookup(key)
+            if value is None and self.directory is not None:
+                value = self._load_disk(key, meta)
+                if value is not None:
+                    self.disk_hits += 1
+                    registry.inc("materialize.disk_hits")
+                    self.pool.put_object(
+                        key, value, meta.nbytes, pin=meta.pinned
+                    )
+            if value is None:
+                # lost (evicted with no disk tier, or corrupt on disk)
+                del self._meta[key]
+                self.misses += 1
+                registry.inc("materialize.misses")
+                return None
+            meta.hits += 1
+            self.hits += 1
+            self.bytes_reused += meta.nbytes
+            registry.inc("materialize.hits")
+            registry.inc("materialize.bytes_reused", meta.nbytes)
+            return value
+
+    def _load_disk(self, key: str, meta: EntryMeta):
+        path = self._path(key)
+        if not path.exists():
+            return None
+        if fault_point("materialize.read", key=key) == "corrupt":
+            self.corrupt(key)
+        try:
+            _, payload = read_verified(
+                path,
+                SCHEMA,
+                error_cls=MaterializationError,
+                what="materialized entry",
+            )
+        except MaterializationError:
+            self.corrupt_entries += 1
+            get_registry().inc("materialize.corrupt_entries")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return pickle.loads(payload)
+
+    # -- pinning --------------------------------------------------------
+    def pin(self, fp: Fingerprint | str) -> None:
+        """Pin an entry: admission override + never evicted from memory."""
+        key = self._key_of(fp)
+        with self._lock:
+            meta = self._meta.get(key)
+            if meta is None:
+                raise MaterializationError(f"cannot pin unknown entry {key!r}")
+            meta.pinned = True
+            if key in self.pool:
+                self.pool.pin(key)
+
+    def unpin(self, fp: Fingerprint | str) -> None:
+        key = self._key_of(fp)
+        with self._lock:
+            meta = self._meta.get(key)
+            if meta is not None:
+                meta.pinned = False
+            self.pool.unpin(key)
+
+    # -- maintenance / introspection -----------------------------------
+    def corrupt(self, fp: Fingerprint | str) -> None:
+        """Flip one byte of a persisted entry (test/chaos hook).
+
+        The flipped position derives from the key, so injected
+        corruption is deterministic — the same idiom as
+        :meth:`repro.runtime.bufferpool.BlockStore.corrupt`.
+        """
+        import zlib
+
+        key = self._key_of(fp)
+        path = self._path(key)
+        raw = path.read_bytes()
+        newline = raw.find(b"\n")
+        body = raw[newline + 1 :]
+        if not body:
+            return
+        pos = newline + 1 + zlib.crc32(key.encode("utf-8")) % len(body)
+        mutated = raw[:pos] + bytes([raw[pos] ^ 0xFF]) + raw[pos + 1 :]
+        path.write_bytes(mutated)
+        # drop the memory copy so the next lookup exercises the disk tier
+        with self._lock:
+            self.pool.remove(key)
+
+    def drop(self, fp: Fingerprint | str) -> bool:
+        """Forget one entry everywhere (memory, meta, disk)."""
+        key = self._key_of(fp)
+        with self._lock:
+            existed = key in self._meta
+            self._meta.pop(key, None)
+            self.pool.remove(key)
+            if self.directory is not None:
+                try:
+                    self._path(key).unlink()
+                except OSError:
+                    pass
+            return existed
+
+    def entries(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [
+                self._meta[k].as_dict() for k in sorted(self._meta)
+            ]
+
+    def __len__(self) -> int:
+        return len(self._meta)
+
+    def ledger(self) -> dict[str, Any]:
+        """Exact reuse accounting (the E24 gates check these)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "puts": self.puts,
+                "rejected": self.rejected,
+                "recomputes": self.recomputes,
+                "corrupt_entries": self.corrupt_entries,
+                "bytes_materialized": self.bytes_materialized,
+                "bytes_reused": self.bytes_reused,
+                "entries": len(self._meta),
+                "resident_bytes": self.pool.used_bytes,
+                "capacity_bytes": self.pool.capacity_bytes,
+                "evictions": self.pool.stats.evictions,
+                "pinned": sum(1 for m in self._meta.values() if m.pinned),
+            }
+
+    def describe(self) -> str:
+        led = self.ledger()
+        lines = [
+            f"materialization store ({led['entries']} entries, "
+            f"{led['resident_bytes']}/{led['capacity_bytes']}B resident)",
+            f"  hits {led['hits']} (disk {led['disk_hits']}) / "
+            f"misses {led['misses']} / evictions {led['evictions']}",
+            f"  bytes reused {led['bytes_reused']} / "
+            f"materialized {led['bytes_materialized']}",
+        ]
+        if len(self.lineage):
+            lines.append(self.lineage.describe())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Process-global enablement (the executor's hook)
+# ----------------------------------------------------------------------
+_global_lock = threading.Lock()
+_active: MaterializationStore | None = None
+
+
+def active_store() -> MaterializationStore | None:
+    """The store the executor should consult, or ``None`` when disabled.
+
+    This is the hot-path gate: disabled cost is one module-attribute
+    read. ``REPRO_MATERIALIZE_DIR`` is only consulted by
+    :func:`get_materialization_store` — an env-configured store still
+    requires one explicit ``get`` (or an installed store) to activate.
+    """
+    return _active
+
+
+def set_materialization_store(store: MaterializationStore | None) -> None:
+    """Install (or clear) the process-global store — the explicit opt-in."""
+    global _active
+    with _global_lock:
+        _active = store
+
+
+def get_materialization_store() -> MaterializationStore:
+    """The process-global store, created (and installed) on first use.
+
+    ``REPRO_MATERIALIZE_DIR`` names the persistence directory; unset
+    keeps the store memory-only.
+    """
+    global _active
+    with _global_lock:
+        if _active is None:
+            directory = (
+                os.environ.get("REPRO_MATERIALIZE_DIR", "").strip() or None
+            )
+            _active = MaterializationStore(directory=directory)
+        return _active
+
+
+def reset_materialization() -> None:
+    """Drop the global store (test/benchmark hygiene)."""
+    global _active
+    with _global_lock:
+        _active = None
+
+
+@contextmanager
+def materialization_scope(store: MaterializationStore | None):
+    """Temporarily install ``store`` as the active global store.
+
+    ``None`` is a no-op scope, so drivers can thread an optional store
+    without branching.
+    """
+    if store is None:
+        yield None
+        return
+    global _active
+    with _global_lock:
+        previous = _active
+        _active = store
+    try:
+        yield store
+    finally:
+        with _global_lock:
+            _active = previous

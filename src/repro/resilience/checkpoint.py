@@ -25,17 +25,15 @@ final model bit-for-bit — the property E21's kill/resume leg asserts.
 
 from __future__ import annotations
 
-import json
 import os
 import pickle
 import re
-import tempfile
-import zlib
 from pathlib import Path
 from typing import Any
 
 from ..errors import CheckpointError
 from ..obs import get_registry, span
+from ..persist import read_verified, write_atomic
 
 SCHEMA = "repro.ckpt/v1"
 _FILE_RE = re.compile(r"^(?P<name>.+)-(?P<step>\d{8})\.ckpt$")
@@ -99,38 +97,22 @@ class IterativeCheckpointer:
                 f"state must be a dict, got {type(state).__name__}"
             )
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-        header = json.dumps(
-            {
-                "schema": SCHEMA,
-                "job": self.name,
-                "step": step,
-                "crc32": zlib.crc32(payload),
-                "payload_bytes": len(payload),
-            },
-            sort_keys=True,
-        ).encode("utf-8")
         target = self._path(step)
         with span("checkpoint.save", job=self.name, step=step):
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=f".{self.name}-", suffix=".tmp", dir=self.directory
+            write_atomic(
+                target,
+                payload,
+                SCHEMA,
+                extra={"job": self.name, "step": step},
+                error_cls=CheckpointError,
+                what="checkpoint",
+                tmp_prefix=f".{self.name}-",
             )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(header + b"\n" + payload)
-                    fh.flush()
-                    os.fsync(fh.fileno())
-                os.replace(tmp_name, target)
-            except OSError as exc:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise CheckpointError(
-                    f"could not write checkpoint {target}"
-                ) from exc
         registry = get_registry()
         registry.inc("checkpoint.saves")
-        registry.inc("checkpoint.bytes_written", len(header) + 1 + len(payload))
+        registry.inc(
+            "checkpoint.bytes_written", os.path.getsize(target)
+        )
         self._prune()
         return target
 
@@ -151,24 +133,9 @@ class IterativeCheckpointer:
         path = self._path(step)
         if not path.exists():
             raise CheckpointError(f"no checkpoint for step {step} at {path}")
-        raw = path.read_bytes()
-        newline = raw.find(b"\n")
-        if newline < 0:
-            raise CheckpointError(f"checkpoint {path} has no header")
-        try:
-            header = json.loads(raw[:newline].decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"checkpoint {path} header unreadable") from exc
-        if header.get("schema") != SCHEMA:
-            raise CheckpointError(
-                f"checkpoint {path} has schema {header.get('schema')!r}, "
-                f"expected {SCHEMA!r}"
-            )
-        payload = raw[newline + 1 :]
-        if len(payload) != header.get("payload_bytes"):
-            raise CheckpointError(f"checkpoint {path} is truncated")
-        if zlib.crc32(payload) != header.get("crc32"):
-            raise CheckpointError(f"checkpoint {path} failed its checksum")
+        _, payload = read_verified(
+            path, SCHEMA, error_cls=CheckpointError, what="checkpoint"
+        )
         state = pickle.loads(payload)
         registry = get_registry()
         registry.inc("checkpoint.restores")

@@ -126,6 +126,7 @@ class PoolStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def requests(self) -> int:
@@ -137,14 +138,24 @@ class PoolStats:
 
 
 class BufferPool:
-    """Byte-budgeted LRU cache of blocks over a :class:`BlockStore`."""
+    """Byte-budgeted LRU cache of blocks over a :class:`BlockStore`.
 
-    def __init__(self, store: BlockStore, capacity_bytes: int):
+    Besides read-through block caching (:meth:`get`/:meth:`put`), the
+    pool can hold arbitrary sized objects whose ground truth lives
+    elsewhere (:meth:`put_object`/:meth:`lookup`) — the materialization
+    store charges its in-memory tier through this accounting, so one
+    eviction discipline and one byte ledger govern both kinds of cache.
+    ``store`` may be ``None`` for an object-only pool; only the
+    read-through paths touch it.
+    """
+
+    def __init__(self, store: BlockStore | None, capacity_bytes: int):
         if capacity_bytes <= 0:
             raise ExecutionError("buffer pool capacity must be positive")
         self._store = store
         self._capacity = capacity_bytes
-        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._cache: OrderedDict[str, object] = OrderedDict()
+        self._sizes: dict[str, int] = {}
         self._pinned: set[str] = set()
         self._used = 0
         self.stats = PoolStats()
@@ -161,6 +172,13 @@ class BufferPool:
     def cached_blocks(self) -> list[str]:
         return list(self._cache)
 
+    @property
+    def pinned_blocks(self) -> list[str]:
+        return sorted(self._pinned)
+
+    def __contains__(self, block_id: str) -> bool:
+        return block_id in self._cache
+
     def get(self, block_id: str) -> np.ndarray:
         """Fetch a block, serving from cache when possible."""
         if block_id in self._cache:
@@ -170,18 +188,60 @@ class BufferPool:
             return self._cache[block_id]
         self.stats.misses += 1
         get_registry().inc("bufferpool.misses")
+        if self._store is None:
+            raise ExecutionError(
+                f"block {block_id!r} not cached and pool has no store"
+            )
         array = self._store.read(block_id)
-        self._admit(block_id, array)
+        self._admit(block_id, array, array.nbytes)
         return array
 
     def put(self, block_id: str, array: np.ndarray) -> None:
         """Write a block through the pool to the store."""
         array = np.asarray(array, dtype=np.float64)
-        self._store.write(block_id, array)
+        if self._store is not None:
+            self._store.write(block_id, array)
+        self._drop(block_id)
+        self._admit(block_id, array, array.nbytes)
+
+    def lookup(self, block_id: str):
+        """Cached value or ``None`` — no read-through, hit/miss counted.
+
+        The store's memory tier uses this: a miss here falls back to the
+        caller's own slower tier (disk entry or lineage recompute), not
+        to the pool's block store.
+        """
         if block_id in self._cache:
-            self._used -= self._cache[block_id].nbytes
-            del self._cache[block_id]
-        self._admit(block_id, array)
+            self.stats.hits += 1
+            get_registry().inc("bufferpool.hits")
+            self._cache.move_to_end(block_id)
+            return self._cache[block_id]
+        self.stats.misses += 1
+        get_registry().inc("bufferpool.misses")
+        return None
+
+    def put_object(
+        self,
+        block_id: str,
+        value: object,
+        nbytes: int | None = None,
+        pin: bool = False,
+    ) -> bool:
+        """Cache an arbitrary sized object without a store write.
+
+        Returns whether the object is resident afterwards. ``pin=True``
+        pins it on admit; admission may evict unpinned entries but a
+        pinned working set larger than the pool simply leaves the object
+        uncached (the caller's ground truth still holds it).
+        """
+        size = int(value.nbytes if nbytes is None else nbytes)
+        if size < 0:
+            raise ExecutionError(f"object size must be >= 0, got {size}")
+        self._drop(block_id)
+        self._admit(block_id, value, size)
+        if block_id in self._cache and pin:
+            self._pinned.add(block_id)
+        return block_id in self._cache
 
     def pin(self, block_id: str) -> None:
         """Protect a cached block from eviction."""
@@ -192,21 +252,37 @@ class BufferPool:
     def unpin(self, block_id: str) -> None:
         self._pinned.discard(block_id)
 
-    def _admit(self, block_id: str, array: np.ndarray) -> None:
-        size = array.nbytes
+    def remove(self, block_id: str) -> bool:
+        """Invalidate one entry (counted separately from evictions)."""
+        if self._drop(block_id):
+            self.stats.invalidations += 1
+            get_registry().inc("bufferpool.invalidations")
+            return True
+        return False
+
+    def _drop(self, block_id: str) -> bool:
+        if block_id not in self._cache:
+            return False
+        self._used -= self._sizes.pop(block_id)
+        del self._cache[block_id]
+        self._pinned.discard(block_id)
+        return True
+
+    def _admit(self, block_id: str, value: object, size: int) -> None:
         if size > self._capacity:
-            # Block exceeds the whole pool: pass through uncached.
+            # Entry exceeds the whole pool: pass through uncached.
             return
         while self._used + size > self._capacity:
             if not self._evict_one():
                 return  # everything left is pinned; serve uncached
-        self._cache[block_id] = array
+        self._cache[block_id] = value
+        self._sizes[block_id] = size
         self._used += size
 
     def _evict_one(self) -> bool:
         for victim in self._cache:
             if victim not in self._pinned:
-                self._used -= self._cache[victim].nbytes
+                self._used -= self._sizes.pop(victim)
                 del self._cache[victim]
                 self.stats.evictions += 1
                 get_registry().inc("bufferpool.evictions")

@@ -6,7 +6,13 @@ selection sessions.
 """
 
 from .cv import KFold, StratifiedKFold, cross_val_score
-from .foldreuse import RidgeCVResult, ridge_cv_naive, ridge_cv_shared
+from .featuregrid import FeatureGridResult, ridge_feature_grid
+from .foldreuse import (
+    RidgeCVResult,
+    fold_statistics,
+    ridge_cv_naive,
+    ridge_cv_shared,
+)
 from .halving import (
     HalvingResult,
     Rung,
@@ -27,6 +33,7 @@ from .warmstart import PathPoint, PathResult, fit_logistic_path
 __all__ = [
     "Bracket",
     "Evaluation",
+    "FeatureGridResult",
     "HalvingResult",
     "HyperbandResult",
     "KFold",
@@ -41,12 +48,14 @@ __all__ = [
     "cross_val_score",
     "expand_grid",
     "fit_logistic_path",
+    "fold_statistics",
     "full_budget_baseline",
     "grid_search",
     "hyperband",
     "random_search",
     "ridge_cv_naive",
     "ridge_cv_shared",
+    "ridge_feature_grid",
     "sample_from_space",
     "successive_halving",
 ]

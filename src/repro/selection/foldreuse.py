@@ -51,28 +51,114 @@ def _prepare(X, y, lambdas, cv):
     return X, y, lambdas, cv
 
 
+def fold_statistics(
+    X: np.ndarray,
+    y: np.ndarray,
+    folds,
+    store=None,
+    columns=None,
+) -> tuple[list[np.ndarray], list[np.ndarray], list[float]]:
+    """Per-fold ``(gram, xty, yty)`` sufficient statistics, optionally reused.
+
+    Each fold's statistics are one augmented self-product ``t(Z) %*% Z``
+    with ``Z = [X_fold[:, columns] | y_fold]`` — a single fused tsmm
+    executed through the DSL. With a
+    :class:`~repro.materialize.MaterializationStore`, the statistic is
+    identified by *derived-slice lineage*: it is a deterministic
+    function of the full base operands and the slice specification, so
+    its fingerprint hashes ``X`` and ``y`` once per session (content
+    hashes are memoized on object identity) and encodes the fold's row
+    indices and the column subset in the structural component. A warm
+    store therefore serves every fold without touching — or re-hashing —
+    the fold's bytes, and a hit is bit-identical to cold compute because
+    equal base bytes plus an equal slice spec derive equal slices.
+    """
+    d = X.shape[1] if columns is None else len(columns)
+    cols = None if columns is None else tuple(int(j) for j in columns)
+    fold_gram: list[np.ndarray] = []
+    fold_xty: list[np.ndarray] = []
+    fold_yty: list[float] = []
+    if store is None:
+        for fold in folds:
+            Xf = X[fold] if cols is None else X[np.asarray(fold)][:, cols]
+            yf = y[fold]
+            fold_gram.append(Xf.T @ Xf)
+            fold_xty.append(Xf.T @ yf)
+            fold_yty.append(float(yf @ yf))
+        return fold_gram, fold_xty, fold_yty
+
+    import hashlib
+
+    from ..lang.dsl import matrix
+    from ..materialize import Fingerprint, content_hash
+    from ..runtime.executor import execute
+
+    x_hash = content_hash(X)
+    y_hash = content_hash(y)
+    col_spec = "all" if cols is None else ",".join(map(str, cols))
+    for fold in folds:
+        rows = hashlib.sha256(
+            np.ascontiguousarray(fold, dtype=np.int64).tobytes()
+        ).hexdigest()[:24]
+        spec = f"foldstats:aug_tsmm[rows={rows};cols={col_spec}]"
+        fp = Fingerprint(
+            structural=hashlib.sha256(spec.encode("utf-8")).hexdigest(),
+            operands=(x_hash, y_hash),
+            flags="",
+        )
+        aug = store.lookup(fp)
+        if aug is None:
+            Xf = X[fold] if cols is None else X[np.asarray(fold)][:, cols]
+            Z = np.ascontiguousarray(
+                np.hstack([Xf, y[fold].reshape(-1, 1)])
+            )
+            zvar = matrix("Z", Z.shape)
+            aug = execute(zvar.T @ zvar, {"Z": Z})
+            store.put(
+                fp,
+                aug,
+                label=spec,
+                flops=2.0 * Z.shape[0] * Z.shape[1] ** 2,
+                structural=spec,
+                children=(x_hash, y_hash),
+            )
+            for op_hash, value in ((x_hash, X), (y_hash, y)):
+                if op_hash not in store.lineage:
+                    store.lineage.record(
+                        op_hash,
+                        "operand:base",
+                        op_hash,
+                        shape=value.shape if value.ndim == 2 else None,
+                        nbytes=int(value.nbytes),
+                    )
+        fold_gram.append(np.ascontiguousarray(aug[:d, :d]))
+        fold_xty.append(np.ascontiguousarray(aug[:d, d]))
+        fold_yty.append(float(aug[d, d]))
+    return fold_gram, fold_xty, fold_yty
+
+
 def ridge_cv_shared(
     X: np.ndarray,
     y: np.ndarray,
     lambdas,
     cv: KFold | int = 5,
+    store=None,
 ) -> RidgeCVResult:
     """K-fold ridge CV from per-fold sufficient statistics.
 
     One pass over the data per fold; every (fold, lambda) model after
-    that is an O(d^3) solve on cached statistics.
+    that is an O(d^3) solve on cached statistics. Passing a
+    :class:`~repro.materialize.MaterializationStore` routes the fold
+    statistics through the materialization layer (see
+    :func:`fold_statistics`), so repeated selection workloads over the
+    same folds skip the data passes entirely.
     """
     X, y, lambdas, cv = _prepare(X, y, lambdas, cv)
     d = X.shape[1]
     folds = cv.folds(len(X))
 
     # Per-fold statistics: one scan each (k passes total).
-    fold_gram = []
-    fold_xty = []
-    for fold in folds:
-        Xf = X[fold]
-        fold_gram.append(Xf.T @ Xf)
-        fold_xty.append(Xf.T @ y[fold])
+    fold_gram, fold_xty, _ = fold_statistics(X, y, folds, store=store)
     total_gram = np.sum(fold_gram, axis=0)
     total_xty = np.sum(fold_xty, axis=0)
 

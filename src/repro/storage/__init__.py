@@ -11,6 +11,11 @@ from .aggregates import AggregateFunction, AggSpec, agg
 from .catalog import Catalog
 from .csvio import read_csv, read_csv_string, write_csv
 from .expressions import Expr, col, lit
+from .lineage import (
+    materialized_operator,
+    operator_fingerprint,
+    table_fingerprint,
+)
 from .operators import (
     aggregate,
     distinct,
@@ -68,6 +73,9 @@ __all__ = [
     "read_csv_string",
     "run_sql",
     "SQLError",
+    "materialized_operator",
+    "operator_fingerprint",
+    "table_fingerprint",
     "union_all",
     "write_csv",
 ]

@@ -7,6 +7,7 @@ import pytest
 
 from repro import obs
 from repro.compiler import feedback
+from repro.materialize import reset_materialization
 from repro.data import (
     make_classification,
     make_regression,
@@ -25,10 +26,12 @@ def _reset_observability():
     obs.reset()
     obs.set_tracing(None)  # re-read REPRO_TRACE, undo explicit toggles
     feedback.reset_feedback()
+    reset_materialization()
     yield
     obs.reset()
     obs.set_tracing(None)
     feedback.reset_feedback()
+    reset_materialization()
 
 
 @pytest.fixture

@@ -5,6 +5,7 @@ import pytest
 
 from repro.compiler import PlanCache, compile_expr
 from repro.lang import matrix, sumall
+from repro.obs import get_registry
 from repro.runtime import execute
 
 
@@ -75,6 +76,20 @@ class TestPlanCache:
         for _ in range(10):
             cache.get_or_compile(expr)
         assert cache.stats.hit_ratio == pytest.approx(0.9)
+
+    def test_stats_dual_written_to_metrics_registry(self, cache):
+        """plancache.* counters mirror the per-instance CacheStats."""
+        for d in range(5):  # capacity 4 -> one eviction
+            cache.get_or_compile(_gradient(50, d + 1))
+        cache.get_or_compile(_gradient(50, 5))  # hit
+        registry = get_registry()
+        assert registry.value("plancache.hits") == cache.stats.hits == 1
+        assert registry.value("plancache.misses") == cache.stats.misses == 5
+        assert (
+            registry.value("plancache.evictions")
+            == cache.stats.evictions
+            == 1
+        )
 
     def test_iterative_driver_pattern(self, cache, rng):
         """A GD loop through the cache compiles exactly once."""
