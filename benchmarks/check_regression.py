@@ -574,6 +574,108 @@ def check_e24(
     )
 
 
+# ----------------------------------------------------------------------
+# E25 — incremental maintenance over dynamic tables
+# ----------------------------------------------------------------------
+def check_e25(
+    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
+) -> None:
+    """Bitwise parity, exact fold/recompute ledgers, the chaos-sweep
+    accounting, and the disabled-path bound are behavior gates. The
+    delta-refresh speedup is a *within-capture* ratio (both sides ran on
+    one machine), so it gates against the fixed >= 5x floor everywhere;
+    only the cross-capture comparison follows the wall-clock skip
+    policy."""
+    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
+    g.check(
+        set(cw) == set(bw),
+        f"workload set matches baseline ({sorted(cw)})",
+    )
+    meta = cand.get("meta", {})
+    min_speedup = meta.get("min_refresh_speedup", 5.0)
+
+    refresh = cw.get("refresh/delta_vs_snapshot", {})
+    g.check(
+        refresh.get("bit_identical") is True,
+        "delta-refreshed weights bit-identical to snapshot retrain "
+        "every round",
+    )
+    g.check(
+        refresh.get("ledger_exact") is True,
+        f"fold ledger exact: {refresh.get('rows_folded')} rows folded "
+        f"== closed form {refresh.get('rows_folded_expected')}",
+    )
+    g.check(
+        refresh.get("recomputes") == 0,
+        "zero lineage recomputes on the clean delta stream",
+    )
+    g.check(
+        refresh.get("speedup", 0.0) >= min_speedup,
+        f"delta refresh speedup {refresh.get('speedup', 0.0):.2f} >= "
+        f"{min_speedup} (within-capture bound)",
+    )
+    base_refresh = bw.get("refresh/delta_vs_snapshot", {})
+    _wall_gate(
+        g,
+        f"refresh speedup {refresh.get('speedup', 0.0):.2f} vs baseline "
+        f"{base_refresh.get('speedup', 0.0):.2f}",
+        refresh.get("speedup", 0.0),
+        base_refresh.get("speedup", 0.0),
+        tol,
+        wall,
+        strict,
+    )
+
+    chaos_entries = [e for e in cand["results"] if "fault_rate" in e]
+    g.check(
+        any(
+            e.get("faults_injected", 0) > 0
+            for e in chaos_entries
+            if e["fault_rate"] >= 0.2
+        ),
+        "faults actually injected at the 20% rate",
+    )
+    for entry in chaos_entries:
+        label = f"{entry['workload']} @ {entry['fault_rate']:.0%}"
+        g.check(
+            entry.get("completed") is True and entry.get("identical") is True,
+            f"{label}: completed, aggregates bit-identical to clean run",
+        )
+        g.check(
+            entry.get("recompute_matches_faults") is True,
+            f"{label}: {entry.get('recomputes')} recomputes == "
+            f"{entry.get('faults_injected')} injected faults",
+        )
+        g.check(
+            entry.get("accounted_exact") is True,
+            f"{label}: every consumed delta accounted for in the ledger",
+        )
+
+    serving = cw.get("serving/e2e_refresh", {})
+    g.check(
+        serving.get("identical") is True,
+        "served value after hot-swap equals compiled snapshot retrain",
+    )
+    g.check(
+        serving.get("cache_invalidated") is True
+        and serving.get("prediction_changed") is True,
+        "promote eagerly invalidated the prediction cache",
+    )
+    g.check(
+        serving.get("versions_chained") is True,
+        "refreshed versions chain lineage through the registry",
+    )
+
+    overhead = cand.get("overhead", {})
+    g.check(
+        overhead.get("estimated_overhead_pct", float("inf"))
+        < overhead.get("bound_pct", 3.0),
+        f"disabled-path overhead "
+        f"{overhead.get('estimated_overhead_pct', float('nan')):.3f}% < "
+        f"{overhead.get('bound_pct', 3.0):.0f}%",
+    )
+
+
 CHECKERS = {
     "E18": check_e18,
     "E19": check_e19,
@@ -581,6 +683,7 @@ CHECKERS = {
     "E22": check_e22,
     "E23": check_e23,
     "E24": check_e24,
+    "E25": check_e25,
 }
 
 

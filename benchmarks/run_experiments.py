@@ -673,6 +673,18 @@ def e24_reuse():
     bench_reuse.report(results)
 
 
+@experiment("E25", "Incremental maintenance: delta refresh, chaos, hot-swap")
+def e25_incremental():
+    """Delegate to the dedicated streaming benchmark (kept quick here)."""
+    import bench_incremental
+
+    _header(
+        "E25", "Incremental maintenance: delta refresh, chaos, hot-swap"
+    )
+    results = bench_incremental.run(quick=True, repeats=2)
+    bench_incremental.report(results)
+
+
 def _registry_lines() -> list[str]:
     return [f"{tag:>5}  {title}" for tag, (_, title) in EXPERIMENTS.items()]
 

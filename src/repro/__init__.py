@@ -23,6 +23,7 @@ Subpackages:
 * ``repro.algorithms``   — algorithm scripts authored in the DSL
 * ``repro.distributed``  — simulated data-parallel / parameter-server training
 * ``repro.materialize``  — lineage-aware materialization store, sub-plan reuse
+* ``repro.incremental``  — change streams + F-IVM aggregate maintenance
 * ``repro.obs``          — unified tracing + metrics (spans, registry, reports)
 * ``repro.resilience``   — fault injection, retry/recovery, checkpoint/restore
 * ``repro.serving``      — online inference (micro-batching, cache, canary)
@@ -39,6 +40,7 @@ from . import (
     errors,
     factorized,
     feateng,
+    incremental,
     indb,
     lang,
     lifecycle,
@@ -63,6 +65,7 @@ __all__ = [
     "errors",
     "factorized",
     "feateng",
+    "incremental",
     "indb",
     "lang",
     "lifecycle",

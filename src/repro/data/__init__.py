@@ -5,6 +5,7 @@ from .generators import (
     make_blobs,
     make_categorical,
     make_classification,
+    make_grid_regression,
     make_low_cardinality_matrix,
     make_multi_star_schema,
     make_regression,
@@ -18,6 +19,7 @@ __all__ = [
     "make_blobs",
     "make_categorical",
     "make_classification",
+    "make_grid_regression",
     "make_low_cardinality_matrix",
     "make_multi_star_schema",
     "make_regression",

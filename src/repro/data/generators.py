@@ -32,6 +32,28 @@ def make_regression(
     return X, y, w
 
 
+def make_grid_regression(
+    n_samples: int = 200,
+    n_features: int = 10,
+    noise: float = 0.1,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Regression task on the exact-arithmetic grid: returns (X, y).
+
+    Features and targets are quantized to the lattice
+    ``{m * 2**-8 : |m| <= 2**12}`` (see
+    :func:`repro.incremental.snap_to_grid`), on which every gram /
+    cofactor partial sum is exactly representable in float64 — the
+    workload the incremental-maintenance bit-parity gates run on.
+    """
+    from ..incremental.aggregates import snap_to_grid
+
+    X, y, _ = make_regression(
+        n_samples=n_samples, n_features=n_features, noise=noise, seed=seed
+    )
+    return snap_to_grid(X), snap_to_grid(y)
+
+
 def make_classification(
     n_samples: int = 200,
     n_features: int = 10,

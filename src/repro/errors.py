@@ -157,6 +157,10 @@ class MaterializationError(ReproError):
     """Materialization-store persistence, admission, or lookup failed."""
 
 
+class IncrementalError(ReproError):
+    """A change-stream delta or maintained aggregate is inconsistent."""
+
+
 class CheckpointError(ResilienceError):
     """A checkpoint could not be written, read, or verified."""
 

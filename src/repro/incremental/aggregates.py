@@ -1,0 +1,294 @@
+"""Incrementally maintained ML aggregates (F-IVM for linear models).
+
+The factorized-learning layer reduces ridge/linear training to three
+aggregates — the gram matrix ``X'X``, the cofactor vector ``X'y``, and
+``y'y`` — and k-means to per-cluster sums and counts. All four are
+*commutative group* aggregates: a delta of rows contributes a term that
+can be added on insert and subtracted on delete, so maintenance costs
+O(|delta| * d^2) instead of O(n * d^2) per refresh.
+
+Bit-parity discipline
+---------------------
+Floating-point addition is not associative, so a naively maintained sum
+drifts from a full recomputation. Two mechanisms keep the parity gate
+honest:
+
+* **Grid data is exact.** :func:`snap_to_grid` quantizes inputs to the
+  lattice ``{m * 2**-8 : |m| <= 2**12}``. Every pairwise product then
+  needs at most 24 mantissa bits, and a sum of up to ``2**20`` of them
+  at most 44 — under float64's 53. Every partial sum is exactly
+  representable, so *any* accumulation order (incremental folds, one
+  BLAS call, blocked, FMA) produces the identical bits, and a delete
+  cancels its insert exactly. Tests and E25 assert **bitwise** equality
+  on grid data.
+* **Neumaier compensation bounds the general case.** Each accumulator
+  is a (hi, comp) pair folded with the two-sum trick, so on arbitrary
+  float data the maintained value stays within an ulp of the
+  recomputed one. On grid data the compensation term is exactly zero,
+  so it never perturbs the bitwise guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import IncrementalError
+from ..storage.table import Table
+
+#: lattice spacing of the exact-arithmetic grid (2**-8).
+GRID_QUANTUM = 1.0 / 256.0
+#: magnitude bound of the grid (2**4); with ``n <= 2**20`` rows every
+#: partial sum of pairwise products fits in float64's 53-bit mantissa.
+GRID_BOUND = 16.0
+
+
+def snap_to_grid(
+    X: np.ndarray,
+    quantum: float = GRID_QUANTUM,
+    bound: float = GRID_BOUND,
+) -> np.ndarray:
+    """Quantize values onto the exact-arithmetic lattice."""
+    X = np.asarray(X, dtype=np.float64)
+    return np.clip(np.round(X / quantum) * quantum, -bound, bound)
+
+
+def _neumaier_fold(
+    hi: np.ndarray, comp: np.ndarray, term: np.ndarray
+) -> None:
+    """Add ``term`` into the compensated accumulator pair, in place.
+
+    Classic two-sum: whichever addend is smaller in magnitude donates
+    the low-order bits the naive sum rounded away; they accumulate in
+    ``comp``. When every sum is exact (grid data) ``comp`` stays 0.
+    """
+    total = hi + term
+    big = np.abs(hi) >= np.abs(term)
+    lost = np.where(big, (hi - total) + term, (term - total) + hi)
+    comp += lost
+    hi[...] = total
+
+
+class GramCofactorState:
+    """Maintained ``X'X`` / ``X'y`` / ``y'y`` over a dynamic table.
+
+    The refresh path solves the identical expression
+    ``solve(X'X + l2*I, X'y)`` that
+    :class:`repro.ml.linreg.LinearRegression` (``solver="normal"``,
+    ``fit_intercept=False``) evaluates, so on grid data a refreshed
+    model is bit-identical to a from-scratch snapshot retrain.
+    """
+
+    def __init__(self, features: Sequence[str], label: str):
+        self.features = list(features)
+        self.label = label
+        d = len(self.features)
+        if d == 0:
+            raise IncrementalError("at least one feature column required")
+        self.d = d
+        self.n_rows = 0
+        self._gram_hi = np.zeros((d, d))
+        self._gram_comp = np.zeros((d, d))
+        self._cof_hi = np.zeros(d)
+        self._cof_comp = np.zeros(d)
+        self._ysq_hi = np.zeros(())
+        self._ysq_comp = np.zeros(())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(
+        cls, table: Table, features: Sequence[str], label: str
+    ) -> "GramCofactorState":
+        """Full recomputation from a base table (the lineage path)."""
+        state = cls(features, label)
+        X = table.to_matrix(state.features)
+        y = table.column(label).astype(np.float64)
+        state._gram_hi = X.T @ X
+        state._cof_hi = X.T @ y
+        state._ysq_hi = np.asarray(y @ y)
+        state.n_rows = table.num_rows
+        return state
+
+    def _batch(self, rows: Table) -> tuple[np.ndarray, np.ndarray]:
+        X = rows.to_matrix(self.features)
+        y = rows.column(self.label).astype(np.float64)
+        return X, y
+
+    def fold_insert(self, rows: Table) -> int:
+        """Add a batch of rows' contribution; returns rows folded."""
+        X, y = self._batch(rows)
+        _neumaier_fold(self._gram_hi, self._gram_comp, X.T @ X)
+        _neumaier_fold(self._cof_hi, self._cof_comp, X.T @ y)
+        _neumaier_fold(self._ysq_hi, self._ysq_comp, np.asarray(y @ y))
+        self.n_rows += rows.num_rows
+        return rows.num_rows
+
+    def fold_delete(self, rows: Table) -> int:
+        """Subtract a batch of rows' contribution; returns rows folded."""
+        X, y = self._batch(rows)
+        _neumaier_fold(self._gram_hi, self._gram_comp, -(X.T @ X))
+        _neumaier_fold(self._cof_hi, self._cof_comp, -(X.T @ y))
+        _neumaier_fold(self._ysq_hi, self._ysq_comp, -np.asarray(y @ y))
+        self.n_rows -= rows.num_rows
+        return rows.num_rows
+
+    # ------------------------------------------------------------------
+    def gram(self) -> np.ndarray:
+        return self._gram_hi + self._gram_comp
+
+    def cofactor(self) -> np.ndarray:
+        return self._cof_hi + self._cof_comp
+
+    def y_squared(self) -> float:
+        return float(self._ysq_hi + self._ysq_comp)
+
+    def solve_ridge(self, l2: float = 0.0) -> np.ndarray:
+        """Weights from the maintained aggregates, matching the
+        normal-equations solver expression bit for bit."""
+        gram = self.gram() + l2 * np.eye(self.d)
+        rhs = self.cofactor()
+        try:
+            return np.linalg.solve(gram, rhs)
+        except np.linalg.LinAlgError:
+            return np.linalg.pinv(gram) @ rhs
+
+    # ------------------------------------------------------------------
+    def parity_exact(self, table: Table) -> bool:
+        """Bitwise equality of maintained vs recomputed aggregates."""
+        fresh = GramCofactorState.from_table(table, self.features, self.label)
+        return (
+            np.array_equal(self.gram(), fresh.gram())
+            and np.array_equal(self.cofactor(), fresh.cofactor())
+            and self.y_squared() == fresh.y_squared()
+            and self.n_rows == fresh.n_rows
+        )
+
+    def parity_error(self, table: Table) -> float:
+        """Max absolute deviation of maintained vs recomputed aggregates."""
+        fresh = GramCofactorState.from_table(table, self.features, self.label)
+        return float(
+            max(
+                np.max(np.abs(self.gram() - fresh.gram())),
+                np.max(np.abs(self.cofactor() - fresh.cofactor())),
+                abs(self.y_squared() - fresh.y_squared()),
+            )
+        )
+
+
+class CentroidState:
+    """Per-cluster sums/counts under *fixed reference centroids*.
+
+    Assignment is a deterministic function of (row values, reference
+    centroids) — the same clipped-distance expression
+    :func:`repro.factorized.kmeans._assign` evaluates — and each row's
+    cluster is remembered by ``row_id``, so a delete subtracts from
+    exactly the cluster its insert added to. :meth:`centroids` is one
+    Lloyd step from the maintained statistics; :meth:`rebase` adopts
+    refreshed centroids as the new reference via full recomputation.
+    """
+
+    def __init__(self, features: Sequence[str], centers: np.ndarray):
+        self.features = list(features)
+        self.centers = np.asarray(centers, dtype=np.float64)
+        if self.centers.ndim != 2 or self.centers.shape[1] != len(self.features):
+            raise IncrementalError(
+                f"centers shape {self.centers.shape} does not match "
+                f"{len(self.features)} features"
+            )
+        k, d = self.centers.shape
+        self.k = k
+        self._sums_hi = np.zeros((k, d))
+        self._sums_comp = np.zeros((k, d))
+        self.counts = np.zeros(k, dtype=np.int64)
+        self.assignments: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(
+        cls,
+        table: Table,
+        features: Sequence[str],
+        centers: np.ndarray,
+        row_ids: np.ndarray,
+    ) -> "CentroidState":
+        """Full recomputation from a base table (the lineage path)."""
+        state = cls(features, centers)
+        X = table.to_matrix(state.features)
+        labels = state.assign(X)
+        for cluster in range(state.k):
+            members = labels == cluster
+            state._sums_hi[cluster] = X[members].sum(axis=0)
+            state.counts[cluster] = int(members.sum())
+        state.assignments = {
+            int(rid): int(lab) for rid, lab in zip(row_ids, labels)
+        }
+        return state
+
+    def assign(self, X: np.ndarray) -> np.ndarray:
+        """Deterministic nearest-reference-centroid labels."""
+        x_sq = np.einsum("ij,ij->i", X, X)
+        cross = X @ self.centers.T
+        c_sq = np.einsum("ij,ij->i", self.centers, self.centers)
+        d2 = np.maximum(x_sq[:, None] - 2.0 * cross + c_sq, 0.0)
+        return np.argmin(d2, axis=1)
+
+    # ------------------------------------------------------------------
+    def fold_insert(self, row_ids: Sequence[int], rows: Table) -> int:
+        X = rows.to_matrix(self.features)
+        labels = self.assign(X)
+        for rid, lab, x in zip(row_ids, labels, X):
+            _neumaier_fold(
+                self._sums_hi[lab], self._sums_comp[lab], x
+            )
+            self.counts[lab] += 1
+            self.assignments[int(rid)] = int(lab)
+        return rows.num_rows
+
+    def fold_delete(self, row_ids: Sequence[int], rows: Table) -> int:
+        X = rows.to_matrix(self.features)
+        for rid, x in zip(row_ids, X):
+            lab = self.assignments.pop(int(rid), None)
+            if lab is None:
+                raise IncrementalError(
+                    f"delete of unknown row id {int(rid)} in centroid state"
+                )
+            _neumaier_fold(self._sums_hi[lab], self._sums_comp[lab], -x)
+            self.counts[lab] -= 1
+        return rows.num_rows
+
+    # ------------------------------------------------------------------
+    def sums(self) -> np.ndarray:
+        return self._sums_hi + self._sums_comp
+
+    def centroids(self) -> np.ndarray:
+        """One Lloyd step: per-cluster means, empty clusters keeping
+        their reference center."""
+        fresh = self.centers.copy()
+        nonempty = self.counts > 0
+        fresh[nonempty] = (
+            self.sums()[nonempty] / self.counts[nonempty, None]
+        )
+        return fresh
+
+    def rebase(self, table: Table, row_ids: np.ndarray) -> None:
+        """Adopt the refreshed centroids as the new reference frame."""
+        fresh = CentroidState.from_table(
+            table, self.features, self.centroids(), row_ids
+        )
+        self.centers = fresh.centers
+        self._sums_hi = fresh._sums_hi
+        self._sums_comp = fresh._sums_comp
+        self.counts = fresh.counts
+        self.assignments = fresh.assignments
+
+    # ------------------------------------------------------------------
+    def parity_exact(self, table: Table, row_ids: np.ndarray) -> bool:
+        fresh = CentroidState.from_table(
+            table, self.features, self.centers, row_ids
+        )
+        return (
+            np.array_equal(self.sums(), fresh.sums())
+            and np.array_equal(self.counts, fresh.counts)
+            and self.assignments == fresh.assignments
+        )

@@ -1,0 +1,201 @@
+"""Delta application with chaos coverage and lineage recompute.
+
+The :class:`IncrementalMaintainer` sits between a table's change stream
+and the maintained aggregates. Every delta crosses the
+``incremental.apply`` fault site, so the resilience chaos harness can
+drop it mid-apply (``"raise"``) or hand back corrupted bytes
+(``"corrupt"``). In both cases — and whenever a version gap reveals a
+delta lost in transit — the maintainer falls back to *lineage
+recompute*: it rebuilds the aggregates from the base table under
+:func:`~repro.resilience.no_chaos`, the same repair discipline the
+blockstore and materialization store use. A fault can cost time; it can
+never leave a silently stale aggregate.
+
+Every outcome lands in both the local :class:`MaintainerStats` ledger
+and the global ``incremental.*`` observability counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import IncrementalError, InjectedFault
+from ..obs import get_registry
+from ..resilience import fault_point, no_chaos
+from .aggregates import CentroidState, GramCofactorState
+from .stream import ChangeStream, Delta, DynamicTable
+
+
+@dataclass
+class MaintainerStats:
+    """Exact ledger of everything the maintainer did."""
+
+    deltas_applied: int = 0
+    rows_folded: int = 0
+    recomputes: int = 0
+    corrupt_deltas: int = 0
+    dropped_deltas: int = 0
+    injected_faults: int = 0
+    skipped_stale: int = 0
+    parity_checks: int = 0
+
+
+class IncrementalMaintainer:
+    """Keeps ML aggregates in lockstep with a dynamic table.
+
+    Args:
+        table: the mutable base table (also the lineage source).
+        stream: the change stream to consume (subscribed by the caller).
+        features / label: columns feeding the gram/cofactor state.
+        centers: optional (k, d) reference centroids; when given, a
+            :class:`CentroidState` is maintained alongside.
+    """
+
+    FAULT_SITE = "incremental.apply"
+
+    def __init__(
+        self,
+        table: DynamicTable,
+        stream: ChangeStream,
+        features: Sequence[str],
+        label: str,
+        centers: np.ndarray | None = None,
+    ):
+        self.table = table
+        self.stream = stream
+        self.features = list(features)
+        self.label = label
+        self.stats = MaintainerStats()
+        self.gram_state = GramCofactorState.from_table(
+            table, self.features, label
+        )
+        self.centroid_state = (
+            CentroidState.from_table(
+                table, self.features, centers, table.row_ids
+            )
+            if centers is not None
+            else None
+        )
+        self.applied_version = table.version
+
+    # ------------------------------------------------------------------
+    @property
+    def staleness(self) -> int:
+        """How many table versions the aggregates lag behind."""
+        return self.table.version - self.applied_version
+
+    def drain(self) -> int:
+        """Apply every pending delta; returns deltas consumed."""
+        consumed = 0
+        while True:
+            delta = self.stream.poll()
+            if delta is None:
+                break
+            self.apply(delta)
+            consumed += 1
+        get_registry().set_gauge("incremental.staleness", self.staleness)
+        return consumed
+
+    def apply(self, delta: Delta) -> None:
+        """Fold one delta — or recover by lineage recompute."""
+        if delta.version <= self.applied_version:
+            # Already covered by a recompute that read a newer base state.
+            self.stats.skipped_stale += 1
+            get_registry().inc("incremental.skipped_stale")
+            return
+        if delta.version != self.applied_version + 1:
+            self.stats.dropped_deltas += 1
+            get_registry().inc("incremental.dropped_deltas")
+            self._recompute("version gap")
+            return
+        try:
+            status = fault_point(self.FAULT_SITE, key=delta.version)
+        except InjectedFault:
+            self.stats.injected_faults += 1
+            self._recompute("injected fault")
+            return
+        if status == "corrupt":
+            delta = delta.corrupted()
+        if not delta.verify():
+            self.stats.corrupt_deltas += 1
+            get_registry().inc("incremental.corrupt_deltas")
+            self._recompute("checksum mismatch")
+            return
+        self._fold(delta)
+        self.applied_version = delta.version
+        self.stats.deltas_applied += 1
+        registry = get_registry()
+        registry.inc("incremental.deltas_applied")
+        registry.inc(f"incremental.deltas_applied.{delta.kind}")
+
+    # ------------------------------------------------------------------
+    def _fold(self, delta: Delta) -> None:
+        folded = 0
+        if delta.kind == "insert":
+            folded += self.gram_state.fold_insert(delta.rows)
+            if self.centroid_state is not None:
+                self.centroid_state.fold_insert(delta.row_ids, delta.rows)
+        elif delta.kind == "delete":
+            folded += self.gram_state.fold_delete(delta.old_rows)
+            if self.centroid_state is not None:
+                self.centroid_state.fold_delete(delta.row_ids, delta.old_rows)
+        elif delta.kind == "update":
+            folded += self.gram_state.fold_delete(delta.old_rows)
+            folded += self.gram_state.fold_insert(delta.rows)
+            if self.centroid_state is not None:
+                self.centroid_state.fold_delete(delta.row_ids, delta.old_rows)
+                self.centroid_state.fold_insert(delta.row_ids, delta.rows)
+        else:
+            raise IncrementalError(f"unknown delta kind {delta.kind!r}")
+        self.stats.rows_folded += folded
+        get_registry().inc("incremental.rows_folded", folded)
+
+    def _recompute(self, reason: str) -> None:
+        """Lineage repair: rebuild every aggregate from the base table.
+
+        Runs under :func:`no_chaos` so the repair cannot itself be
+        re-injected forever, and fast-forwards ``applied_version`` to
+        the base table's current version — deltas still in flight below
+        that version are skipped as stale when they arrive.
+        """
+        with no_chaos():
+            self.gram_state = GramCofactorState.from_table(
+                self.table, self.features, self.label
+            )
+            if self.centroid_state is not None:
+                self.centroid_state = CentroidState.from_table(
+                    self.table,
+                    self.features,
+                    self.centroid_state.centers,
+                    self.table.row_ids,
+                )
+        self.applied_version = self.table.version
+        self.stats.recomputes += 1
+        get_registry().inc("incremental.recomputes")
+
+    # ------------------------------------------------------------------
+    def checkpoint_parity(self) -> bool:
+        """Assert bitwise parity of every maintained aggregate against
+        full recomputation on the current base table."""
+        self.stats.parity_checks += 1
+        get_registry().inc("incremental.parity_checks")
+        if self.staleness != 0:
+            raise IncrementalError(
+                f"parity checkpoint with {self.staleness} unapplied "
+                f"version(s); drain the stream first"
+            )
+        if not self.gram_state.parity_exact(self.table):
+            raise IncrementalError(
+                "maintained gram/cofactor aggregates diverged from full "
+                f"recomputation (max err {self.gram_state.parity_error(self.table):.3e})"
+            )
+        if self.centroid_state is not None and not self.centroid_state.parity_exact(
+            self.table, self.table.row_ids
+        ):
+            raise IncrementalError(
+                "maintained centroid statistics diverged from full recomputation"
+            )
+        return True

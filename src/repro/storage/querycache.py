@@ -5,7 +5,10 @@ same GROUP BY mart feeding every hyperparameter trial. A
 :class:`QueryCache` memoizes SELECT results keyed by (query text, the
 versions of every table it reads); registering new data under a table
 name bumps that table's version and invalidates exactly the cached
-queries that read it.
+queries that read it. Tables that mutate in place (a
+:class:`~repro.incremental.DynamicTable`) contribute their own mutation
+epoch to the key, so a stream of inserts/deletes/updates invalidates
+cached queries without any re-registration.
 """
 
 from __future__ import annotations
@@ -68,8 +71,22 @@ class QueryCache:
         query = parse_sql(text)
         names = [query.table] + [j.table for j in query.joins]
         return tuple(
-            (name, self.catalog.version(name)) for name in sorted(set(names))
+            (name, self.catalog.version(name), self._table_epoch(name))
+            for name in sorted(set(names))
         )
+
+    def _table_epoch(self, name: str) -> int:
+        """Mutation epoch of the registered table object itself.
+
+        The catalog version only moves on register/drop; a
+        :class:`~repro.incremental.DynamicTable` mutates *in place* and
+        bumps its own ``version``. Folding that epoch into the cache key
+        means an insert/delete/update can never leave a stale cached
+        result servable.
+        """
+        if name not in self.catalog:
+            return 0
+        return int(getattr(self.catalog.get(name), "version", 0))
 
     def run(self, text: str) -> Table:
         """Execute a SELECT, serving an identical-version repeat from cache."""

@@ -156,3 +156,63 @@ class TestQueryCache:
         catalog.drop("events")
         assert catalog.version("events") == v1 + 1
         assert catalog.version("never_registered") == 0
+
+
+class TestDynamicTableEpochs:
+    """Regression tests: an in-place table mutation must invalidate.
+
+    Before table-version epochs were folded into cache keys, only
+    ``register``/``drop`` moved a table's version — a
+    :class:`~repro.incremental.DynamicTable` mutating in place could
+    serve stale cached results forever.
+    """
+
+    QUERY = "SELECT k, COUNT(*) AS n FROM events GROUP BY k"
+
+    @pytest.fixture
+    def dynamic_setup(self):
+        from repro.incremental import DynamicTable
+
+        catalog = VersionedCatalog()
+        dyn = DynamicTable.from_table(
+            Table.from_columns(
+                {"k": np.array([1, 1, 2]), "v": np.array([1.0, 2.0, 3.0])}
+            ),
+            name="events",
+        )
+        catalog.register("events", dyn)
+        return dyn, catalog, QueryCache(catalog, capacity=4)
+
+    def test_in_place_mutation_invalidates_without_reregistration(
+        self, dynamic_setup
+    ):
+        dyn, _, cache = dynamic_setup
+        first = cache.run(self.QUERY)
+        assert cache.run(self.QUERY) is first
+        dyn.insert({"k": [2, 2], "v": [9.0, 9.0]})  # never re-registered
+        second = cache.run(self.QUERY)
+        assert second is not first
+        assert cache.stats.invalidations == 1
+        counts = dict(zip(second.column("k"), second.column("n")))
+        assert counts == {1: 2, 2: 3}
+
+    def test_every_mutation_kind_invalidates(self, dynamic_setup):
+        dyn, _, cache = dynamic_setup
+        cache.run(self.QUERY)
+        dyn.delete(dyn.row_ids[:1])
+        cache.run(self.QUERY)
+        dyn.update(dyn.row_ids[:1], {"k": [7], "v": [0.0]})
+        cache.run(self.QUERY)
+        assert cache.stats.invalidations == 2
+        assert cache.stats.hits == 0
+
+    def test_static_tables_keep_identity_hits(self, dynamic_setup):
+        dyn, catalog, cache = dynamic_setup
+        catalog.register(
+            "dims", Table.from_columns({"k": np.arange(3), "w": np.arange(3.0)})
+        )
+        first = cache.run("SELECT k, w FROM dims LIMIT 3")
+        assert cache.run("SELECT k, w FROM dims LIMIT 3") is first
+        # a mutation on an unrelated dynamic table does not invalidate
+        dyn.insert({"k": [5], "v": [5.0]})
+        assert cache.run("SELECT k, w FROM dims LIMIT 3") is first
