@@ -29,6 +29,12 @@ A capture taken under an active chaos context (``meta.chaos_active``)
 never compares against a clean baseline, and vice versa — shed and
 retry ledgers are only meaningful between like captures.
 
+Each experiment's gates are a **table of rules** in ``GATES``, built
+from a small shared vocabulary (``flag``, ``expect``, ``floor``,
+``parity``, ``match_baseline``, ``wall_speedup``, ...). Registering a
+new experiment means adding a row list, not writing a new checker
+function; genuinely bespoke logic plugs in as a ``custom(fn)`` row.
+
 Exit status: 0 when every applicable check passes, 1 otherwise (the CI
 job fails). Every check prints one line, so the workflow log is the
 regression report.
@@ -40,6 +46,7 @@ import argparse
 import json
 import math
 import sys
+from dataclasses import dataclass, field
 
 PARITY_BOUND = 1e-9
 
@@ -116,43 +123,306 @@ def _wall_gate(
 
 
 # ----------------------------------------------------------------------
-# E18 — cost-aware parallel engine
+# Gate context and the rule vocabulary
 # ----------------------------------------------------------------------
-def check_e18(
-    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
-) -> None:
-    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
-    g.check(
-        set(cw) == set(bw),
-        f"workload set matches baseline ({sorted(cw)})",
-    )
-    cross = cw.get("threshold_crossover")
-    base_cross = bw.get("threshold_crossover")
-    if cross and base_cross:
-        base_points = {p["n_rows"]: p for p in base_cross["points"]}
-        for p in cross["points"]:
-            bp = base_points.get(p["n_rows"])
-            if bp is None:
-                g.check(False, f"crossover point n={p['n_rows']} in baseline")
-                continue
+@dataclass
+class GateContext:
+    """Everything a gate rule can see for one candidate/baseline pair."""
+
+    cand: dict
+    base: dict
+    tol: float
+    wall: bool
+    strict: bool
+    cw: dict = field(init=False)
+    bw: dict = field(init=False)
+    meta: dict = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cw = _by_workload(self.cand["results"])
+        self.bw = _by_workload(self.base["results"])
+        self.meta = self.cand.get("meta", {})
+
+    def entry(self, workload: str) -> dict:
+        return self.cw.get(workload, {})
+
+    def base_entry(self, workload: str) -> dict:
+        return self.bw.get(workload, {})
+
+
+def _label(template, ctx, workload):
+    """Render a rule label; templates may reference ``{e[...]}`` (the
+    candidate entry), ``{b[...]}`` (the baseline entry), ``{m[...]}``
+    (candidate meta), and ``{w}`` (the workload name)."""
+    if callable(template):
+        return template(ctx, workload)
+    try:
+        return template.format(
+            e=ctx.entry(workload),
+            b=ctx.base_entry(workload),
+            m=ctx.meta,
+            w=workload,
+        )
+    except (KeyError, IndexError, ValueError):
+        return template
+
+
+# Each factory below returns a rule: a callable (ctx, gate) -> None.
+
+
+def workload_set():
+    """Candidate and baseline ran the same workload set."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        g.check(
+            set(ctx.cw) == set(ctx.bw),
+            f"workload set matches baseline ({sorted(ctx.cw)})",
+        )
+
+    return rule
+
+
+def workload_list():
+    """Ordered variant: workload sequence matches the baseline."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        cand_names = [e["workload"] for e in ctx.cand["results"]]
+        base_names = [e["workload"] for e in ctx.base["results"]]
+        g.check(
+            cand_names == base_names,
+            f"workload list matches baseline ({len(cand_names)} entries)",
+        )
+
+    return rule
+
+
+def flag(workload: str, fields, label):
+    """Boolean invariant(s) on one workload entry must all be True."""
+    names = (fields,) if isinstance(fields, str) else tuple(fields)
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        entry = ctx.entry(workload)
+        g.check(
+            all(entry.get(name) is True for name in names),
+            _label(label, ctx, workload),
+        )
+
+    return rule
+
+
+def expect(workload: str, name: str, value, label):
+    """One workload field must equal a fixed value."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        g.check(ctx.entry(workload).get(name) == value, _label(label, ctx, workload))
+
+    return rule
+
+
+def fields_equal(workload: str, name_a: str, name_b: str, label):
+    """Two fields of the same entry must agree (cross-ledger exactness)."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        entry = ctx.entry(workload)
+        g.check(
+            name_a in entry and entry.get(name_a) == entry.get(name_b),
+            _label(label, ctx, workload),
+        )
+
+    return rule
+
+
+def parity(workload: str, name: str, label):
+    """A numeric error field must sit within PARITY_BOUND."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        g.check(
+            ctx.entry(workload).get(name, float("inf")) <= PARITY_BOUND,
+            _label(label, ctx, workload),
+        )
+
+    return rule
+
+
+def floor(workload: str, name: str, label, bound=None, meta_key=None):
+    """A within-capture ratio must clear a fixed floor (optionally read
+    from candidate meta — benches publish their own acceptance bounds)."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        limit = ctx.meta.get(meta_key, bound) if meta_key else bound
+        g.check(
+            ctx.entry(workload).get(name, 0.0) >= limit,
+            _label(label, ctx, workload),
+        )
+
+    return rule
+
+
+def ceiling(workload: str, name: str, label, bound=None, meta_key=None):
+    """A counter must stay at/below a bound (e.g. correction budget);
+    a missing field fails."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        limit = ctx.meta.get(meta_key, bound) if meta_key else bound
+        value = ctx.entry(workload).get(name)
+        g.check(value is not None and value <= limit, _label(label, ctx, workload))
+
+    return rule
+
+
+def match_baseline(workload: str, name: str, label, when_meta_eq=None):
+    """A deterministic count must equal the baseline's exactly. With
+    ``when_meta_eq``, the rule only applies while candidate and baseline
+    agree on that meta key (e.g. the chaos seed behind the count)."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        if when_meta_eq is not None:
+            ours = ctx.meta.get(when_meta_eq)
+            theirs = ctx.base.get("meta", {}).get(when_meta_eq)
+            if ours != theirs:
+                g.skip(
+                    f"{workload}: {name} vs baseline "
+                    f"({when_meta_eq} {ours!r} != {theirs!r})"
+                )
+                return
+        g.check(
+            ctx.entry(workload).get(name) == ctx.base_entry(workload).get(name),
+            _label(label, ctx, workload),
+        )
+
+    return rule
+
+
+def track_baseline(workload: str, name: str, label):
+    """A size-style metric must stay within --tolerance of baseline."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        g.check(
+            _close(
+                ctx.entry(workload).get(name, float("nan")),
+                ctx.base_entry(workload).get(name, float("nan")),
+                ctx.tol,
+            ),
+            _label(label, ctx, workload),
+        )
+
+    return rule
+
+
+def wall_speedup(workload: str, name: str):
+    """Cross-capture speedup comparison under the wall-clock policy."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        candidate = ctx.entry(workload).get(name, 0.0)
+        baseline = ctx.base_entry(workload).get(name, 0.0)
+        _wall_gate(
+            g,
+            f"{workload}: {name} {candidate:.2f} vs baseline {baseline:.2f}",
+            candidate,
+            baseline,
+            ctx.tol,
+            ctx.wall,
+            ctx.strict,
+        )
+
+    return rule
+
+
+def overhead_bound(workload: str | None = None):
+    """The disabled-path/overhead budget: measured % under its bound.
+    ``workload=None`` reads the capture-level ``overhead`` block (E21,
+    E25); otherwise the named workload entry (E23, E24)."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        entry = (
+            ctx.cand.get("overhead", {})
+            if workload is None
+            else ctx.entry(workload)
+        )
+        g.check(
+            entry.get("estimated_overhead_pct", float("inf"))
+            < entry.get("bound_pct", 3.0),
+            f"disabled-path overhead "
+            f"{entry.get('estimated_overhead_pct', float('nan')):.3f}% < "
+            f"{entry.get('bound_pct', 3.0):.0f}%",
+        )
+
+    return rule
+
+
+def summary_expect(name: str, value, label):
+    """A capture-level summary field must equal a fixed value."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        g.check(ctx.cand.get("summary", {}).get(name) == value, label)
+
+    return rule
+
+
+def chaos_injected(min_rate: float = 0.2):
+    """The sweep's high-rate legs actually injected faults (an inert
+    plan would pass every identity check vacuously)."""
+
+    def rule(ctx: GateContext, g: Gate) -> None:
+        entries = [e for e in ctx.cand["results"] if "fault_rate" in e]
+        g.check(
+            any(
+                e.get("faults_injected", 0) > 0
+                for e in entries
+                if e["fault_rate"] >= min_rate
+            ),
+            f"faults actually injected at the {min_rate:.0%} rate",
+        )
+
+    return rule
+
+
+def custom(fn):
+    """Escape hatch for logic the vocabulary cannot express: ``fn`` is
+    called as ``fn(ctx, gate)``."""
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Bespoke rules (referenced from the tables below)
+# ----------------------------------------------------------------------
+def _e18_crossover(ctx: GateContext, g: Gate) -> None:
+    """The cost gate's serial/parallel decision per crossover point must
+    match the baseline, and the dispatch ledger must agree with it."""
+    cross = ctx.cw.get("threshold_crossover")
+    base_cross = ctx.bw.get("threshold_crossover")
+    if not (cross and base_cross):
+        return
+    base_points = {p["n_rows"]: p for p in base_cross["points"]}
+    for p in cross["points"]:
+        bp = base_points.get(p["n_rows"])
+        if bp is None:
+            g.check(False, f"crossover point n={p['n_rows']} in baseline")
+            continue
+        g.check(
+            p["above_threshold"] == bp["above_threshold"],
+            f"cost-gate decision unchanged at n={p['n_rows']} "
+            f"({'parallel' if p['above_threshold'] else 'serial'})",
+        )
+        if p["above_threshold"]:
             g.check(
-                p["above_threshold"] == bp["above_threshold"],
-                f"cost-gate decision unchanged at n={p['n_rows']} "
-                f"({'parallel' if p['above_threshold'] else 'serial'})",
+                p["parallel_calls"] >= 1,
+                f"above-threshold n={p['n_rows']} dispatched in parallel",
             )
-            if p["above_threshold"]:
-                g.check(
-                    p["parallel_calls"] >= 1,
-                    f"above-threshold n={p['n_rows']} dispatched in parallel",
-                )
-            else:
-                g.check(
-                    p["serial_fallbacks"] >= 1 and p["parallel_calls"] == 0,
-                    f"below-threshold n={p['n_rows']} stayed serial",
-                )
-    for name in sorted(set(cw) & set(bw) - {"threshold_crossover"}):
-        rows = {r["threads"]: r for r in cw[name].get("by_threads", [])}
-        base_rows = {r["threads"]: r for r in bw[name].get("by_threads", [])}
+        else:
+            g.check(
+                p["serial_fallbacks"] >= 1 and p["parallel_calls"] == 0,
+                f"below-threshold n={p['n_rows']} stayed serial",
+            )
+
+
+def _e18_thread_speedups(ctx: GateContext, g: Gate) -> None:
+    """Per-thread-count speedups follow the wall-clock policy."""
+    for name in sorted(set(ctx.cw) & set(ctx.bw) - {"threshold_crossover"}):
+        rows = {r["threads"]: r for r in ctx.cw[name].get("by_threads", [])}
+        base_rows = {
+            r["threads"]: r for r in ctx.bw[name].get("by_threads", [])
+        }
         for threads in sorted(set(rows) & set(base_rows)):
             _wall_gate(
                 g,
@@ -161,25 +431,18 @@ def check_e18(
                 f"{base_rows[threads]['speedup']:.2f}",
                 rows[threads]["speedup"],
                 base_rows[threads]["speedup"],
-                tol,
-                wall,
-                strict,
+                ctx.tol,
+                ctx.wall,
+                ctx.strict,
             )
 
 
-# ----------------------------------------------------------------------
-# E19 — representation-aware execution
-# ----------------------------------------------------------------------
-def check_e19(
-    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
-) -> None:
-    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
-    g.check(
-        set(cw) == set(bw),
-        f"workload set matches baseline ({sorted(cw)})",
-    )
-    for name in sorted(cw):
-        entry = cw[name]
+def _e19_representations(ctx: GateContext, g: Gate) -> None:
+    """Per-representation invariants: no densify fallbacks, parity
+    within bound, compact reps beating dense bytes, byte totals and
+    speedups tracking the baseline."""
+    for name in sorted(ctx.cw):
+        entry = ctx.cw[name]
         g.check(
             entry.get("densify_fallbacks", -1) == 0,
             f"{name}: zero densify fallbacks",
@@ -203,13 +466,16 @@ def check_e19(
                 f"{name}: rep peak {entry['rep_peak_bytes']:,}B < dense "
                 f"{entry['dense_peak_bytes']:,}B",
             )
-        base_entry = bw.get(name)
+        base_entry = ctx.bw.get(name)
         if base_entry is None:
             continue
         g.check(
-            _close(entry["rep_peak_bytes"], base_entry["rep_peak_bytes"], tol),
+            _close(
+                entry["rep_peak_bytes"], base_entry["rep_peak_bytes"], ctx.tol
+            ),
             f"{name}: rep peak bytes track baseline "
-            f"({entry['rep_peak_bytes']:,} vs {base_entry['rep_peak_bytes']:,})",
+            f"({entry['rep_peak_bytes']:,} vs "
+            f"{base_entry['rep_peak_bytes']:,})",
         )
         for metric in ("loop_speedup", "end_to_end_speedup"):
             _wall_gate(
@@ -218,47 +484,15 @@ def check_e19(
                 f"{base_entry[metric]:.2f}",
                 entry[metric],
                 base_entry[metric],
-                tol,
-                wall,
-                strict,
+                ctx.tol,
+                ctx.wall,
+                ctx.strict,
             )
 
 
-# ----------------------------------------------------------------------
-# E21 — fault-tolerant execution
-# ----------------------------------------------------------------------
-def check_e21(
-    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
-) -> None:
-    """All E21 gates are behavior gates: completion, parity, and the
-    event-count overhead bound are machine-independent by design."""
-    summary = cand.get("summary", {})
-    g.check(
-        summary.get("completion_rate") == 1.0,
-        f"completion rate {summary.get('completion_rate')} == 1.0",
-    )
-    g.check(
-        summary.get("identical_all") is True,
-        "every recovered run bit-identical to fault-free",
-    )
-    overhead = cand.get("overhead", {})
-    g.check(
-        overhead.get("estimated_overhead_pct", float("inf"))
-        < overhead.get("bound_pct", 3.0),
-        f"disabled-path overhead "
-        f"{overhead.get('estimated_overhead_pct', float('nan')):.3f}% < "
-        f"{overhead.get('bound_pct', 3.0):.0f}%",
-    )
-    chaos_entries = [e for e in cand["results"] if "fault_rate" in e]
-    g.check(
-        any(
-            e.get("faults_injected", 0) > 0
-            for e in chaos_entries
-            if e["fault_rate"] >= 0.2
-        ),
-        "faults actually injected at the 20% rate",
-    )
-    for entry in cand["results"]:
+def _e21_entries(ctx: GateContext, g: Gate) -> None:
+    """Every E21 workload (clean or chaos) completed bit-identically."""
+    for entry in ctx.cand["results"]:
         g.check(
             entry.get("completed") is True and entry.get("identical") is True,
             f"{entry['workload']}"
@@ -269,31 +503,13 @@ def check_e21(
             )
             + ": completed and identical",
         )
-    base_names = [e["workload"] for e in base["results"]]
-    cand_names = [e["workload"] for e in cand["results"]]
-    g.check(
-        cand_names == base_names,
-        f"workload list matches baseline ({len(cand_names)} entries)",
-    )
 
 
-# ----------------------------------------------------------------------
-# E22 — online serving
-# ----------------------------------------------------------------------
-def check_e22(
-    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
-) -> None:
-    """Serving gates are mostly behavior gates: bit identity, exact
-    canary/cache/shed counts, and the within-capture batch-64 speedup
-    bound (both runs share one machine, so the ratio is comparable
-    anywhere). Only cross-capture rps comparisons are wall-clock."""
-    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
-    g.check(
-        set(cw) == set(bw),
-        f"workload set matches baseline ({sorted(cw)})",
-    )
-    for name in sorted(n for n in cw if n.startswith("throughput/")):
-        entry = cw[name]
+def _e22_throughput(ctx: GateContext, g: Gate) -> None:
+    """Batched serving: bit identity, ordered latency percentiles, and
+    wall-clock speedups per batch size."""
+    for name in sorted(n for n in ctx.cw if n.startswith("throughput/")):
+        entry = ctx.cw[name]
         g.check(
             entry.get("bit_identical") is True,
             f"{name}: bit-identical to single-row serving",
@@ -304,7 +520,7 @@ def check_e22(
             and lat["p50"] <= lat["p95"] <= lat["p99"],
             f"{name}: latency percentiles present and ordered",
         )
-        base_entry = bw.get(name)
+        base_entry = ctx.bw.get(name)
         if base_entry is not None:
             _wall_gate(
                 g,
@@ -312,45 +528,15 @@ def check_e22(
                 f"baseline {base_entry['speedup_vs_unbatched']:.2f}",
                 entry["speedup_vs_unbatched"],
                 base_entry["speedup_vs_unbatched"],
-                tol,
-                wall,
-                strict,
+                ctx.tol,
+                ctx.wall,
+                ctx.strict,
             )
-    batch64 = cw.get("throughput/batch64", {})
-    g.check(
-        batch64.get("speedup_vs_unbatched", 0.0) >= 3.0,
-        f"batch-64 speedup {batch64.get('speedup_vs_unbatched', 0.0):.2f} "
-        f">= 3.0 (within-capture bound)",
-    )
-    cache = cw.get("cache/skewed_entities", {})
-    base_cache = bw.get("cache/skewed_entities", {})
-    g.check(
-        cache.get("counts_exact") is True,
-        "cache hit/miss ledger exactly matches the request stream",
-    )
-    for metric in ("hits", "misses"):
-        g.check(
-            cache.get(metric) == base_cache.get(metric),
-            f"cache {metric} {cache.get(metric)} == baseline "
-            f"{base_cache.get(metric)} (seeded stream is deterministic)",
-        )
-    canary = cw.get("canary/hash_split", {})
-    base_canary = bw.get("canary/hash_split", {})
-    g.check(
-        canary.get("exact_split") is True,
-        "canary split exactly matches the hash router",
-    )
-    g.check(
-        canary.get("canary_requests") == base_canary.get("canary_requests"),
-        f"canary count {canary.get('canary_requests')} == baseline "
-        f"{base_canary.get('canary_requests')} (same seed, same split)",
-    )
-    adm = cw.get("admission/bounded_queue", {})
-    base_adm = bw.get("admission/bounded_queue", {})
-    g.check(
-        adm.get("queue_shed_exact") is True,
-        f"burst past capacity shed exactly {adm.get('queue_shed')} requests",
-    )
+
+
+def _e22_admission_chaos(ctx: GateContext, g: Gate) -> None:
+    adm = ctx.cw.get("admission/bounded_queue", {})
+    base_adm = ctx.bw.get("admission/bounded_queue", {})
     g.check(
         adm.get("chaos_shed_matches_injected") is True
         and adm.get("chaos_shed") == base_adm.get("chaos_shed"),
@@ -359,283 +545,10 @@ def check_e22(
     )
 
 
-# ----------------------------------------------------------------------
-# E23 — adaptive re-optimization
-# ----------------------------------------------------------------------
-def check_e23(
-    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
-) -> None:
-    """Convergence, identity, and the overhead bound are behavior gates;
-    the post-correction and vs-stale-pinned speedups are *within-capture*
-    ratios (both sides of each ratio ran on one machine), so they gate
-    against fixed floors everywhere. Only cross-capture speedup
-    comparisons follow the wall-clock skip policy."""
-    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
-    g.check(
-        set(cw) == set(bw),
-        f"workload set matches baseline ({sorted(cw)})",
-    )
-    meta = cand.get("meta", {})
-    max_iters = meta.get("max_correction_iterations", 2)
-
-    fallback = cw.get("fallback/power_iteration", {})
-    g.check(
-        fallback.get("initially_misplanned") is True,
-        "fallback leg starts from the wrong (csr) plan",
-    )
-    corrected = fallback.get("corrected_at_iteration")
-    g.check(
-        corrected is not None and corrected <= max_iters,
-        f"fallback plan corrected at iteration {corrected} <= {max_iters}",
-    )
-    g.check(
-        fallback.get("fallbacks_after_correction") == 0,
-        "zero densify fallbacks after the correction",
-    )
-    g.check(
-        fallback.get("bit_identical") is True,
-        "corrected run bit-identical to the no-feedback run",
-    )
-    min_fb = meta.get("min_fallback_speedup", 1.2)
-    g.check(
-        fallback.get("post_correction_speedup", 0.0) >= min_fb,
-        f"post-correction speedup "
-        f"{fallback.get('post_correction_speedup', 0.0):.2f} >= {min_fb} "
-        f"(within-capture bound)",
-    )
-
-    dispatch = cw.get("dispatch/fine_grained", {})
-    corrected = dispatch.get("corrected_at_iteration")
-    g.check(
-        corrected is not None and corrected <= max_iters,
-        f"dispatch corrected at iteration {corrected} <= {max_iters}",
-    )
-    g.check(
-        dispatch.get("learned_action") == "serial",
-        f"losing site learned action "
-        f"{dispatch.get('learned_action')!r} == 'serial'",
-    )
-    g.check(
-        dispatch.get("results_identical") is True,
-        "serial dispatch produced identical results",
-    )
-
-    replan = cw.get("replan/stale_store", {})
-    g.check(
-        replan.get("replans") == 1,
-        f"stale plan demoted in exactly 1 replan "
-        f"(got {replan.get('replans')})",
-    )
-    g.check(
-        replan.get("weight_parity", float("inf")) <= PARITY_BOUND,
-        f"adaptive weights parity {replan.get('weight_parity', 0):.1e} "
-        f"<= {PARITY_BOUND:.0e}",
-    )
-    g.check(
-        replan.get("resume_bit_identical") is True,
-        "checkpoint-resume oracle: bitwise across the mid-run switch",
-    )
-    g.check(
-        replan.get("kmeans_bit_identical") is True,
-        "kmeans stale-binding correction bit-identical",
-    )
-    min_rp = meta.get("min_replan_speedup", 1.02)
-    g.check(
-        replan.get("adaptive_vs_pinned_speedup", 0.0) >= min_rp,
-        f"adaptive vs stale-pinned speedup "
-        f"{replan.get('adaptive_vs_pinned_speedup', 0.0):.2f} >= {min_rp} "
-        f"(within-capture bound)",
-    )
-    base_replan = bw.get("replan/stale_store", {})
-    _wall_gate(
-        g,
-        f"replan speedup {replan.get('adaptive_vs_pinned_speedup', 0.0):.2f}"
-        f" vs baseline "
-        f"{base_replan.get('adaptive_vs_pinned_speedup', 0.0):.2f}",
-        replan.get("adaptive_vs_pinned_speedup", 0.0),
-        base_replan.get("adaptive_vs_pinned_speedup", 0.0),
-        tol,
-        wall,
-        strict,
-    )
-
-    overhead = cw.get("overhead/disabled_path", {})
-    g.check(
-        overhead.get("estimated_overhead_pct", float("inf"))
-        < overhead.get("bound_pct", 3.0),
-        f"disabled-path overhead "
-        f"{overhead.get('estimated_overhead_pct', float('nan')):.3f}% < "
-        f"{overhead.get('bound_pct', 3.0):.0f}%",
-    )
-
-
-# ----------------------------------------------------------------------
-# E24 — lineage-aware materialization
-# ----------------------------------------------------------------------
-def check_e24(
-    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
-) -> None:
-    """Ledger exactness, bitwise identity, the repair story, and the
-    disabled-path bound are behavior gates. The warm-vs-cold grid
-    speedup is a *within-capture* ratio (both sides ran on one machine),
-    so it gates against the fixed >= 3x floor everywhere; only the
-    cross-capture comparison follows the wall-clock skip policy."""
-    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
-    g.check(
-        set(cw) == set(bw),
-        f"workload set matches baseline ({sorted(cw)})",
-    )
-    meta = cand.get("meta", {})
-    min_speedup = meta.get("min_grid_speedup", 3.0)
-
-    grid = cw.get("grid/feature_subsets", {})
-    g.check(
-        grid.get("counts_exact") is True,
-        f"cold ledger exact: misses == puts == {grid.get('pairs')} "
-        f"(subset x fold), warm hits match",
-    )
-    g.check(
-        grid.get("bit_identical") is True,
-        "warm sweep bit-identical to cold",
-    )
-    g.check(
-        grid.get("restart_bit_identical") is True
-        and grid.get("restart_exact") is True,
-        f"restart instance served all {grid.get('restart_disk_hits')} "
-        f"statistics from disk, bit-identically",
-    )
-    g.check(
-        grid.get("cross_workload_exact") is True,
-        f"second workload reused {grid.get('cross_workload_hits')} "
-        f"statistics, computed {grid.get('cross_workload_misses')} new "
-        f"(both exact)",
-    )
-    g.check(
-        grid.get("speedup", 0.0) >= min_speedup,
-        f"warm grid speedup {grid.get('speedup', 0.0):.2f} >= "
-        f"{min_speedup} (within-capture bound)",
-    )
-    base_grid = bw.get("grid/feature_subsets", {})
-    _wall_gate(
-        g,
-        f"grid speedup {grid.get('speedup', 0.0):.2f} vs baseline "
-        f"{base_grid.get('speedup', 0.0):.2f}",
-        grid.get("speedup", 0.0),
-        base_grid.get("speedup", 0.0),
-        tol,
-        wall,
-        strict,
-    )
-
-    repair = cw.get("repair/corrupted_entries", {})
-    g.check(
-        repair.get("counts_exact") is True,
-        f"{repair.get('corrupted')} corrupted entries -> exactly "
-        f"{repair.get('recomputes')} lineage recomputes",
-    )
-    g.check(
-        repair.get("bit_identical") is True,
-        "repaired sweep bit-identical to the cold reference",
-    )
-    g.check(
-        repair.get("chaos_counts_exact") is True
-        and repair.get("chaos_bit_identical") is True,
-        f"chaos (every read corrupts): {repair.get('chaos_corrupt_entries')}"
-        f" entries repaired bit-identically",
-    )
-
-    overhead = cw.get("overhead/disabled_path", {})
-    g.check(
-        overhead.get("estimated_overhead_pct", float("inf"))
-        < overhead.get("bound_pct", 3.0),
-        f"disabled-path overhead "
-        f"{overhead.get('estimated_overhead_pct', float('nan')):.3f}% < "
-        f"{overhead.get('bound_pct', 3.0):.0f}%",
-    )
-    g.check(
-        overhead.get("plans_identical") is True,
-        "compiled plans byte-identical with and without an active store",
-    )
-
-    evict = cw.get("eviction/capacity_ledger", {})
-    g.check(
-        evict.get("evictions_exact") is True,
-        f"evictions exactly puts - capacity "
-        f"({evict.get('cold_evictions')} = {evict.get('pairs')} - "
-        f"{evict.get('capacity_entries')})",
-    )
-    g.check(
-        evict.get("all_served") is True and evict.get("bit_identical") is True,
-        "capacity-bounded warm sweep served every statistic bit-identically",
-    )
-    g.check(
-        evict.get("pinned_resident") is True,
-        "pinned entry survived eviction pressure",
-    )
-
-
-# ----------------------------------------------------------------------
-# E25 — incremental maintenance over dynamic tables
-# ----------------------------------------------------------------------
-def check_e25(
-    cand: dict, base: dict, tol: float, wall: bool, strict: bool, g: Gate
-) -> None:
-    """Bitwise parity, exact fold/recompute ledgers, the chaos-sweep
-    accounting, and the disabled-path bound are behavior gates. The
-    delta-refresh speedup is a *within-capture* ratio (both sides ran on
-    one machine), so it gates against the fixed >= 5x floor everywhere;
-    only the cross-capture comparison follows the wall-clock skip
-    policy."""
-    cw, bw = _by_workload(cand["results"]), _by_workload(base["results"])
-    g.check(
-        set(cw) == set(bw),
-        f"workload set matches baseline ({sorted(cw)})",
-    )
-    meta = cand.get("meta", {})
-    min_speedup = meta.get("min_refresh_speedup", 5.0)
-
-    refresh = cw.get("refresh/delta_vs_snapshot", {})
-    g.check(
-        refresh.get("bit_identical") is True,
-        "delta-refreshed weights bit-identical to snapshot retrain "
-        "every round",
-    )
-    g.check(
-        refresh.get("ledger_exact") is True,
-        f"fold ledger exact: {refresh.get('rows_folded')} rows folded "
-        f"== closed form {refresh.get('rows_folded_expected')}",
-    )
-    g.check(
-        refresh.get("recomputes") == 0,
-        "zero lineage recomputes on the clean delta stream",
-    )
-    g.check(
-        refresh.get("speedup", 0.0) >= min_speedup,
-        f"delta refresh speedup {refresh.get('speedup', 0.0):.2f} >= "
-        f"{min_speedup} (within-capture bound)",
-    )
-    base_refresh = bw.get("refresh/delta_vs_snapshot", {})
-    _wall_gate(
-        g,
-        f"refresh speedup {refresh.get('speedup', 0.0):.2f} vs baseline "
-        f"{base_refresh.get('speedup', 0.0):.2f}",
-        refresh.get("speedup", 0.0),
-        base_refresh.get("speedup", 0.0),
-        tol,
-        wall,
-        strict,
-    )
-
-    chaos_entries = [e for e in cand["results"] if "fault_rate" in e]
-    g.check(
-        any(
-            e.get("faults_injected", 0) > 0
-            for e in chaos_entries
-            if e["fault_rate"] >= 0.2
-        ),
-        "faults actually injected at the 20% rate",
-    )
-    for entry in chaos_entries:
+def _e25_chaos_entries(ctx: GateContext, g: Gate) -> None:
+    """Chaos sweep legs: completion + identity, recomputes equal to
+    injected faults, every consumed delta accounted for."""
+    for entry in (e for e in ctx.cand["results"] if "fault_rate" in e):
         label = f"{entry['workload']} @ {entry['fault_rate']:.0%}"
         g.check(
             entry.get("completed") is True and entry.get("identical") is True,
@@ -651,39 +564,422 @@ def check_e25(
             f"{label}: every consumed delta accounted for in the ledger",
         )
 
-    serving = cw.get("serving/e2e_refresh", {})
-    g.check(
-        serving.get("identical") is True,
-        "served value after hot-swap equals compiled snapshot retrain",
-    )
-    g.check(
-        serving.get("cache_invalidated") is True
-        and serving.get("prediction_changed") is True,
-        "promote eagerly invalidated the prediction cache",
-    )
-    g.check(
-        serving.get("versions_chained") is True,
-        "refreshed versions chain lineage through the registry",
-    )
 
-    overhead = cand.get("overhead", {})
-    g.check(
-        overhead.get("estimated_overhead_pct", float("inf"))
-        < overhead.get("bound_pct", 3.0),
-        f"disabled-path overhead "
-        f"{overhead.get('estimated_overhead_pct', float('nan')):.3f}% < "
-        f"{overhead.get('bound_pct', 3.0):.0f}%",
-    )
+def _e26_chaos_sweep(ctx: GateContext, g: Gate) -> None:
+    """Fabric chaos legs: complete, bit-identical, plan not inert, and
+    (same seed only) injected counts equal to the baseline's."""
+    seed = ctx.meta.get("chaos_seed")
+    base_seed = ctx.base.get("meta", {}).get("chaos_seed")
+    for name in sorted(n for n in ctx.cw if n.startswith("chaos/")):
+        entry = ctx.cw[name]
+        g.check(
+            entry.get("complete") is True,
+            f"{name}: every request completed under fault injection",
+        )
+        g.check(
+            entry.get("bit_identical") is True,
+            f"{name}: answers bit-identical to the clean run",
+        )
+        g.check(
+            entry.get("faults_injected") is True,
+            f"{name}: fault plan active exactly when rate > 0",
+        )
+        if seed != base_seed:
+            g.skip(
+                f"{name}: injected counts vs baseline "
+                f"(chaos_seed {seed!r} != {base_seed!r})"
+            )
+            continue
+        base_entry = ctx.bw.get(name, {})
+        g.check(
+            entry.get("injected_route") == base_entry.get("injected_route")
+            and entry.get("injected_score") == base_entry.get("injected_score"),
+            f"{name}: injected "
+            f"{entry.get('injected_route')}+{entry.get('injected_score')} "
+            f"== baseline (same seed, same schedule)",
+        )
 
 
-CHECKERS = {
-    "E18": check_e18,
-    "E19": check_e19,
-    "E21": check_e21,
-    "E22": check_e22,
-    "E23": check_e23,
-    "E24": check_e24,
-    "E25": check_e25,
+# ----------------------------------------------------------------------
+# The gate tables: one row list per experiment
+# ----------------------------------------------------------------------
+GATES: dict[str, list] = {
+    # E18 — cost-aware parallel engine
+    "E18": [
+        workload_set(),
+        custom(_e18_crossover),
+        custom(_e18_thread_speedups),
+    ],
+    # E19 — representation-aware execution
+    "E19": [
+        workload_set(),
+        custom(_e19_representations),
+    ],
+    # E21 — fault-tolerant execution (all behavior gates)
+    "E21": [
+        summary_expect(
+            "completion_rate", 1.0, "completion rate 1.0 == 1.0"
+        ),
+        summary_expect(
+            "identical_all", True, "every recovered run bit-identical to fault-free"
+        ),
+        overhead_bound(),
+        chaos_injected(),
+        custom(_e21_entries),
+        workload_list(),
+    ],
+    # E22 — online serving
+    "E22": [
+        workload_set(),
+        custom(_e22_throughput),
+        floor(
+            "throughput/batch64",
+            "speedup_vs_unbatched",
+            "batch-64 speedup {e[speedup_vs_unbatched]:.2f} >= 3.0 "
+            "(within-capture bound)",
+            bound=3.0,
+        ),
+        flag(
+            "cache/skewed_entities",
+            "counts_exact",
+            "cache hit/miss ledger exactly matches the request stream",
+        ),
+        match_baseline(
+            "cache/skewed_entities",
+            "hits",
+            "cache hits {e[hits]} == baseline {b[hits]} "
+            "(seeded stream is deterministic)",
+        ),
+        match_baseline(
+            "cache/skewed_entities",
+            "misses",
+            "cache misses {e[misses]} == baseline {b[misses]} "
+            "(seeded stream is deterministic)",
+        ),
+        flag(
+            "canary/hash_split",
+            "exact_split",
+            "canary split exactly matches the hash router",
+        ),
+        match_baseline(
+            "canary/hash_split",
+            "canary_requests",
+            "canary count {e[canary_requests]} == baseline "
+            "{b[canary_requests]} (same seed, same split)",
+        ),
+        flag(
+            "admission/bounded_queue",
+            "queue_shed_exact",
+            "burst past capacity shed exactly {e[queue_shed]} requests",
+        ),
+        custom(_e22_admission_chaos),
+    ],
+    # E23 — adaptive re-optimization
+    "E23": [
+        workload_set(),
+        flag(
+            "fallback/power_iteration",
+            "initially_misplanned",
+            "fallback leg starts from the wrong (csr) plan",
+        ),
+        ceiling(
+            "fallback/power_iteration",
+            "corrected_at_iteration",
+            "fallback plan corrected at iteration "
+            "{e[corrected_at_iteration]} within the correction budget",
+            bound=2,
+            meta_key="max_correction_iterations",
+        ),
+        expect(
+            "fallback/power_iteration",
+            "fallbacks_after_correction",
+            0,
+            "zero densify fallbacks after the correction",
+        ),
+        flag(
+            "fallback/power_iteration",
+            "bit_identical",
+            "corrected run bit-identical to the no-feedback run",
+        ),
+        floor(
+            "fallback/power_iteration",
+            "post_correction_speedup",
+            "post-correction speedup {e[post_correction_speedup]:.2f} "
+            "clears the published floor (within-capture bound)",
+            bound=1.2,
+            meta_key="min_fallback_speedup",
+        ),
+        ceiling(
+            "dispatch/fine_grained",
+            "corrected_at_iteration",
+            "dispatch corrected at iteration {e[corrected_at_iteration]} "
+            "within the correction budget",
+            bound=2,
+            meta_key="max_correction_iterations",
+        ),
+        expect(
+            "dispatch/fine_grained",
+            "learned_action",
+            "serial",
+            "losing site learned action {e[learned_action]!r} == 'serial'",
+        ),
+        flag(
+            "dispatch/fine_grained",
+            "results_identical",
+            "serial dispatch produced identical results",
+        ),
+        expect(
+            "replan/stale_store",
+            "replans",
+            1,
+            "stale plan demoted in exactly 1 replan (got {e[replans]})",
+        ),
+        parity(
+            "replan/stale_store",
+            "weight_parity",
+            "adaptive weights parity {e[weight_parity]:.1e} <= 1e-09",
+        ),
+        flag(
+            "replan/stale_store",
+            "resume_bit_identical",
+            "checkpoint-resume oracle: bitwise across the mid-run switch",
+        ),
+        flag(
+            "replan/stale_store",
+            "kmeans_bit_identical",
+            "kmeans stale-binding correction bit-identical",
+        ),
+        floor(
+            "replan/stale_store",
+            "adaptive_vs_pinned_speedup",
+            "adaptive vs stale-pinned speedup "
+            "{e[adaptive_vs_pinned_speedup]:.2f} clears the published "
+            "floor (within-capture bound)",
+            bound=1.02,
+            meta_key="min_replan_speedup",
+        ),
+        wall_speedup("replan/stale_store", "adaptive_vs_pinned_speedup"),
+        overhead_bound("overhead/disabled_path"),
+    ],
+    # E24 — lineage-aware materialization
+    "E24": [
+        workload_set(),
+        flag(
+            "grid/feature_subsets",
+            "counts_exact",
+            "cold ledger exact: misses == puts == {e[pairs]} "
+            "(subset x fold), warm hits match",
+        ),
+        flag(
+            "grid/feature_subsets",
+            "bit_identical",
+            "warm sweep bit-identical to cold",
+        ),
+        flag(
+            "grid/feature_subsets",
+            ("restart_bit_identical", "restart_exact"),
+            "restart instance served all {e[restart_disk_hits]} "
+            "statistics from disk, bit-identically",
+        ),
+        flag(
+            "grid/feature_subsets",
+            "cross_workload_exact",
+            "second workload reused {e[cross_workload_hits]} statistics, "
+            "computed {e[cross_workload_misses]} new (both exact)",
+        ),
+        floor(
+            "grid/feature_subsets",
+            "speedup",
+            "warm grid speedup {e[speedup]:.2f} clears the published "
+            "floor (within-capture bound)",
+            bound=3.0,
+            meta_key="min_grid_speedup",
+        ),
+        wall_speedup("grid/feature_subsets", "speedup"),
+        flag(
+            "repair/corrupted_entries",
+            "counts_exact",
+            "{e[corrupted]} corrupted entries -> exactly "
+            "{e[recomputes]} lineage recomputes",
+        ),
+        flag(
+            "repair/corrupted_entries",
+            "bit_identical",
+            "repaired sweep bit-identical to the cold reference",
+        ),
+        flag(
+            "repair/corrupted_entries",
+            ("chaos_counts_exact", "chaos_bit_identical"),
+            "chaos (every read corrupts): {e[chaos_corrupt_entries]} "
+            "entries repaired bit-identically",
+        ),
+        overhead_bound("overhead/disabled_path"),
+        flag(
+            "overhead/disabled_path",
+            "plans_identical",
+            "compiled plans byte-identical with and without an active store",
+        ),
+        flag(
+            "eviction/capacity_ledger",
+            "evictions_exact",
+            "evictions exactly puts - capacity ({e[cold_evictions]} = "
+            "{e[pairs]} - {e[capacity_entries]})",
+        ),
+        flag(
+            "eviction/capacity_ledger",
+            ("all_served", "bit_identical"),
+            "capacity-bounded warm sweep served every statistic "
+            "bit-identically",
+        ),
+        flag(
+            "eviction/capacity_ledger",
+            "pinned_resident",
+            "pinned entry survived eviction pressure",
+        ),
+    ],
+    # E25 — incremental maintenance over dynamic tables
+    "E25": [
+        workload_set(),
+        flag(
+            "refresh/delta_vs_snapshot",
+            "bit_identical",
+            "delta-refreshed weights bit-identical to snapshot retrain "
+            "every round",
+        ),
+        flag(
+            "refresh/delta_vs_snapshot",
+            "ledger_exact",
+            "fold ledger exact: {e[rows_folded]} rows folded == closed "
+            "form {e[rows_folded_expected]}",
+        ),
+        expect(
+            "refresh/delta_vs_snapshot",
+            "recomputes",
+            0,
+            "zero lineage recomputes on the clean delta stream",
+        ),
+        floor(
+            "refresh/delta_vs_snapshot",
+            "speedup",
+            "delta refresh speedup {e[speedup]:.2f} clears the published "
+            "floor (within-capture bound)",
+            bound=5.0,
+            meta_key="min_refresh_speedup",
+        ),
+        wall_speedup("refresh/delta_vs_snapshot", "speedup"),
+        chaos_injected(),
+        custom(_e25_chaos_entries),
+        flag(
+            "serving/e2e_refresh",
+            "identical",
+            "served value after hot-swap equals compiled snapshot retrain",
+        ),
+        flag(
+            "serving/e2e_refresh",
+            ("cache_invalidated", "prediction_changed"),
+            "promote eagerly invalidated the prediction cache",
+        ),
+        flag(
+            "serving/e2e_refresh",
+            "versions_chained",
+            "refreshed versions chain lineage through the registry",
+        ),
+        overhead_bound(),
+    ],
+    # E26 — sharded serving fabric
+    "E26": [
+        workload_set(),
+        flag(
+            "fleet/multitenant",
+            "bit_identical",
+            "{e[requests]:,} fleet requests bit-identical to the "
+            "single-server oracle",
+        ),
+        flag(
+            "fleet/multitenant",
+            "ledger_exact",
+            "fleet ledger exact: {e[ledger][replica_hits]:,} replica hits"
+            " == route-oracle replay",
+        ),
+        expect(
+            "failover/mid_stream_kill",
+            "wrong_answers",
+            0,
+            "mid-stream kill produced zero wrong answers",
+        ),
+        flag(
+            "failover/mid_stream_kill",
+            "ledger_exact",
+            "failover ledger exact: {e[failovers]:,} failovers == "
+            "{e[expected_failovers]:,} expected from route replay",
+        ),
+        match_baseline(
+            "failover/mid_stream_kill",
+            "failovers",
+            "failovers {e[failovers]:,} == baseline {b[failovers]:,} "
+            "(seeded stream is deterministic)",
+        ),
+        fields_equal(
+            "failover/mid_stream_kill",
+            "epoch_invalidations",
+            "revive_dropped",
+            "revive invalidated exactly the {e[revive_dropped]:,} entries "
+            "the epoch ledger counted",
+        ),
+        flag(
+            "quota/hot_tenant",
+            "quota_exact",
+            "hot tenant shed {e[hot_shed]} == token-bucket replay "
+            "{e[expected_hot_shed]}",
+        ),
+        match_baseline(
+            "quota/hot_tenant",
+            "hot_shed",
+            "hot-tenant sheds {e[hot_shed]} == baseline {b[hot_shed]} "
+            "(deterministic schedule)",
+        ),
+        expect(
+            "quota/hot_tenant",
+            "cold_shed",
+            0,
+            "cold tenants shed nothing (isolation holds)",
+        ),
+        flag(
+            "canary/fleet_split",
+            "exact_split",
+            "fleet canary split exactly matches the hash router",
+        ),
+        match_baseline(
+            "canary/fleet_split",
+            "canary_requests",
+            "fleet canary count {e[canary_requests]:,} == baseline "
+            "{b[canary_requests]:,} (same seed, same split)",
+        ),
+        custom(_e26_chaos_sweep),
+        flag(
+            "overhead/single_shard",
+            "bit_identical",
+            "single-shard fast path bit-identical to the plain server",
+        ),
+        flag(
+            "overhead/single_shard",
+            "overhead_ok",
+            "single-shard overhead {e[overhead_pct]:.2f}% under the "
+            "{m[max_overhead_pct]:.0f}% bound (within-capture)",
+        ),
+        flag(
+            "scaling/shards2",
+            "balanced",
+            "2-shard fleet balanced: max load {e[balance_ratio]:.2f}x "
+            "fair share",
+        ),
+        flag(
+            "scaling/shards4",
+            "balanced",
+            "4-shard fleet balanced: max load {e[balance_ratio]:.2f}x "
+            "fair share",
+        ),
+    ],
 }
 
 
@@ -714,10 +1010,10 @@ def main(argv: list[str] | None = None) -> int:
             f"{base_experiment!r}"
         )
         return 1
-    checker = CHECKERS.get(experiment)
-    if checker is None:
+    rules = GATES.get(experiment)
+    if rules is None:
         print(f"error: no regression checks registered for {experiment!r} "
-              f"(known: {sorted(CHECKERS)})")
+              f"(known: {sorted(GATES)})")
         return 1
 
     cand_chaos = bool(cand.get("meta", {}).get("chaos_active"))
@@ -741,8 +1037,10 @@ def main(argv: list[str] | None = None) -> int:
         f" -> wall-clock gates {'ON' if wall else 'SKIPPED'}"
     )
 
+    ctx = GateContext(cand, base, args.tolerance, wall, args.strict)
     gate = Gate()
-    checker(cand, base, args.tolerance, wall, args.strict, gate)
+    for rule in rules:
+        rule(ctx, gate)
     print(
         f"\n{experiment}: {gate.passed} passed, {gate.skipped} skipped, "
         f"{len(gate.failures)} failed"

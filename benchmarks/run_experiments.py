@@ -685,6 +685,16 @@ def e25_incremental():
     bench_incremental.report(results)
 
 
+@experiment("E26", "Sharded serving fabric: failover, quotas, scaling")
+def e26_sharding():
+    """Delegate to the dedicated sharding benchmark (kept quick here)."""
+    import bench_sharding
+
+    _header("E26", "Sharded serving fabric: failover, quotas, scaling")
+    results = bench_sharding.run(quick=True, repeats=2)
+    bench_sharding.report(results)
+
+
 def _registry_lines() -> list[str]:
     return [f"{tag:>5}  {title}" for tag, (_, title) in EXPERIMENTS.items()]
 

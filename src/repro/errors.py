@@ -108,31 +108,96 @@ class ServingError(ReproError):
     """An online-serving operation (endpoint, batcher, cache) failed."""
 
 
+def _request_context(
+    endpoint: str | None, tenant: object, shard: str | None
+) -> dict:
+    """Structured attribution carried by admission/deadline failures."""
+    context: dict = {"endpoint": endpoint}
+    if tenant is not None:
+        context["tenant"] = tenant
+    if shard is not None:
+        context["shard"] = shard
+    return context
+
+
+def _context_suffix(context: dict) -> str:
+    extras = {k: v for k, v in context.items() if k != "endpoint"}
+    if not extras:
+        return ""
+    rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(extras.items()))
+    return f" [{rendered}]"
+
+
 class LoadShedError(ServingError):
-    """A request was rejected by admission control (queue full).
+    """A request was rejected by admission control (queue or quota).
 
     Carries the endpoint name and the queue depth at rejection time so
-    load tests can assert exactly how many requests were shed and why.
+    load tests can assert exactly how many requests were shed and why,
+    plus a structured ``context`` (endpoint/tenant/shard) so sheds are
+    attributable in logs and fleet ledgers. ``reason`` distinguishes a
+    full queue (``"queue"``) from a per-tenant quota (``"quota"``) and
+    injected admission chaos (``"chaos"``).
     """
 
-    def __init__(self, endpoint: str, queue_depth: int, capacity: int):
+    def __init__(
+        self,
+        endpoint: str,
+        queue_depth: int,
+        capacity: int,
+        *,
+        tenant: object = None,
+        shard: str | None = None,
+        reason: str = "queue",
+    ):
         self.endpoint = endpoint
         self.queue_depth = queue_depth
         self.capacity = capacity
+        self.tenant = tenant
+        self.shard = shard
+        self.reason = reason
+        self.context = _request_context(endpoint, tenant, shard)
         super().__init__(
-            f"endpoint {endpoint!r} shed a request: queue depth "
+            f"endpoint {endpoint!r} shed a request ({reason}): depth "
             f"{queue_depth} at capacity {capacity}"
+            + _context_suffix(self.context)
         )
 
 
 class DeadlineExceededError(ServingError):
-    """A request's deadline elapsed before its prediction was ready."""
+    """A request's deadline elapsed before its prediction was ready.
 
-    def __init__(self, endpoint: str, deadline_ms: float):
+    Like :class:`LoadShedError`, carries a structured ``context``
+    (endpoint/tenant/shard) so deadline misses are attributable.
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        deadline_ms: float,
+        *,
+        tenant: object = None,
+        shard: str | None = None,
+    ):
         self.endpoint = endpoint
         self.deadline_ms = deadline_ms
+        self.tenant = tenant
+        self.shard = shard
+        self.context = _request_context(endpoint, tenant, shard)
         super().__init__(
             f"endpoint {endpoint!r} missed a {deadline_ms:g} ms deadline"
+            + _context_suffix(self.context)
+        )
+
+
+class NoLiveReplicaError(ServingError):
+    """Every replica of an endpoint was dead or failed its attempt."""
+
+    def __init__(self, endpoint: str, attempted: tuple[str, ...]):
+        self.endpoint = endpoint
+        self.attempted = attempted
+        super().__init__(
+            f"endpoint {endpoint!r} has no live replica "
+            f"(attempted {list(attempted)})"
         )
 
 

@@ -23,6 +23,7 @@ from typing import Any, Callable, TypeVar
 import numpy as np
 
 from ..errors import (
+    DeadlineExceededError,
     InjectedFault,
     ReproError,
     ResilienceError,
@@ -62,6 +63,9 @@ class RetryPolicy:
         seed: jitter seed.
         retryable: exception classes worth re-executing for.
         sleep: injectable clock (tests pass a no-op to run instantly).
+        clock: monotonic clock used to honour absolute deadlines
+            (``deadline_at`` on :func:`call_with_retry`); injectable so
+            deadline tests advance a fake.
     """
 
     max_attempts: int = 3
@@ -72,6 +76,7 @@ class RetryPolicy:
     seed: int = 0
     retryable: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -114,11 +119,27 @@ def call_with_retry(
     policy: RetryPolicy,
     site: str = "retry",
     key: object = None,
+    deadline_at: float | None = None,
 ) -> T:
     """Run ``fn`` under ``policy``; raise ``RetryExhaustedError`` when
-    every attempt fails (last failure chained as ``__cause__``)."""
+    every attempt fails (last failure chained as ``__cause__``).
+
+    ``deadline_at`` (absolute, on ``policy.clock``) caps the *total*
+    retry budget: once the deadline has passed — or the next backoff
+    sleep would cross it — the call raises
+    :class:`~repro.errors.DeadlineExceededError` instead of burning
+    attempts past the request's admission deadline. A retried unit of
+    work can therefore never outlive the budget its caller promised.
+    """
     registry = get_registry()
+    started = policy.clock() if deadline_at is not None else 0.0
     last: BaseException | None = None
+
+    def _deadline_exceeded(cause: BaseException | None) -> None:
+        registry.inc("resilience.retry_deadline_capped")
+        budget_ms = max(0.0, (deadline_at - started) * 1000.0)
+        raise DeadlineExceededError(site, budget_ms) from cause
+
     for attempt in range(1, policy.max_attempts + 1):
         try:
             result = fn()
@@ -126,6 +147,10 @@ def call_with_retry(
             last = exc
             if not policy.is_retryable(exc) or attempt == policy.max_attempts:
                 break
+            if deadline_at is not None:
+                delay = policy.delay(attempt, site, key)
+                if policy.clock() + delay >= deadline_at:
+                    _deadline_exceeded(exc)
             registry.inc("resilience.retries")
             registry.inc(f"resilience.retries.{site}")
             with span("resilience.retry", site=site, attempt=attempt):
@@ -147,6 +172,7 @@ def resilient_call(
     site: str,
     key: object = None,
     retry: RetryPolicy | None = None,
+    deadline_at: float | None = None,
 ) -> T:
     """A registered fault site around a pure unit of work.
 
@@ -155,6 +181,8 @@ def resilient_call(
     transient failures — injected or real — are retried; without one the
     fault propagates to the caller. This is the hook iterative drivers
     (GLM, k-means, out-of-core) wrap their per-iteration step in.
+    ``deadline_at`` caps the total retry budget (see
+    :func:`call_with_retry`).
     """
 
     def attempt() -> T:
@@ -163,7 +191,9 @@ def resilient_call(
 
     if retry is None:
         return attempt()
-    return call_with_retry(attempt, retry, site=site, key=key)
+    return call_with_retry(
+        attempt, retry, site=site, key=key, deadline_at=deadline_at
+    )
 
 
 def retryable_from_names(names: "list[str]") -> tuple[type[BaseException], ...]:

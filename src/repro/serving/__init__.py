@@ -22,24 +22,41 @@ into a live inference surface:
   (``serving.admission``, ``serving.score``) plug into
   :mod:`repro.resilience`.
 
+Scaling a single server out is :mod:`repro.serving.fabric`: a
+:class:`ShardedServer` partitions endpoints and the prediction cache
+across N shards on a CRC32 consistent-hash :class:`HashRing`, with
+R-way replication, deterministic failover when a shard is killed,
+epoch-based cache invalidation on revive, per-tenant token-bucket
+admission quotas (:class:`AdmissionQuotas` / :class:`TokenBucket`), and
+fleet-wide promote/rollback/canary.
+
 E22 (``benchmarks/bench_serving.py``) measures the batched-vs-unbatched
 throughput, latency percentiles, cache hit ratios, and canary split
-exactness this package promises.
+exactness this package promises; E26 (``benchmarks/bench_sharding.py``)
+gates the sharded fabric's failover, quota, and scaling ledgers.
 """
 
 from .batcher import MicroBatcher, PendingRequest
 from .cache import PredictionCache, PredictionCacheStats, feature_hash
+from .fabric import FabricLedger, ShardedServer
+from .quota import AdmissionQuotas, TokenBucket
+from .ring import HashRing
 from .router import CanaryRouter
 from .server import Endpoint, ModelServer, compile_linear_scorer
 
 __all__ = [
+    "AdmissionQuotas",
     "CanaryRouter",
     "Endpoint",
+    "FabricLedger",
+    "HashRing",
     "MicroBatcher",
     "ModelServer",
     "PendingRequest",
     "PredictionCache",
     "PredictionCacheStats",
+    "ShardedServer",
+    "TokenBucket",
     "compile_linear_scorer",
     "feature_hash",
 ]

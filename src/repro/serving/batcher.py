@@ -188,8 +188,20 @@ class MicroBatcher:
         errors: dict[int, BaseException] = {}
         for version, indices in groups.items():
             rows = np.stack([live[i].row for i in indices])
+            scorer = live[indices[0]].scorer
+            kwargs = {}
+            if getattr(scorer, "accepts_deadline", False):
+                # Retrying past the tightest deadline in the group
+                # cannot help anyone; cap the retry budget by it.
+                deadlines = [
+                    live[i].deadline_at
+                    for i in indices
+                    if live[i].deadline_at is not None
+                ]
+                if deadlines:
+                    kwargs["deadline_at"] = min(deadlines)
             try:
-                scores = np.asarray(live[indices[0]].scorer(rows))
+                scores = np.asarray(scorer(rows, **kwargs))
             except Exception as exc:  # noqa: BLE001 - delivered per request
                 for i in indices:
                     errors[i] = exc

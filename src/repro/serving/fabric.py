@@ -1,0 +1,587 @@
+"""Sharded, replicated serving fabric with deterministic failover.
+
+One :class:`~repro.serving.server.ModelServer` process is a single
+point of failure and a single GIL: the roadmap's scale-out item calls
+for partitioning endpoints *and* the prediction cache across N server
+shards. :class:`ShardedServer` is that fabric:
+
+* **Placement** — endpoints land on shards via a CRC32 consistent-hash
+  :class:`~repro.serving.ring.HashRing` (bit-reproducible like
+  :class:`~repro.serving.router.CanaryRouter`; resizing the fleet
+  remaps only ~1/N of the key space). Hot endpoints replicate onto the
+  next R distinct ring successors.
+* **Routing** — a request key deterministically picks one of the
+  endpoint's R replicas (a CRC32 rotation of the replica list), so each
+  replica serves — and caches — a stable slice of the key space.
+* **Failover** — shards are health-tracked (`kill_shard` /
+  `revive_shard`, the `SimulatedCluster` idiom). A request whose
+  replica is dead walks its preference list to the next live replica;
+  because every replica scores through the same compiled scorer, a
+  failover can never change an answer. The fleet keeps an exact
+  ``failovers`` / ``rerouted`` / ``replica_hits`` ledger.
+* **Epoch rejoin** — a revived shard re-enters with its epoch bumped
+  and its prediction caches invalidated, so it cannot serve answers
+  cached before it died (it may have missed promotes).
+* **Tenant isolation** — per-tenant token-bucket quotas
+  (:class:`~repro.serving.quota.AdmissionQuotas`) meter admission
+  *before* any shard queue: a hot tenant sheds its own overflow
+  (``LoadShedError`` with ``reason="quota"`` and the tenant in its
+  structured context) instead of starving the fleet.
+* **Fleet rollout** — promote/rollback/canary fan out to every hosting
+  shard; the canary hash split stays exact across the whole fleet
+  because every replica routes with the same seeded router.
+* **Chaos** — ``fabric.route`` guards routing, ``fabric.score`` guards
+  the dispatch to a shard (an injected fault there fails over to the
+  next replica); both compose with
+  :class:`~repro.resilience.RetryPolicy`, whose total budget is capped
+  by the request's admission deadline.
+
+E26 (``benchmarks/bench_sharding.py``) is the closed-loop gate: >= 1M
+skewed multi-tenant requests, bit-identical to a single-server oracle,
+with a mid-stream kill recovered exactly.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import (
+    DeadlineExceededError,
+    InjectedFault,
+    LoadShedError,
+    NoLiveReplicaError,
+    RetryExhaustedError,
+    ServingError,
+    WorkerFailure,
+)
+from ..lifecycle.registry import ModelRegistry, ModelVersion
+from ..obs import get_registry
+from ..resilience import RetryPolicy, active_chaos, resilient_call
+from .ring import HashRing
+from .quota import AdmissionQuotas
+from .server import ModelServer
+
+#: a shard dispatch failing with one of these fails over to the next
+#: live replica instead of failing the request.
+_FAILOVER_ERRORS = (InjectedFault, RetryExhaustedError, WorkerFailure)
+
+
+@dataclass
+class FabricLedger:
+    """Exact fleet-wide routing/admission ledger (E26 gates on it)."""
+
+    requests: int = 0
+    quota_shed: int = 0
+    failovers: int = 0  # requests that skipped >= 1 dead/failed replica
+    rerouted: int = 0  # total replica skips summed over requests
+    replica_hits: int = 0  # requests served by a non-home replica
+    epoch_invalidations: int = 0  # cache entries dropped on revive
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "quota_shed": self.quota_shed,
+            "failovers": self.failovers,
+            "rerouted": self.rerouted,
+            "replica_hits": self.replica_hits,
+            "epoch_invalidations": self.epoch_invalidations,
+        }
+
+
+@dataclass
+class _Shard:
+    """One shard's server plus its health state."""
+
+    shard_id: str
+    server: ModelServer
+    live: bool = True
+    epoch: int = 0
+    served: int = 0
+
+
+@dataclass(frozen=True)
+class _FabricEndpoint:
+    """Fleet-level endpoint record: placement and shared config."""
+
+    name: str
+    model_name: str
+    replicas: tuple[str, ...]  # rank 0 is the home shard
+    config: dict = field(default_factory=dict)
+
+
+class ShardedServer:
+    """N consistent-hash sharded :class:`ModelServer` instances.
+
+    Args:
+        registry: shared model registry all shards resolve through.
+        num_shards: fleet size (shard ids ``shard-0 .. shard-N-1``).
+        replication: default replica count per endpoint (clamped to the
+            fleet size; hot endpoints can override per endpoint).
+        seed: placement/routing salt (ring points and key spreading).
+        retry: policy for the ``fabric.route`` / ``fabric.score`` sites
+            and each shard's ``serving.score`` site.
+        vnodes: virtual ring points per shard.
+        clock: injectable monotonic clock shared by shards and quotas.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        num_shards: int = 2,
+        replication: int = 2,
+        *,
+        seed: int = 0,
+        retry: RetryPolicy | None = None,
+        vnodes: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if num_shards < 1:
+            raise ServingError(f"num_shards must be >= 1, got {num_shards}")
+        if replication < 1:
+            raise ServingError(
+                f"replication must be >= 1, got {replication}"
+            )
+        self.registry = registry
+        self.replication = min(replication, num_shards)
+        self.seed = seed
+        self.retry = retry
+        self._clock = clock
+        shard_ids = [f"shard-{i}" for i in range(num_shards)]
+        self.ring = HashRing(shard_ids, vnodes=vnodes, seed=seed)
+        self._shards: dict[str, _Shard] = {
+            sid: _Shard(sid, ModelServer(registry, retry=retry, clock=clock))
+            for sid in shard_ids
+        }
+        self._endpoints: dict[str, _FabricEndpoint] = {}
+        self.quotas = AdmissionQuotas(clock=clock)
+        self.ledger = FabricLedger()
+
+    # ------------------------------------------------------------------
+    # Fleet topology
+    # ------------------------------------------------------------------
+    def shard_ids(self) -> list[str]:
+        return sorted(self._shards)
+
+    def live_shards(self) -> list[str]:
+        return sorted(s.shard_id for s in self._shards.values() if s.live)
+
+    def shard(self, shard_id: str) -> _Shard:
+        shard = self._shards.get(shard_id)
+        if shard is None:
+            raise ServingError(f"no shard named {shard_id!r}")
+        return shard
+
+    def kill_shard(self, shard_id: str) -> None:
+        """Mark a shard dead; its traffic fails over deterministically."""
+        shard = self.shard(shard_id)
+        if not shard.live:
+            raise ServingError(f"shard {shard_id!r} is already dead")
+        shard.live = False
+        get_registry().inc("fabric.shard_kills")
+
+    def revive_shard(self, shard_id: str) -> int:
+        """Rejoin a dead shard at a new epoch.
+
+        Its prediction caches are invalidated (it may have missed
+        promotes while dead), so a revived shard can never serve an
+        answer cached before it died. Returns the entries dropped.
+        """
+        shard = self.shard(shard_id)
+        if shard.live:
+            raise ServingError(f"shard {shard_id!r} is already live")
+        shard.live = True
+        shard.epoch += 1
+        dropped = 0
+        for endpoint in self._endpoints.values():
+            if shard_id in endpoint.replicas:
+                dropped += shard.server.invalidate(endpoint.name)
+        self.ledger.epoch_invalidations += dropped
+        registry = get_registry()
+        registry.inc("fabric.shard_revives")
+        registry.inc("fabric.epoch_invalidations", dropped)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Endpoint management and fleet-wide rollout
+    # ------------------------------------------------------------------
+    def create_endpoint(
+        self,
+        name: str,
+        model_name: str,
+        replication: int | None = None,
+        **config,
+    ) -> _FabricEndpoint:
+        """Place an endpoint on its ring successors and create it on
+        each hosting shard (identical config, so routing and canary
+        splits agree on every replica)."""
+        if name in self._endpoints:
+            raise ServingError(f"endpoint {name!r} already exists")
+        r = self.replication if replication is None else replication
+        if r < 1:
+            raise ServingError(f"replication must be >= 1, got {r}")
+        replicas = tuple(self.ring.successors(name, min(r, len(self.ring))))
+        endpoint = _FabricEndpoint(name, model_name, replicas, dict(config))
+        for sid in replicas:
+            self._shards[sid].server.create_endpoint(
+                name, model_name, **config
+            )
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def replicas_of(self, name: str) -> tuple[str, ...]:
+        return self._endpoint(name).replicas
+
+    def _endpoint(self, name: str) -> _FabricEndpoint:
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise ServingError(f"no endpoint named {name!r}")
+        return endpoint
+
+    def _hosting(self, name: str):
+        for sid in self._endpoint(name).replicas:
+            yield self._shards[sid]
+
+    def promote(self, name: str, version: int | None = None) -> ModelVersion:
+        """Fleet-wide promote: one registry deploy, every replica's
+        cache invalidated."""
+        endpoint = self._endpoint(name)
+        if version is None:
+            version = self.registry.get(endpoint.model_name).version
+        entry = None
+        for shard in self._hosting(name):
+            entry = shard.server.promote(name, version)
+        return entry
+
+    def rollback(self, name: str) -> ModelVersion:
+        """Fleet-wide rollback: history pops exactly once, every
+        replica's cache invalidated."""
+        endpoint = self._endpoint(name)
+        entry = self.registry.rollback(endpoint.model_name)
+        for shard in self._hosting(name):
+            shard.server.invalidate(name)
+        return entry
+
+    def set_canary(
+        self, name: str, version: int, fraction: float
+    ) -> ModelVersion:
+        """Point every replica's canary at ``version``; the hash split
+        is exact across the fleet because all replicas share one seeded
+        router."""
+        entry = None
+        for shard in self._hosting(name):
+            entry = shard.server.set_canary(name, version, fraction)
+        return entry
+
+    def clear_canary(self, name: str) -> None:
+        for shard in self._hosting(name):
+            shard.server.clear_canary(name)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def preference(self, name: str, key: object | None) -> list[str]:
+        """The request's deterministic replica preference order.
+
+        ``None`` keys stay on the home replica; keyed requests rotate
+        the replica list by a CRC32 of ``(seed, endpoint, key)`` so the
+        key space — and therefore the prediction cache — partitions
+        evenly across replicas, with each key owning a stable failover
+        order.
+        """
+        replicas = self._endpoint(name).replicas
+        if key is None or len(replicas) == 1:
+            return list(replicas)
+        start = zlib.crc32(
+            f"{self.seed}|{name}|{key!r}".encode("utf-8")
+        ) % len(replicas)
+        return list(replicas[start:] + replicas[:start])
+
+    def route(self, name: str, key: object | None) -> tuple[str, int]:
+        """(live serving shard, dead replicas skipped) for one request.
+
+        Pure given the current liveness map — benchmarks replay it as
+        the oracle for the failover ledger.
+        """
+        preference = self.preference(name, key)
+        skips = 0
+        for sid in preference:
+            if self._shards[sid].live:
+                return sid, skips
+            skips += 1
+        raise NoLiveReplicaError(name, tuple(preference))
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def set_quota(
+        self, tenant: object, capacity: float, refill_per_s: float
+    ) -> None:
+        """Give one tenant a token-bucket admission quota."""
+        self.quotas.set_quota(tenant, capacity, refill_per_s)
+
+    def set_default_quota(self, capacity: float, refill_per_s: float) -> None:
+        self.quotas.set_default(capacity, refill_per_s)
+
+    def _admit_tenant(self, name: str, tenant: object) -> bool:
+        """Token-bucket admission ahead of every shard queue."""
+        if self.quotas.admit(tenant):
+            return True
+        self.ledger.quota_shed += 1
+        registry = get_registry()
+        registry.inc("fabric.quota_shed")
+        registry.inc(f"fabric.quota_shed.{tenant}")
+        return False
+
+    def _quota_error(self, name: str, tenant: object) -> LoadShedError:
+        bucket = self.quotas.bucket(tenant)
+        return LoadShedError(
+            name,
+            0,
+            int(bucket.capacity) if bucket is not None else 0,
+            tenant=tenant,
+            reason="quota",
+        )
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        name: str,
+        key: object | None,
+        deadline_at: float | None,
+    ) -> tuple[str, int]:
+        """Pick the serving shard: walk the preference list skipping
+        dead shards, firing ``fabric.score`` per attempted shard (an
+        injected fault there is a failed dispatch — retried under the
+        policy, then failed over to the next live replica)."""
+        preference = self.preference(name, key)
+        skips = 0
+        last: BaseException | None = None
+        for sid in preference:
+            if not self._shards[sid].live:
+                skips += 1
+                continue
+            try:
+                resilient_call(
+                    lambda: None,
+                    site="fabric.score",
+                    key=(name, sid),
+                    retry=self.retry,
+                    deadline_at=deadline_at,
+                )
+            except _FAILOVER_ERRORS as exc:
+                last = exc
+                skips += 1
+                continue
+            return sid, skips
+        raise NoLiveReplicaError(name, tuple(preference)) from last
+
+    def _account(self, name: str, sid: str, skips: int) -> None:
+        home = self._endpoint(name).replicas[0]
+        shard = self._shards[sid]
+        shard.served += 1
+        if skips:
+            self.ledger.failovers += 1
+            self.ledger.rerouted += skips
+        if sid != home:
+            self.ledger.replica_hits += 1
+
+    def _route_checked(
+        self, name: str, deadline_at: float | None
+    ) -> None:
+        """The ``fabric.route`` site: routing-table faults are
+        transient and recovered under the retry policy."""
+        resilient_call(
+            lambda: None,
+            site="fabric.route",
+            key=name,
+            retry=self.retry,
+            deadline_at=deadline_at,
+        )
+
+    def predict(
+        self,
+        name: str,
+        row: np.ndarray,
+        key: object | None = None,
+        tenant: object = None,
+        deadline_ms: float | None = None,
+    ) -> float:
+        """Serve one prediction through the fleet: quota admission,
+        ring routing, deterministic failover, then the owning shard's
+        full single-server path."""
+        self.ledger.requests += 1
+        registry = get_registry()
+        registry.inc("fabric.requests")
+        if not self._admit_tenant(name, tenant):
+            raise self._quota_error(name, tenant)
+        deadline_at = (
+            self._clock() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+        self._route_checked(name, deadline_at)
+        sid, skips = self._dispatch(name, key, deadline_at)
+        shard = self._shards[sid]
+        try:
+            value = shard.server.predict(
+                name, row, key=key, deadline_ms=deadline_ms
+            )
+        except LoadShedError as exc:
+            raise LoadShedError(
+                exc.endpoint,
+                exc.queue_depth,
+                exc.capacity,
+                tenant=tenant,
+                shard=sid,
+                reason=exc.reason,
+            ) from exc
+        except DeadlineExceededError as exc:
+            raise DeadlineExceededError(
+                exc.endpoint, exc.deadline_ms, tenant=tenant, shard=sid
+            ) from exc
+        self._account(name, sid, skips)
+        registry.inc(f"fabric.served.{sid}")
+        return value
+
+    def predict_many(
+        self,
+        name: str,
+        rows: np.ndarray,
+        keys: Sequence[object] | None = None,
+        tenants: Sequence[object] | None = None,
+        deadline_ms: float | None = None,
+        on_shed: str = "raise",
+    ) -> np.ndarray | tuple[np.ndarray, list[int]]:
+        """Serve a stream: route each row, then drain each shard's
+        slice through that shard's micro-batcher in one vectorized call.
+
+        ``on_shed="raise"`` propagates the first quota shed;
+        ``on_shed="null"`` records shed rows as NaN and returns
+        ``(values, shed_indices)`` — what a closed-loop load generator
+        wants, because one hot tenant's sheds must not abort the
+        stream.
+        """
+        if on_shed not in ("raise", "null"):
+            raise ServingError(
+                f"on_shed must be 'raise' or 'null', got {on_shed!r}"
+            )
+        endpoint = self._endpoint(name)
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2:
+            raise ServingError(
+                f"predict_many expects a 2-D batch, got shape {rows.shape}"
+            )
+        n = rows.shape[0]
+        if keys is not None and len(keys) != n:
+            raise ServingError("one key per row required")
+        if tenants is not None and len(tenants) != n:
+            raise ServingError("one tenant per row required")
+        registry = get_registry()
+
+        # Fast path: a single-replica fleet with no quotas and no chaos
+        # is a plain ModelServer with a ring lookup in front — delegate
+        # wholesale so the fabric-disabled overhead stays < 3% (E26).
+        if (
+            len(endpoint.replicas) == 1
+            and tenants is None
+            and not self.quotas.configured
+            and active_chaos() is None
+        ):
+            sid = endpoint.replicas[0]
+            shard = self._shards[sid]
+            if not shard.live:
+                raise NoLiveReplicaError(name, endpoint.replicas)
+            out = shard.server.predict_many(
+                name, rows, keys=keys, deadline_ms=deadline_ms
+            )
+            self.ledger.requests += n
+            shard.served += n
+            registry.inc("fabric.requests", n)
+            registry.inc(f"fabric.served.{sid}", n)
+            return (out, []) if on_shed == "null" else out
+
+        deadline_at = (
+            self._clock() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+        self.ledger.requests += n
+        registry.inc("fabric.requests", n)
+        out = np.empty(n, dtype=np.float64)
+        shed_indices: list[int] = []
+        groups: dict[str, list[int]] = {}
+        for i in range(n):
+            tenant = tenants[i] if tenants is not None else None
+            if not self._admit_tenant(name, tenant):
+                if on_shed == "raise":
+                    raise self._quota_error(name, tenant)
+                out[i] = np.nan
+                shed_indices.append(i)
+                continue
+            key = keys[i] if keys is not None else None
+            self._route_checked(name, deadline_at)
+            sid, skips = self._dispatch(name, key, deadline_at)
+            self._account(name, sid, skips)
+            groups.setdefault(sid, []).append(i)
+        for sid in sorted(groups):
+            indices = groups[sid]
+            shard = self._shards[sid]
+            group_keys = (
+                [keys[i] for i in indices] if keys is not None else None
+            )
+            out[indices] = shard.server.predict_many(
+                name,
+                rows[indices],
+                keys=group_keys,
+                deadline_ms=deadline_ms,
+            )
+            registry.inc(f"fabric.served.{sid}", len(indices))
+        if on_shed == "null":
+            return out, shed_indices
+        return out
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Fleet ledger: routing/admission counters, per-shard health
+        and load, per-tenant quota ledger, per-endpoint placement."""
+        return {
+            "ledger": self.ledger.as_dict(),
+            "shards": {
+                sid: {
+                    "live": shard.live,
+                    "epoch": shard.epoch,
+                    "served": shard.served,
+                    "endpoints": shard.server.stats(),
+                }
+                for sid, shard in sorted(self._shards.items())
+            },
+            "tenants": self.quotas.stats(),
+            "endpoints": {
+                name: {
+                    "model": e.model_name,
+                    "replicas": list(e.replicas),
+                    "home": e.replicas[0],
+                }
+                for name, e in sorted(self._endpoints.items())
+            },
+        }
+
+    def close(self) -> None:
+        for shard in self._shards.values():
+            shard.server.close()
+
+    def __enter__(self) -> "ShardedServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

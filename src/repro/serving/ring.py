@@ -1,0 +1,129 @@
+"""Deterministic consistent-hash ring for shard placement and routing.
+
+The fabric partitions endpoints and their prediction caches across
+shards, so the placement function has to satisfy three properties the
+:class:`~repro.serving.router.CanaryRouter` already set the precedent
+for:
+
+* **bit-reproducible** — placement hashes with CRC32 over explicit
+  strings, never builtin ``hash`` (salted per interpreter), so the same
+  ring built in any process, under any ``PYTHONHASHSEED``, routes every
+  key identically;
+* **minimally disruptive** — each node projects ``vnodes`` virtual
+  points onto the ring, so adding or removing one of N nodes remaps
+  only ~1/N of the key space (property-tested in
+  ``tests/test_sharding.py``) while everything else keeps its owner —
+  which is what keeps a resize from invalidating every shard's cache;
+* **replica-ordered** — :meth:`successors` walks clockwise from a key's
+  point and returns the first R *distinct* nodes, giving every key a
+  stable failover preference list: when its owner dies, the next live
+  successor takes over deterministically.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+
+from ..errors import ServingError
+
+
+class HashRing:
+    """CRC32 consistent-hash ring with virtual nodes.
+
+    Args:
+        nodes: initial node identifiers (order-independent: placement
+            depends only on the node *names*, not insertion order).
+        vnodes: virtual points per node; more vnodes smooth the key
+            distribution at the cost of a larger sorted point table.
+        seed: salt folded into every hash, so two rings with different
+            seeds draw independent placements over the same nodes.
+    """
+
+    def __init__(self, nodes=(), vnodes: int = 64, seed: int = 0):
+        if vnodes < 1:
+            raise ServingError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._nodes: set[str] = set()
+        self._points: list[int] = []  # sorted hash positions
+        self._owners: list[str] = []  # owner of each position
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    def _hash(self, token: str) -> int:
+        return zlib.crc32(f"{self.seed}|{token}".encode("utf-8"))
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ServingError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for v in range(self.vnodes):
+            point = self._hash(f"{node}#{v}")
+            idx = bisect.bisect_left(self._points, point)
+            # CRC collisions between distinct tokens are possible in a
+            # 32-bit space; break ties by node name so insertion order
+            # still cannot change the ring.
+            while (
+                idx < len(self._points)
+                and self._points[idx] == point
+                and self._owners[idx] < node
+            ):
+                idx += 1
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ServingError(f"node {node!r} is not on the ring")
+        self._nodes.remove(node)
+        keep = [
+            (p, o)
+            for p, o in zip(self._points, self._owners)
+            if o != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    def successors(self, key: object, count: int = 1) -> list[str]:
+        """The first ``count`` distinct nodes clockwise from ``key``.
+
+        This is a key's replica preference list: index 0 is its owner,
+        the rest are its failover order. ``count`` is clamped to the
+        ring size.
+        """
+        if not self._nodes:
+            raise ServingError("ring has no nodes")
+        count = min(count, len(self._nodes))
+        point = self._hash(f"key|{key!r}")
+        start = bisect.bisect_right(self._points, point) % len(self._points)
+        found: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                found.append(owner)
+                if len(found) == count:
+                    break
+        return found
+
+    def owner(self, key: object) -> str:
+        """The single node owning ``key``."""
+        return self.successors(key, 1)[0]
+
+    def assignments(self, keys) -> dict:
+        """key -> owner map (bulk helper for tests and rebalancing)."""
+        return {key: self.owner(key) for key in keys}

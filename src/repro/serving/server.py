@@ -314,6 +314,13 @@ class ModelServer:
         endpoint.canary = None
         endpoint.router = CanaryRouter(0.0, endpoint.router.seed)
 
+    def invalidate(self, name: str) -> int:
+        """Drop an endpoint's compiled scorers and cached predictions;
+        returns the number of cache entries dropped. The fabric calls
+        this on fleet-wide rollback and on shard revive (epoch
+        rejoin)."""
+        return self._invalidate(self.endpoint(name))
+
     def _invalidate(self, endpoint: Endpoint) -> int:
         self._scorers = {
             k: v for k, v in self._scorers.items() if k[0] != endpoint.name
@@ -354,15 +361,23 @@ class ModelServer:
                 else _build_scorer(entry.model, endpoint.output)
             )
 
-            def scorer(batch: np.ndarray, _base=base) -> np.ndarray:
+            def scorer(
+                batch: np.ndarray,
+                deadline_at: float | None = None,
+                _base=base,
+            ) -> np.ndarray:
                 with endpoint.semaphore:
                     return resilient_call(
                         lambda: _base(batch),
                         site="serving.score",
                         key=endpoint.name,
                         retry=self.retry,
+                        deadline_at=deadline_at,
                     )
 
+            # The batcher forwards each batch's tightest admission
+            # deadline, so scoring retries never outlive their budget.
+            scorer.accepts_deadline = True
             self._scorers[ident] = scorer
         return scorer
 
@@ -376,6 +391,7 @@ class ModelServer:
                 endpoint.name,
                 endpoint.batcher.depth(),
                 endpoint.batcher.queue_capacity,
+                reason="chaos",
             ) from fault
 
     def _count_shed(self, endpoint: Endpoint) -> None:

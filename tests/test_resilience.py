@@ -19,6 +19,7 @@ from repro.distributed import SimulatedCluster, train_parameter_server
 from repro.errors import (
     CheckpointError,
     CorruptedBlockError,
+    DeadlineExceededError,
     InjectedFault,
     ParallelTaskError,
     ReproError,
@@ -276,6 +277,85 @@ class TestRetryPolicy:
             ]
         assert results == ["ok"] * 10
         assert chaos.total_injected == 4
+
+    def test_retries_stop_at_admission_deadline(self):
+        """Backoff must never sleep past the request's absolute
+        deadline: the caller sees DeadlineExceededError (chained to the
+        transient fault), not a late RetryExhaustedError."""
+        clock = {"now": 100.0}
+        slept: list[float] = []
+
+        def fake_sleep(seconds):
+            slept.append(seconds)
+            clock["now"] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=10,
+            backoff_base=0.4,
+            backoff_multiplier=2.0,
+            max_backoff=10.0,
+            jitter=0.0,
+            sleep=fake_sleep,
+            clock=lambda: clock["now"],
+        )
+
+        def always():
+            raise InjectedFault("s")
+
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            call_with_retry(
+                always, policy, site="s", deadline_at=clock["now"] + 1.0
+            )
+        # slept 0.4, then 0.8 would land at t=101.2 > deadline: abort
+        # before sleeping, with ~0.6s of budget intentionally unused.
+        assert slept == [0.4]
+        assert clock["now"] < 101.0
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+        assert (
+            get_registry().value("resilience.retry_deadline_capped") == 1
+        )
+
+    def test_generous_deadline_still_recovers(self):
+        clock = {"now": 0.0}
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise InjectedFault("s")
+            return "done"
+
+        policy = RetryPolicy(
+            max_attempts=8,
+            backoff_base=0.1,
+            jitter=0.0,
+            sleep=lambda s: clock.__setitem__("now", clock["now"] + s),
+            clock=lambda: clock["now"],
+        )
+        result = call_with_retry(
+            flaky, policy, site="s", deadline_at=clock["now"] + 60.0
+        )
+        assert result == "done"
+        assert calls["n"] == 4
+
+    def test_deadline_already_past_fails_on_first_fault(self):
+        calls = {"n": 0}
+
+        def always():
+            calls["n"] += 1
+            raise InjectedFault("s")
+
+        policy = _no_sleep_policy(clock=lambda: 50.0)
+        with pytest.raises(DeadlineExceededError):
+            call_with_retry(always, policy, site="s", deadline_at=10.0)
+        assert calls["n"] == 1  # the first attempt always runs
+
+    def test_no_deadline_keeps_legacy_exhaustion(self):
+        def always():
+            raise InjectedFault("s")
+
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(always, _no_sleep_policy(max_attempts=3), site="s")
 
     def test_retryable_from_names(self):
         classes = retryable_from_names(["InjectedFault", "WorkerFailure"])

@@ -582,6 +582,61 @@ class TestModelServer:
             np.array([results[i] for i in range(40)]), expected
         )
 
+    def test_promote_during_in_flight_batches_is_atomic(self, served):
+        """Promotions racing a threaded batcher must be atomic per
+        request: every answer is bitwise one of the two versions'
+        predictions — never a blend, never an error."""
+        server, _, X = served
+        server.create_endpoint(
+            "live",
+            "churn",
+            max_delay_ms=1.0,
+            cache_enabled=False,
+            queue_capacity=1 << 14,
+        )
+        server.promote("live", 1)
+        server.start("live")
+        row = X[0]
+        v1_pred = server.predict_many("score", row[None, :])[0]
+        server.promote("score", 2)
+        v2_pred = server.predict_many("score", row[None, :])[0]
+        assert v1_pred != v2_pred
+
+        stop = threading.Event()
+        answers: list[float] = []
+        errors: list[Exception] = []
+
+        def client() -> None:
+            try:
+                for _ in range(300):
+                    answers.append(server.predict("live", row))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def promoter() -> None:
+            version = 2
+            while not stop.is_set():
+                server.promote("live", version)
+                version = 3 - version  # alternate 2 <-> 1
+                time.sleep(0.0005)
+
+        threads = [
+            threading.Thread(target=client),
+            threading.Thread(target=promoter),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        assert len(answers) == 300
+        allowed = {v1_pred, v2_pred}
+        assert set(answers) <= allowed
+        # the race is real: both versions were actually served
+        assert len(set(answers)) == 2
+
 
 # ----------------------------------------------------------------------
 # Chaos coverage of the serving path
