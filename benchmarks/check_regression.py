@@ -600,6 +600,76 @@ def _e26_chaos_sweep(ctx: GateContext, g: Gate) -> None:
         )
 
 
+def _e27_gate_rollout(ctx: GateContext, g: Gate) -> None:
+    """Drift-gated rollout: the unshifted stream promotes, the shifted
+    stream is held and rolled back, and ledger + oracle stay exact."""
+    entry = ctx.cw.get("gate/drift_rollout", {})
+    clean = entry.get("unshifted", {})
+    shifted = entry.get("shifted", {})
+    g.check(
+        clean.get("held") is False
+        and clean.get("deployed_version") == 2
+        and clean.get("canary_live") is True,
+        "unshifted stream promoted the canary cleanly (v2 deployed)",
+    )
+    g.check(
+        shifted.get("held") is True
+        and shifted.get("rolled_back") is True
+        and shifted.get("canary_live") is False
+        and shifted.get("deployed_version") == 1,
+        f"shifted stream (psi {shifted.get('max_psi', float('nan')):.2f}) "
+        f"held promotion and auto-rolled the canary back",
+    )
+    g.check(
+        entry.get("ledger_exact") is True,
+        "gate ledger exact: one evaluation per stream, one hold + one "
+        "rollback on the shifted stream only",
+    )
+    g.check(
+        entry.get("oracle_exact") is True,
+        "monitor PSI/KS replayed bit-equal from the bucket-count oracle",
+    )
+
+
+def _e27_chaos_entries(ctx: GateContext, g: Gate) -> None:
+    """Serve-site chaos legs: bytes bit-identical to offline, every
+    fault matched by exactly one fallback, counts matching the baseline
+    when the chaos seed does (legs share a workload name across rates,
+    so entries pair up by (workload, rate))."""
+    seed = ctx.meta.get("chaos_seed")
+    base_seed = ctx.base.get("meta", {}).get("chaos_seed")
+    base_by_rate = {
+        (e["workload"], e["fault_rate"]): e
+        for e in ctx.base["results"]
+        if "fault_rate" in e
+    }
+    for entry in (e for e in ctx.cand["results"] if "fault_rate" in e):
+        label = f"{entry['workload']} @ {entry['fault_rate']:.0%}"
+        g.check(
+            entry.get("completed") is True and entry.get("identical") is True,
+            f"{label}: served bytes bit-identical to offline under faults",
+        )
+        g.check(
+            entry.get("fallbacks_match_faults") is True,
+            f"{label}: {entry.get('fallbacks')} fallbacks == "
+            f"{entry.get('faults_injected')} injected faults",
+        )
+        if seed != base_seed:
+            g.skip(
+                f"{label}: injected counts vs baseline "
+                f"(chaos_seed {seed!r} != {base_seed!r})"
+            )
+            continue
+        base_entry = base_by_rate.get(
+            (entry["workload"], entry["fault_rate"]), {}
+        )
+        g.check(
+            entry.get("faults_injected") == base_entry.get("faults_injected"),
+            f"{label}: injected {entry.get('faults_injected')} == baseline "
+            f"{base_entry.get('faults_injected')} (same seed, same schedule)",
+        )
+
+
 # ----------------------------------------------------------------------
 # The gate tables: one row list per experiment
 # ----------------------------------------------------------------------
@@ -979,6 +1049,47 @@ GATES: dict[str, list] = {
             "4-shard fleet balanced: max load {e[balance_ratio]:.2f}x "
             "fair share",
         ),
+    ],
+    # E27 — feature store with online/offline parity and drift gating
+    "E27": [
+        workload_list(),
+        flag(
+            "parity/online_offline",
+            ("bit_identical", "ledger_exact", "parity_oracle"),
+            "{e[serves]:,} skewed online serves bit-identical to the "
+            "offline slice, serve ledger exact",
+        ),
+        flag(
+            "refresh/delta_vs_recompute",
+            "bit_identical",
+            "delta-refreshed feature rows bit-identical to full "
+            "rematerialization every round",
+        ),
+        flag(
+            "refresh/delta_vs_recompute",
+            "ledger_exact",
+            "fold ledger exact: {e[deltas_applied]} deltas, "
+            "{e[rows_folded]} rows folded == closed form",
+        ),
+        expect(
+            "refresh/delta_vs_recompute",
+            "recomputes",
+            0,
+            "zero recomputes on the clean delta stream",
+        ),
+        floor(
+            "refresh/delta_vs_recompute",
+            "speedup",
+            "delta refresh speedup {e[speedup]:.2f} clears the published "
+            "floor (within-capture bound)",
+            bound=3.0,
+            meta_key="min_refresh_speedup",
+        ),
+        wall_speedup("refresh/delta_vs_recompute", "speedup"),
+        custom(_e27_gate_rollout),
+        chaos_injected(),
+        custom(_e27_chaos_entries),
+        overhead_bound(),
     ],
 }
 

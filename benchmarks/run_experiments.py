@@ -695,6 +695,16 @@ def e26_sharding():
     bench_sharding.report(results)
 
 
+@experiment("E27", "Feature store: online/offline parity, drift-gated rollout")
+def e27_features():
+    """Delegate to the dedicated feature-store benchmark (kept quick here)."""
+    import bench_features
+
+    _header("E27", "Feature store: online/offline parity, drift-gated rollout")
+    results = bench_features.run(quick=True, repeats=2)
+    bench_features.report(results)
+
+
 def _registry_lines() -> list[str]:
     return [f"{tag:>5}  {title}" for tag, (_, title) in EXPERIMENTS.items()]
 

@@ -189,6 +189,33 @@ class DeadlineExceededError(ServingError):
         )
 
 
+class PromotionHeldError(ServingError):
+    """A promotion gate refused a rollout (held, or rolled back).
+
+    Carries the endpoint, the gate's reasons (a feature-fingerprint
+    mismatch, drifted features, ...), the per-feature drift scores at
+    decision time, and whether the gate auto-rolled the canary back —
+    so a blocked rollout is fully attributable from the exception alone.
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        reasons: list[str],
+        scores: dict | None = None,
+        rolled_back: bool = False,
+    ):
+        self.endpoint = endpoint
+        self.reasons = list(reasons)
+        self.scores = dict(scores or {})
+        self.rolled_back = rolled_back
+        action = "rolled back" if rolled_back else "held"
+        super().__init__(
+            f"promotion of {endpoint!r} {action} by gate: "
+            + "; ".join(self.reasons)
+        )
+
+
 class NoLiveReplicaError(ServingError):
     """Every replica of an endpoint was dead or failed its attempt."""
 
@@ -224,6 +251,10 @@ class MaterializationError(ReproError):
 
 class IncrementalError(ReproError):
     """A change-stream delta or maintained aggregate is inconsistent."""
+
+
+class FeatureStoreError(ReproError):
+    """A feature view, its materialization, or an online serve failed."""
 
 
 class CheckpointError(ResilienceError):

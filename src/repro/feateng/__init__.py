@@ -2,7 +2,18 @@
 provenance-tracking transformation pipelines."""
 
 from .columbus import FeatureSubsetExplorer, SubsetFit, solve_subset_naive
-from .drift import ColumnDrift, DriftReport, detect_drift
+from .drift import (
+    ColumnDrift,
+    DriftReport,
+    DriftStats,
+    StreamingDriftMonitor,
+    bucket_counts,
+    detect_drift,
+    frozen_edges,
+    ks_statistic,
+    psi_statistic,
+    tv_statistic,
+)
 from .pipeline import Pipeline, Provenance, ProvenanceRecord
 from .profiling import (
     ColumnProfile,
@@ -17,17 +28,24 @@ __all__ = [
     "ColumnDrift",
     "ColumnProfile",
     "DriftReport",
+    "DriftStats",
     "FeatureSubsetExplorer",
     "Pipeline",
     "Provenance",
     "ProvenanceRecord",
+    "StreamingDriftMonitor",
     "SubsetFit",
     "TableEncoder",
     "TransformSpec",
+    "bucket_counts",
     "detect_drift",
     "detect_outliers",
+    "frozen_edges",
+    "ks_statistic",
     "profile_column",
     "profile_table",
+    "psi_statistic",
     "solve_subset_naive",
     "training_data_report",
+    "tv_statistic",
 ]

@@ -5,11 +5,27 @@ This module compares two tables column-by-column — histogram distance
 for numeric columns, category-frequency distance for strings, missing
 rates for both — and produces a report with per-column drift scores in
 [0, 1], flagged against a threshold.
+
+Two modes:
+
+* **Batch** (:func:`detect_drift`) — both tables in hand; the flagging
+  score is the original total-variation-style distance, with PSI and KS
+  reported alongside on every numeric column.
+* **Streaming** (:class:`StreamingDriftMonitor`) — bucket edges are
+  frozen over the training data (:func:`frozen_edges`, a deterministic
+  ``linspace`` — no quantile randomness, so two identical runs freeze
+  identical edges), then serving values are accumulated one at a time
+  into fixed bucket counts. PSI, KS, and TV are exact functions of the
+  (reference, accumulated) count vectors at any instant, so a gate can
+  replay them against an analytic oracle. The monitor can also fold the
+  retained window of a :class:`repro.obs.Histogram`, so serving-side
+  metrics already being collected feed drift detection for free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -18,17 +34,30 @@ from ..storage.schema import ColumnType
 from ..storage.table import Table
 
 DEFAULT_THRESHOLD = 0.2
+#: the conventional PSI alarm level ("significant shift" >= 0.25).
+PSI_DEFAULT_THRESHOLD = 0.25
+#: KS statistic alarm level over the frozen buckets.
+KS_DEFAULT_THRESHOLD = 0.25
 _BUCKETS = 20
+#: probability floor for PSI (empty buckets would make it infinite).
+_PSI_EPSILON = 1e-6
 
 
 @dataclass
 class ColumnDrift:
-    """Drift assessment for one column."""
+    """Drift assessment for one column.
+
+    ``score`` (the flagging metric) keeps its original TV-style
+    definition; ``psi`` and ``ks`` ride alongside for numeric columns
+    (``psi`` also for categoricals, over category frequencies).
+    """
 
     name: str
     score: float  # total-variation-style distance in [0, 1]
     drifted: bool
     detail: str
+    psi: float = 0.0
+    ks: float = 0.0
 
 
 @dataclass
@@ -100,19 +129,19 @@ def _numeric_drift(a: np.ndarray, b: np.ndarray, name: str) -> ColumnDrift:
     lo = min(a_ok.min(), b_ok.min())
     hi = max(a_ok.max(), b_ok.max())
     if lo == hi:
-        distance = 0.0
+        distance = psi = ks = 0.0
     else:
         edges = np.linspace(lo, hi, _BUCKETS + 1)
-        pa, _ = np.histogram(a_ok, bins=edges)
-        pb, _ = np.histogram(b_ok, bins=edges)
-        pa = pa / pa.sum()
-        pb = pb / pb.sum()
-        distance = 0.5 * float(np.abs(pa - pb).sum())
+        pa = bucket_counts(a_ok, edges)
+        pb = bucket_counts(b_ok, edges)
+        distance = tv_statistic(pa, pb)
+        psi = psi_statistic(pa, pb)
+        ks = ks_statistic(pa, pb)
     score = min(1.0, distance + missing_gap)
     detail = (
         f"train mean {a_ok.mean():.3g} vs serve mean {b_ok.mean():.3g}"
     )
-    return ColumnDrift(name, score, False, detail)
+    return ColumnDrift(name, score, False, detail, psi=psi, ks=ks)
 
 
 def _categorical_drift(a: np.ndarray, b: np.ndarray, name: str) -> ColumnDrift:
@@ -130,11 +159,200 @@ def _categorical_drift(a: np.ndarray, b: np.ndarray, name: str) -> ColumnDrift:
     fb = frequencies(b)
     if not fa or not fb:
         return ColumnDrift(name, 1.0, True, "one side entirely missing")
-    keys = set(fa) | set(fb)
+    keys = sorted(set(fa) | set(fb), key=str)
     distance = 0.5 * sum(abs(fa.get(k, 0.0) - fb.get(k, 0.0)) for k in keys)
+    psi = psi_statistic(
+        np.array([fa.get(k, 0.0) for k in keys]),
+        np.array([fb.get(k, 0.0) for k in keys]),
+    )
     new_categories = sorted(set(fb) - set(fa))
     detail = (
         f"{len(keys)} categories"
         + (f", new at serving: {new_categories[:3]}" if new_categories else "")
     )
-    return ColumnDrift(name, float(distance), False, detail)
+    return ColumnDrift(name, float(distance), False, detail, psi=psi)
+
+
+# ----------------------------------------------------------------------
+# Frozen-bucket primitives (shared by batch and streaming paths)
+# ----------------------------------------------------------------------
+def frozen_edges(reference, buckets: int = _BUCKETS) -> np.ndarray:
+    """Deterministic train-time bucket edges over a reference sample.
+
+    A ``linspace`` over the finite range — pure content, no quantile
+    estimation, so the same training bytes always freeze the same
+    edges. A constant reference gets a unit-wide span around its value
+    so later observations still land in well-defined buckets.
+    """
+    arr = np.asarray(reference, dtype=np.float64).ravel()
+    ok = arr[np.isfinite(arr)]
+    if ok.size == 0:
+        raise SchemaError(
+            "cannot freeze bucket edges: reference has no finite values"
+        )
+    lo, hi = float(ok.min()), float(ok.max())
+    if lo == hi:
+        lo, hi = lo - 0.5, hi + 0.5
+    return np.linspace(lo, hi, buckets + 1)
+
+
+def bucket_counts(values, edges: np.ndarray) -> np.ndarray:
+    """Counts per frozen bucket; out-of-range values clip into the end
+    buckets (frozen edges must absorb covariate shift, not drop it)."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    ok = arr[np.isfinite(arr)]
+    counts = np.zeros(len(edges) - 1, dtype=np.float64)
+    if ok.size == 0:
+        return counts
+    idx = np.searchsorted(edges, np.clip(ok, edges[0], edges[-1]), side="right") - 1
+    np.add.at(counts, np.clip(idx, 0, len(edges) - 2), 1.0)
+    return counts
+
+
+def _smoothed_probs(counts: np.ndarray, epsilon: float) -> np.ndarray:
+    total = counts.sum()
+    if total <= 0:
+        return np.full(len(counts), 1.0 / len(counts))
+    probs = np.clip(counts / total, epsilon, None)
+    return probs / probs.sum()
+
+
+def psi_statistic(
+    reference_counts: np.ndarray,
+    current_counts: np.ndarray,
+    epsilon: float = _PSI_EPSILON,
+) -> float:
+    """Population stability index over two aligned count vectors:
+    ``sum((p - q) * ln(p / q))`` with epsilon-smoothed probabilities."""
+    p = _smoothed_probs(np.asarray(reference_counts, dtype=np.float64), epsilon)
+    q = _smoothed_probs(np.asarray(current_counts, dtype=np.float64), epsilon)
+    return float(np.sum((p - q) * np.log(p / q)))
+
+
+def ks_statistic(
+    reference_counts: np.ndarray, current_counts: np.ndarray
+) -> float:
+    """Kolmogorov-Smirnov statistic over the frozen buckets: the max
+    absolute CDF gap evaluated at the bucket edges (unsmoothed)."""
+    p = np.asarray(reference_counts, dtype=np.float64)
+    q = np.asarray(current_counts, dtype=np.float64)
+    if p.sum() <= 0 or q.sum() <= 0:
+        return 0.0
+    return float(np.max(np.abs(np.cumsum(p) / p.sum() - np.cumsum(q) / q.sum())))
+
+
+def tv_statistic(
+    reference_counts: np.ndarray, current_counts: np.ndarray
+) -> float:
+    """Total-variation distance between two aligned count vectors (the
+    original batch drift score, exposed for the streaming path)."""
+    p = np.asarray(reference_counts, dtype=np.float64)
+    q = np.asarray(current_counts, dtype=np.float64)
+    if p.sum() <= 0 or q.sum() <= 0:
+        return 0.0
+    return 0.5 * float(np.abs(p / p.sum() - q / q.sum()).sum())
+
+
+@dataclass(frozen=True)
+class DriftStats:
+    """One monitor's statistics at a point in time."""
+
+    name: str
+    observed: int
+    psi: float
+    ks: float
+    tv: float
+    drifted: bool
+
+
+class StreamingDriftMonitor:
+    """Incremental drift statistics against a frozen training reference.
+
+    Bucket edges are frozen at construction (train) time; every serving
+    observation is O(1) — one ``searchsorted`` into the frozen edges and
+    a bucket increment. PSI/KS/TV are recomputed exactly from the two
+    count vectors on demand, so the monitor's numbers are replayable:
+    an oracle holding the same observation list and the same frozen
+    edges computes identical statistics.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        reference,
+        buckets: int = _BUCKETS,
+        epsilon: float = _PSI_EPSILON,
+        psi_threshold: float = PSI_DEFAULT_THRESHOLD,
+        ks_threshold: float = KS_DEFAULT_THRESHOLD,
+    ):
+        self.name = name
+        self.epsilon = float(epsilon)
+        self.psi_threshold = float(psi_threshold)
+        self.ks_threshold = float(ks_threshold)
+        self.edges = frozen_edges(reference, buckets)
+        self.reference_counts = bucket_counts(reference, self.edges)
+        self.counts = np.zeros(len(self.edges) - 1, dtype=np.float64)
+        self.observed = 0
+        self._histogram_folded = 0
+
+    def observe(self, value: float) -> None:
+        """Fold one serving-side observation into the bucket counts."""
+        self.observe_many((value,))
+
+    def observe_many(self, values: Iterable[float]) -> int:
+        """Fold a batch of observations; returns how many were finite."""
+        counts = bucket_counts(np.fromiter(
+            (float(v) for v in values), dtype=np.float64
+        ), self.edges)
+        folded = int(counts.sum())
+        self.counts += counts
+        self.observed += folded
+        return folded
+
+    def fold_histogram(self, histogram) -> int:
+        """Fold the *new* observations of a :class:`repro.obs.Histogram`.
+
+        Tracks the histogram's total count between calls and folds the
+        most recent unfolded samples from its retained window (the ring
+        holds the last 512; older unfolded observations are lost, which
+        is the documented reservoir trade-off). Returns samples folded.
+        """
+        new = histogram.count - self._histogram_folded
+        if new <= 0:
+            return 0
+        window = histogram.samples()
+        take = min(new, len(window))
+        folded = self.observe_many(window[len(window) - take:])
+        self._histogram_folded = histogram.count
+        return folded
+
+    def psi(self) -> float:
+        return psi_statistic(self.reference_counts, self.counts, self.epsilon)
+
+    def ks(self) -> float:
+        return ks_statistic(self.reference_counts, self.counts)
+
+    def tv(self) -> float:
+        return tv_statistic(self.reference_counts, self.counts)
+
+    def drifted(self) -> bool:
+        """Has either streaming statistic crossed its threshold?"""
+        if self.observed == 0:
+            return False
+        return self.psi() > self.psi_threshold or self.ks() > self.ks_threshold
+
+    def reset(self) -> None:
+        """Clear the accumulated serving counts (edges stay frozen)."""
+        self.counts[:] = 0.0
+        self.observed = 0
+        self._histogram_folded = 0
+
+    def snapshot(self) -> DriftStats:
+        return DriftStats(
+            name=self.name,
+            observed=self.observed,
+            psi=self.psi(),
+            ks=self.ks(),
+            tv=self.tv(),
+            drifted=self.drifted(),
+        )

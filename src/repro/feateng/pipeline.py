@@ -9,6 +9,7 @@ training features are reconstructible.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -163,7 +164,14 @@ class Pipeline(Estimator):
 def _params_of(step: Any) -> dict[str, Any]:
     if hasattr(step, "get_params"):
         try:
-            return dict(step.get_params())
+            params = dict(step.get_params())
         except Exception:
             return {}
+        try:
+            # Snapshot, don't alias: provenance records live past fit,
+            # and a caller mutating a params dict afterwards must not
+            # silently rewrite recorded lineage.
+            return copy.deepcopy(params)
+        except Exception:
+            return params
     return {}

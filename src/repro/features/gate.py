@@ -1,0 +1,203 @@
+"""Drift-gated rollout: promotion refuses to outrun the feature data.
+
+A :class:`DriftGate` watches the serving-side distribution of every
+feature in a view through per-feature
+:class:`~repro.feateng.StreamingDriftMonitor` instances (bucket edges
+frozen over the training reference) and sits in the promotion path of a
+:class:`~repro.serving.ModelServer` / ``ShardedServer``. At promotion
+time it checks two things:
+
+* **version integrity** — the candidate :class:`ModelVersion` carries a
+  ``feature_fingerprint``; if it doesn't match the live view's version,
+  the model was trained on different feature definitions and promotion
+  is held.
+* **covariate stability** — if any sufficiently-observed feature's PSI
+  or KS statistic has crossed its threshold, promotion is held and
+  (when ``auto_rollback`` is on) the endpoint's canary is rolled back,
+  so a shifted stream cannot graduate to full traffic.
+
+Every decision lands in an exact local ledger (observations,
+evaluations, holds, rollbacks, promotes) mirrored into the global
+``features.*`` counters — replayable against an analytic oracle, since
+the monitors' statistics are pure functions of the frozen edges and the
+observation list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FeatureStoreError, PromotionHeldError, ReproError
+from ..feateng.drift import (
+    KS_DEFAULT_THRESHOLD,
+    PSI_DEFAULT_THRESHOLD,
+    DriftStats,
+    StreamingDriftMonitor,
+)
+from ..obs import get_registry
+from .view import FeatureView
+
+#: drift verdicts need this many serving observations per feature
+#: before they can hold a promotion (tiny samples alias as shift).
+DEFAULT_MIN_OBSERVATIONS = 100
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """A clean promotion verdict (holds raise instead)."""
+
+    endpoint: str
+    promoted: bool
+    reasons: tuple[str, ...]
+    scores: dict
+
+
+class DriftGate:
+    """Holds/rolls back canary promotion on feature drift or version skew.
+
+    Args:
+        view: the feature view the endpoint's model was trained on.
+        reference: training-time feature values — a
+            :class:`~repro.features.store.MaterializedFeatures` or a
+            mapping of feature name -> array. Bucket edges freeze here.
+        psi_threshold / ks_threshold: per-feature alarm levels.
+        min_observations: serving observations required per feature
+            before its drift verdict can hold a promotion.
+        auto_rollback: when a drift hold fires, also clear the
+            endpoint's canary on the controller.
+    """
+
+    def __init__(
+        self,
+        view: FeatureView,
+        reference,
+        psi_threshold: float = PSI_DEFAULT_THRESHOLD,
+        ks_threshold: float = KS_DEFAULT_THRESHOLD,
+        min_observations: int = DEFAULT_MIN_OBSERVATIONS,
+        auto_rollback: bool = True,
+    ):
+        self.view = view
+        self.min_observations = int(min_observations)
+        self.auto_rollback = auto_rollback
+        columns = getattr(reference, "columns", reference)
+        self.monitors: dict[str, StreamingDriftMonitor] = {}
+        for fname in view.feature_names:
+            if fname not in columns:
+                raise FeatureStoreError(
+                    f"gate reference is missing feature {fname!r}"
+                )
+            self.monitors[fname] = StreamingDriftMonitor(
+                fname,
+                columns[fname],
+                psi_threshold=psi_threshold,
+                ks_threshold=ks_threshold,
+            )
+        self.observations = 0
+        self.evaluations = 0
+        self.holds = 0
+        self.rollbacks = 0
+        self.promotes = 0
+
+    # -- serving-side accumulation -------------------------------------
+    def observe(self, row) -> None:
+        """Fold one served feature row (declaration order) into the
+        per-feature monitors."""
+        values = np.asarray(row, dtype=np.float64).reshape(-1)
+        if len(values) != len(self.view.feature_names):
+            raise FeatureStoreError(
+                f"gate observed {len(values)} values for "
+                f"{len(self.view.feature_names)} features"
+            )
+        for fname, value in zip(self.view.feature_names, values):
+            self.monitors[fname].observe(float(value))
+        self.observations += 1
+        get_registry().inc("features.gate.observations")
+
+    def observe_many(self, rows) -> None:
+        for row in np.asarray(rows, dtype=np.float64).reshape(
+            -1, len(self.view.feature_names)
+        ):
+            self.observe(row)
+
+    def drift_snapshot(self) -> dict[str, DriftStats]:
+        """Current per-feature statistics (all features)."""
+        return {f: m.snapshot() for f, m in self.monitors.items()}
+
+    def drifted_features(self) -> dict[str, DriftStats]:
+        """Features whose verdict can hold a promotion right now."""
+        out: dict[str, DriftStats] = {}
+        for fname, monitor in self.monitors.items():
+            if monitor.observed < self.min_observations:
+                continue
+            stats = monitor.snapshot()
+            if stats.drifted:
+                out[fname] = stats
+        return out
+
+    # -- the promotion hook --------------------------------------------
+    def authorize(self, controller, endpoint: str, entry=None) -> GateDecision:
+        """Decide one promotion; raise :class:`PromotionHeldError` to
+        refuse it.
+
+        ``controller`` is whatever owns the canary (a ``ModelServer`` or
+        ``ShardedServer`` — anything with ``clear_canary(name)``);
+        ``entry`` is the candidate :class:`ModelVersion`, checked for
+        feature-fingerprint skew when it carries one.
+        """
+        self.evaluations += 1
+        registry = get_registry()
+        registry.inc("features.gate.evaluations")
+        reasons: list[str] = []
+        trained_on = getattr(entry, "feature_fingerprint", None)
+        if trained_on is not None and trained_on != self.view.version:
+            reasons.append(
+                f"feature fingerprint mismatch: model trained on "
+                f"{trained_on[:12]}, live view is {self.view.version[:12]}"
+            )
+        drifted = self.drifted_features()
+        scores = {
+            f: {"psi": s.psi, "ks": s.ks, "observed": s.observed}
+            for f, s in self.drift_snapshot().items()
+        }
+        for fname, stats in sorted(drifted.items()):
+            reasons.append(
+                f"feature {fname!r} drifted (psi={stats.psi:.3f}, "
+                f"ks={stats.ks:.3f} over {stats.observed} observations)"
+            )
+        if reasons:
+            self.holds += 1
+            registry.inc("features.holds")
+            rolled_back = False
+            if drifted and self.auto_rollback:
+                try:
+                    controller.clear_canary(endpoint)
+                    rolled_back = True
+                    self.rollbacks += 1
+                    registry.inc("features.rollbacks")
+                except ReproError:
+                    pass  # no canary staged; the hold alone suffices
+            raise PromotionHeldError(
+                endpoint, reasons, scores=scores, rolled_back=rolled_back
+            )
+        self.promotes += 1
+        registry.inc("features.gate.promotes")
+        return GateDecision(
+            endpoint=endpoint, promoted=True, reasons=(), scores=scores
+        )
+
+    def reset_monitors(self) -> None:
+        """Clear accumulated serving counts (frozen edges survive) —
+        the post-investigation restart after a hold."""
+        for monitor in self.monitors.values():
+            monitor.reset()
+
+    def ledger(self) -> dict:
+        return {
+            "observations": self.observations,
+            "evaluations": self.evaluations,
+            "holds": self.holds,
+            "rollbacks": self.rollbacks,
+            "promotes": self.promotes,
+        }

@@ -17,7 +17,7 @@ from .aggregates import (
     GramCofactorState,
     snap_to_grid,
 )
-from .maintainer import IncrementalMaintainer, MaintainerStats
+from .maintainer import DeltaConsumer, IncrementalMaintainer, MaintainerStats
 from .stream import DELTA_KINDS, ChangeStream, Delta, DynamicTable
 from .trainer import CentroidModel, ContinuousTrainer
 
@@ -30,6 +30,7 @@ __all__ = [
     "ChangeStream",
     "ContinuousTrainer",
     "Delta",
+    "DeltaConsumer",
     "DynamicTable",
     "GramCofactorState",
     "IncrementalMaintainer",

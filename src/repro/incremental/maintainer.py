@@ -1,18 +1,24 @@
 """Delta application with chaos coverage and lineage recompute.
 
-The :class:`IncrementalMaintainer` sits between a table's change stream
-and the maintained aggregates. Every delta crosses the
-``incremental.apply`` fault site, so the resilience chaos harness can
-drop it mid-apply (``"raise"``) or hand back corrupted bytes
-(``"corrupt"``). In both cases — and whenever a version gap reveals a
-delta lost in transit — the maintainer falls back to *lineage
-recompute*: it rebuilds the aggregates from the base table under
+:class:`DeltaConsumer` is the reusable apply discipline between a
+table's change stream and any derived state: every delta crosses the
+consumer's fault site, so the resilience chaos harness can drop it
+mid-apply (``"raise"``) or hand back corrupted bytes (``"corrupt"``).
+In both cases — and whenever a version gap reveals a delta lost in
+transit — the consumer falls back to *lineage recompute*: it rebuilds
+the derived state from the base table under
 :func:`~repro.resilience.no_chaos`, the same repair discipline the
 blockstore and materialization store use. A fault can cost time; it can
-never leave a silently stale aggregate.
+never leave silently stale state.
+
+:class:`IncrementalMaintainer` is the ML-aggregate consumer
+(gram/cofactor + centroids, the F-IVM workload); the feature store's
+view maintainer (:class:`repro.features.FeatureViewMaintainer`) is a
+second subclass of the same discipline.
 
 Every outcome lands in both the local :class:`MaintainerStats` ledger
-and the global ``incremental.*`` observability counters.
+and the consumer's ``<prefix>.*`` observability counters
+(``incremental.*`` for the maintainer).
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from .stream import ChangeStream, Delta, DynamicTable
 
 @dataclass
 class MaintainerStats:
-    """Exact ledger of everything the maintainer did."""
+    """Exact ledger of everything a delta consumer did."""
 
     deltas_applied: int = 0
     rows_folded: int = 0
@@ -43,48 +49,29 @@ class MaintainerStats:
     parity_checks: int = 0
 
 
-class IncrementalMaintainer:
-    """Keeps ML aggregates in lockstep with a dynamic table.
+class DeltaConsumer:
+    """Applies a change stream to derived state, or repairs by lineage.
 
-    Args:
-        table: the mutable base table (also the lineage source).
-        stream: the change stream to consume (subscribed by the caller).
-        features / label: columns feeding the gram/cofactor state.
-        centers: optional (k, d) reference centroids; when given, a
-            :class:`CentroidState` is maintained alongside.
+    Subclasses set :attr:`FAULT_SITE` / :attr:`OBS_PREFIX` and implement
+    :meth:`_fold` (apply one verified delta, return rows folded) and
+    :meth:`_rebuild` (recompute the derived state from the base table —
+    invoked under :func:`no_chaos`, so it must not cross fault sites
+    that would re-inject forever).
     """
 
     FAULT_SITE = "incremental.apply"
+    OBS_PREFIX = "incremental"
 
-    def __init__(
-        self,
-        table: DynamicTable,
-        stream: ChangeStream,
-        features: Sequence[str],
-        label: str,
-        centers: np.ndarray | None = None,
-    ):
+    def __init__(self, table: DynamicTable, stream: ChangeStream):
         self.table = table
         self.stream = stream
-        self.features = list(features)
-        self.label = label
         self.stats = MaintainerStats()
-        self.gram_state = GramCofactorState.from_table(
-            table, self.features, label
-        )
-        self.centroid_state = (
-            CentroidState.from_table(
-                table, self.features, centers, table.row_ids
-            )
-            if centers is not None
-            else None
-        )
         self.applied_version = table.version
 
     # ------------------------------------------------------------------
     @property
     def staleness(self) -> int:
-        """How many table versions the aggregates lag behind."""
+        """How many table versions the derived state lags behind."""
         return self.table.version - self.applied_version
 
     def drain(self) -> int:
@@ -96,19 +83,20 @@ class IncrementalMaintainer:
                 break
             self.apply(delta)
             consumed += 1
-        get_registry().set_gauge("incremental.staleness", self.staleness)
+        get_registry().set_gauge(f"{self.OBS_PREFIX}.staleness", self.staleness)
         return consumed
 
     def apply(self, delta: Delta) -> None:
         """Fold one delta — or recover by lineage recompute."""
+        registry = get_registry()
         if delta.version <= self.applied_version:
             # Already covered by a recompute that read a newer base state.
             self.stats.skipped_stale += 1
-            get_registry().inc("incremental.skipped_stale")
+            registry.inc(f"{self.OBS_PREFIX}.skipped_stale")
             return
         if delta.version != self.applied_version + 1:
             self.stats.dropped_deltas += 1
-            get_registry().inc("incremental.dropped_deltas")
+            registry.inc(f"{self.OBS_PREFIX}.dropped_deltas")
             self._recompute("version gap")
             return
         try:
@@ -121,18 +109,79 @@ class IncrementalMaintainer:
             delta = delta.corrupted()
         if not delta.verify():
             self.stats.corrupt_deltas += 1
-            get_registry().inc("incremental.corrupt_deltas")
+            registry.inc(f"{self.OBS_PREFIX}.corrupt_deltas")
             self._recompute("checksum mismatch")
             return
-        self._fold(delta)
+        folded = self._fold(delta)
+        self.stats.rows_folded += folded
+        registry.inc(f"{self.OBS_PREFIX}.rows_folded", folded)
         self.applied_version = delta.version
         self.stats.deltas_applied += 1
-        registry = get_registry()
-        registry.inc("incremental.deltas_applied")
-        registry.inc(f"incremental.deltas_applied.{delta.kind}")
+        registry.inc(f"{self.OBS_PREFIX}.deltas_applied")
+        registry.inc(f"{self.OBS_PREFIX}.deltas_applied.{delta.kind}")
+
+    def _recompute(self, reason: str) -> None:
+        """Lineage repair: rebuild the derived state from the base table.
+
+        Runs under :func:`no_chaos` so the repair cannot itself be
+        re-injected forever, and fast-forwards ``applied_version`` to
+        the base table's current version — deltas still in flight below
+        that version are skipped as stale when they arrive.
+        """
+        with no_chaos():
+            self._rebuild()
+        self.applied_version = self.table.version
+        self.stats.recomputes += 1
+        get_registry().inc(f"{self.OBS_PREFIX}.recomputes")
+
+    # -- subclass surface ----------------------------------------------
+    def _fold(self, delta: Delta) -> int:
+        """Apply one verified, in-order delta; return rows folded."""
+        raise NotImplementedError
+
+    def _rebuild(self) -> None:
+        """Recompute the derived state from ``self.table`` (chaos off)."""
+        raise NotImplementedError
+
+
+class IncrementalMaintainer(DeltaConsumer):
+    """Keeps ML aggregates in lockstep with a dynamic table.
+
+    Args:
+        table: the mutable base table (also the lineage source).
+        stream: the change stream to consume (subscribed by the caller).
+        features / label: columns feeding the gram/cofactor state.
+        centers: optional (k, d) reference centroids; when given, a
+            :class:`CentroidState` is maintained alongside.
+    """
+
+    FAULT_SITE = "incremental.apply"
+    OBS_PREFIX = "incremental"
+
+    def __init__(
+        self,
+        table: DynamicTable,
+        stream: ChangeStream,
+        features: Sequence[str],
+        label: str,
+        centers: np.ndarray | None = None,
+    ):
+        super().__init__(table, stream)
+        self.features = list(features)
+        self.label = label
+        self.gram_state = GramCofactorState.from_table(
+            table, self.features, label
+        )
+        self.centroid_state = (
+            CentroidState.from_table(
+                table, self.features, centers, table.row_ids
+            )
+            if centers is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
-    def _fold(self, delta: Delta) -> None:
+    def _fold(self, delta: Delta) -> int:
         folded = 0
         if delta.kind == "insert":
             folded += self.gram_state.fold_insert(delta.rows)
@@ -150,31 +199,19 @@ class IncrementalMaintainer:
                 self.centroid_state.fold_insert(delta.row_ids, delta.rows)
         else:
             raise IncrementalError(f"unknown delta kind {delta.kind!r}")
-        self.stats.rows_folded += folded
-        get_registry().inc("incremental.rows_folded", folded)
+        return folded
 
-    def _recompute(self, reason: str) -> None:
-        """Lineage repair: rebuild every aggregate from the base table.
-
-        Runs under :func:`no_chaos` so the repair cannot itself be
-        re-injected forever, and fast-forwards ``applied_version`` to
-        the base table's current version — deltas still in flight below
-        that version are skipped as stale when they arrive.
-        """
-        with no_chaos():
-            self.gram_state = GramCofactorState.from_table(
-                self.table, self.features, self.label
+    def _rebuild(self) -> None:
+        self.gram_state = GramCofactorState.from_table(
+            self.table, self.features, self.label
+        )
+        if self.centroid_state is not None:
+            self.centroid_state = CentroidState.from_table(
+                self.table,
+                self.features,
+                self.centroid_state.centers,
+                self.table.row_ids,
             )
-            if self.centroid_state is not None:
-                self.centroid_state = CentroidState.from_table(
-                    self.table,
-                    self.features,
-                    self.centroid_state.centers,
-                    self.table.row_ids,
-                )
-        self.applied_version = self.table.version
-        self.stats.recomputes += 1
-        get_registry().inc("incremental.recomputes")
 
     # ------------------------------------------------------------------
     def checkpoint_parity(self) -> bool:

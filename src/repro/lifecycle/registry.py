@@ -27,6 +27,9 @@ class ModelVersion:
     tags: tuple[str, ...] = ()
     parent_version: int | None = None
     created_at: float = field(default_factory=time.time)
+    #: version of the FeatureView the model was trained on (if any);
+    #: promotion gates refuse to deploy against a mismatched live view.
+    feature_fingerprint: str | None = None
 
     @property
     def identifier(self) -> str:
@@ -54,6 +57,7 @@ class ModelRegistry:
         metrics: dict[str, float] | None = None,
         tags: tuple[str, ...] = (),
         parent_version: int | None = None,
+        feature_fingerprint: str | None = None,
     ) -> ModelVersion:
         """Register a new version of ``name``; returns the version entry."""
         versions = self._models.setdefault(name, [])
@@ -71,6 +75,7 @@ class ModelRegistry:
             metrics=dict(metrics or {}),
             tags=tuple(tags),
             parent_version=parent_version,
+            feature_fingerprint=feature_fingerprint,
         )
         versions.append(entry)
         return entry
@@ -223,6 +228,7 @@ class ModelRegistry:
                         "tags": list(v.tags),
                         "parent_version": v.parent_version,
                         "created_at": v.created_at,
+                        "feature_fingerprint": v.feature_fingerprint,
                     }
                 )
         payload = {
@@ -264,6 +270,8 @@ class ModelRegistry:
                 tags=tuple(entry["tags"]),
                 parent_version=entry["parent_version"],
                 created_at=entry["created_at"],
+                # absent in files saved before the feature store existed
+                feature_fingerprint=entry.get("feature_fingerprint"),
             )
             registry._models.setdefault(entry["name"], []).append(version)
         registry._stage = {

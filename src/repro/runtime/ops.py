@@ -27,6 +27,13 @@ def apply_binary(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
     fn = _BINARY.get(op)
     if fn is None:
         raise ExecutionError(f"unknown binary op {op!r}")
+    if op == "^" and isinstance(right, np.ndarray) and right.size == 1:
+        # np.power's array-exponent inner loop is SIMD-batch-dependent
+        # (last-ulp differences between a 1-row and an n-row evaluation
+        # of the same element); the scalar-exponent loop is not. Keep
+        # elementwise plans bitwise batch-size-invariant — the parity
+        # guarantee the feature store and serving scorer rely on.
+        return fn(left, float(right.reshape(())))
     return fn(left, right)
 
 

@@ -160,6 +160,7 @@ class ShardedServer:
         self._endpoints: dict[str, _FabricEndpoint] = {}
         self.quotas = AdmissionQuotas(clock=clock)
         self.ledger = FabricLedger()
+        self._gates: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Fleet topology
@@ -249,12 +250,27 @@ class ShardedServer:
         for sid in self._endpoint(name).replicas:
             yield self._shards[sid]
 
+    def set_promotion_gate(self, name: str, gate) -> None:
+        """Install a fleet-level promotion gate; a hold fires before any
+        shard has deployed, so a refused promotion leaves the whole
+        fleet on the old version (no torn rollout)."""
+        self._endpoint(name)  # validates the endpoint exists
+        self._gates[name] = gate
+
+    def clear_promotion_gate(self, name: str) -> None:
+        self._gates.pop(name, None)
+
     def promote(self, name: str, version: int | None = None) -> ModelVersion:
         """Fleet-wide promote: one registry deploy, every replica's
-        cache invalidated."""
+        cache invalidated. An installed gate authorizes first."""
         endpoint = self._endpoint(name)
         if version is None:
             version = self.registry.get(endpoint.model_name).version
+        gate = self._gates.get(name)
+        if gate is not None:
+            gate.authorize(self, name, self.registry.get(
+                endpoint.model_name, version
+            ))
         entry = None
         for shard in self._hosting(name):
             entry = shard.server.promote(name, version)

@@ -233,6 +233,7 @@ class ModelServer:
         self._clock = clock
         self._endpoints: dict[str, Endpoint] = {}
         self._scorers: dict[tuple[str, int], Callable] = {}
+        self._gates: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Endpoint management
@@ -279,12 +280,31 @@ class ModelServer:
     # ------------------------------------------------------------------
     # Rollout operations
     # ------------------------------------------------------------------
+    def set_promotion_gate(self, name: str, gate) -> None:
+        """Install a promotion gate (e.g. :class:`repro.features.DriftGate`)
+        on an endpoint; ``gate.authorize(self, name, entry)`` runs before
+        every :meth:`promote` and may raise
+        :class:`~repro.errors.PromotionHeldError` to refuse it."""
+        self.endpoint(name)  # validates the endpoint exists
+        self._gates[name] = gate
+
+    def clear_promotion_gate(self, name: str) -> None:
+        self._gates.pop(name, None)
+
     def promote(self, name: str, version: int | None = None) -> ModelVersion:
         """Deploy a version (default: latest registered) to the stable
-        alias and invalidate the endpoint's cached predictions."""
+        alias and invalidate the endpoint's cached predictions.
+
+        An installed promotion gate authorizes the candidate first; a
+        held promotion leaves the stable alias untouched."""
         endpoint = self.endpoint(name)
         if version is None:
             version = self.registry.get(endpoint.model_name).version
+        gate = self._gates.get(name)
+        if gate is not None:
+            gate.authorize(self, name, self.registry.get(
+                endpoint.model_name, version
+            ))
         self.registry.deploy(endpoint.model_name, version)
         self._invalidate(endpoint)
         return self.registry.get(endpoint.model_name, version)

@@ -155,3 +155,126 @@ class TestPipeline:
         clone = pipe.clone()
         assert not hasattr(clone, "provenance_")
         assert clone.steps[1][1].l2 == 0.5
+
+
+class TestProvenanceSnapshot:
+    """ProvenanceRecord.params must be a snapshot, not an alias."""
+
+    def test_later_param_mutation_cannot_rewrite_lineage(self, reg_data):
+        X, y, _ = reg_data
+
+        class Tagged(StandardScaler):
+            def __init__(self, config=None):
+                super().__init__()
+                self.config = config if config is not None else {}
+
+            def get_params(self):
+                return {"config": self.config}
+
+        config = {"window": 3, "nested": {"alpha": 0.5}}
+        step = Tagged(config)
+        pipe = Pipeline([("tagged", step)]).fit(X)
+        recorded = pipe.provenance_.records[0].params
+        assert recorded == {"config": {"window": 3, "nested": {"alpha": 0.5}}}
+        config["window"] = 999
+        config["nested"]["alpha"] = -1.0
+        assert recorded["config"]["window"] == 3
+        assert recorded["config"]["nested"]["alpha"] == 0.5
+
+
+class TestStreamingDrift:
+    def _reference(self, n=2000, seed=5):
+        return np.random.default_rng(seed).normal(0.0, 1.0, n)
+
+    def test_frozen_edges_are_deterministic_content(self):
+        from repro.feateng import frozen_edges
+
+        ref = self._reference()
+        assert np.array_equal(frozen_edges(ref), frozen_edges(ref.copy()))
+        assert len(frozen_edges(ref, buckets=10)) == 11
+
+    def test_bucket_counts_clip_out_of_range(self):
+        from repro.feateng import bucket_counts, frozen_edges
+
+        edges = frozen_edges(np.linspace(0.0, 1.0, 100))
+        counts = bucket_counts([-50.0, 0.5, 50.0], edges)
+        assert counts[0] >= 1 and counts[-1] >= 1
+        assert counts.sum() == 3
+
+    def test_identical_stream_has_near_zero_psi(self):
+        from repro.feateng import StreamingDriftMonitor
+
+        ref = self._reference()
+        monitor = StreamingDriftMonitor("x", ref)
+        monitor.observe_many(ref)
+        assert monitor.psi() < 1e-9
+        assert monitor.ks() < 1e-12
+        assert not monitor.drifted()
+
+    def test_shifted_stream_trips_psi_and_ks(self):
+        from repro.feateng import StreamingDriftMonitor
+
+        ref = self._reference()
+        monitor = StreamingDriftMonitor("x", ref)
+        monitor.observe_many(ref + 2.5)
+        stats = monitor.snapshot()
+        assert stats.psi > monitor.psi_threshold
+        assert stats.ks > monitor.ks_threshold
+        assert stats.drifted
+
+    def test_incremental_equals_batch_accumulation(self):
+        from repro.feateng import StreamingDriftMonitor
+
+        ref = self._reference()
+        serve = self._reference(seed=6) + 0.3
+        one = StreamingDriftMonitor("x", ref)
+        for v in serve:
+            one.observe(v)
+        batch = StreamingDriftMonitor("x", ref)
+        batch.observe_many(serve)
+        assert one.psi() == batch.psi()
+        assert one.ks() == batch.ks()
+        assert np.array_equal(one.counts, batch.counts)
+
+    def test_fold_histogram_tracks_new_samples_only(self):
+        from repro.feateng import StreamingDriftMonitor
+        from repro.obs.metrics import Histogram
+
+        ref = self._reference()
+        hist = Histogram("lat")
+        monitor = StreamingDriftMonitor("x", ref)
+        for v in ref[:100]:
+            hist.observe(v)
+        assert monitor.fold_histogram(hist) == 100
+        assert monitor.fold_histogram(hist) == 0  # nothing new
+        for v in ref[100:150]:
+            hist.observe(v)
+        assert monitor.fold_histogram(hist) == 50
+        assert monitor.observed == 150
+
+    def test_batch_report_carries_psi_and_ks(self):
+        from repro.feateng import detect_drift
+        from repro.storage.table import Table
+
+        rng = np.random.default_rng(0)
+        train = Table.from_columns({"x": rng.normal(0, 1, 500)})
+        serve = Table.from_columns({"x": rng.normal(3, 1, 500)})
+        report = detect_drift(train, serve)
+        col = report.columns[0]
+        assert col.drifted
+        assert col.psi > 0.25
+        assert col.ks > 0.25
+
+    def test_psi_replayable_from_counts(self):
+        from repro.feateng import (StreamingDriftMonitor, bucket_counts,
+                                   psi_statistic)
+
+        ref = self._reference()
+        serve = self._reference(seed=9) * 1.7
+        monitor = StreamingDriftMonitor("x", ref)
+        monitor.observe_many(serve)
+        oracle = psi_statistic(
+            bucket_counts(ref, monitor.edges),
+            bucket_counts(serve, monitor.edges),
+        )
+        assert monitor.psi() == oracle

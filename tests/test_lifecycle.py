@@ -123,6 +123,30 @@ class TestModelRegistry:
         assert loaded.aliases("churn") == {"prod": 2, "canary": 1}
         assert loaded.rollback("churn").version == 1
 
+    def test_feature_fingerprint_round_trips(self, registry, tmp_path):
+        entry = registry.register(
+            "featmodel", None, feature_fingerprint="abc123" * 8
+        )
+        assert entry.feature_fingerprint == "abc123" * 8
+        path = tmp_path / "registry.json"
+        registry.save(path)
+        loaded = ModelRegistry.load(path)
+        assert loaded.get("featmodel").feature_fingerprint == "abc123" * 8
+        # entries registered without one stay None
+        assert loaded.get("churn", 1).feature_fingerprint is None
+
+    def test_legacy_payload_without_fingerprint_loads(self, registry, tmp_path):
+        import json
+
+        path = tmp_path / "registry.json"
+        registry.save(path)
+        payload = json.loads(path.read_text())
+        for entry in payload["versions"]:
+            del entry["feature_fingerprint"]  # pre-feature-store file
+        path.write_text(json.dumps(payload))
+        loaded = ModelRegistry.load(path)
+        assert loaded.get("churn").feature_fingerprint is None
+
 
 class TestExperimentTracker:
     @pytest.fixture
